@@ -1,0 +1,66 @@
+"""Section 6.3 ablation: cost-model-based selection of the GBS parameter k.
+
+The paper derives Cost_gbs(eta) and binary-searches the k whose area count
+sits at the model's minimum.  This bench sweeps fixed k values, measures
+the actual GBS+EG solve time, and checks that the cost-model-selected k
+lands in the cheap region of the sweep (within 2x of the best fixed k).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import record, run_once
+from repro.core.grouping import estimate_best_k, prepare_grouping
+from repro.core.solver import solve
+from repro.experiments.config import BENCH_SCALE, make_workbench
+from repro.experiments.runner import ExperimentResult, ResultRow
+
+K_SWEEP = (4, 8, 12, 16)
+
+
+def run_cost_model_ablation():
+    bench = make_workbench(city="nyc", scale=BENCH_SCALE)
+    instance = bench.instance()
+    result = ExperimentResult(
+        experiment="ablation_cost_model",
+        description="GBS+EG solve time vs k (Section 6.3 cost model)",
+    )
+    timings = {}
+    for k in K_SWEEP:
+        plan = prepare_grouping(bench.network, k=k)
+        assignment = solve(instance, method="gbs+eg", plan=plan)
+        timings[k] = assignment.elapsed_seconds
+        result.rows.append(
+            ResultRow(
+                x_label="k", x_value=k, method="gbs+eg",
+                utility=assignment.total_utility(),
+                runtime_seconds=assignment.elapsed_seconds,
+                served=assignment.num_served,
+                num_riders=instance.num_riders,
+                num_vehicles=instance.num_vehicles,
+            )
+        )
+    start = time.perf_counter()
+    best_k, probed = estimate_best_k(
+        bench.network, m=instance.num_riders, n=instance.num_vehicles,
+        k_min=min(K_SWEEP), k_max=max(K_SWEEP),
+    )
+    estimation_time = time.perf_counter() - start
+    result.notes.append(
+        f"cost model selects k = {best_k} "
+        f"(probed eta: {sorted(probed.items())}) in {estimation_time:.1f}s"
+    )
+    return result, best_k, timings
+
+
+def test_cost_model_selects_cheap_k(benchmark):
+    result, best_k, timings = run_once(benchmark, run_cost_model_ablation)
+    record(result)
+    assert best_k in timings or min(K_SWEEP) <= best_k <= max(K_SWEEP)
+    nearest = min(timings, key=lambda k: abs(k - best_k))
+    cheapest = min(timings.values())
+    assert timings[nearest] <= max(2.0 * cheapest, cheapest + 1.0), (
+        f"selected k={best_k} lands at {timings[nearest]:.2f}s; "
+        f"best fixed k achieves {cheapest:.2f}s"
+    )

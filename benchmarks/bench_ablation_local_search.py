@@ -1,0 +1,72 @@
+"""Extension ablation: local-search improvement over the paper's heuristics.
+
+For each constructive approach, run the relocate/inject/swap hill climb
+(:mod:`repro.core.local_search`) and report utility before/after plus the
+remaining gap to the analytic upper bound (:mod:`repro.core.bounds`).
+Expected shape: CF gains the most (it never looked at utility), BA the
+least (its replace operation already did local repair); nobody exceeds the
+bound.
+"""
+
+import time
+
+from benchmarks.conftest import record, run_once
+from repro.core.bounds import utility_upper_bound
+from repro.core.local_search import improve_assignment
+from repro.core.solver import solve
+from repro.experiments.config import BENCH_SCALE, make_workbench
+from repro.experiments.runner import ExperimentResult, ResultRow
+
+METHODS = ("cf", "eg", "ba")
+
+
+def run_local_search_ablation():
+    bench = make_workbench(city="nyc", scale=BENCH_SCALE)
+    instance = bench.instance()
+    bound = utility_upper_bound(instance)
+    result = ExperimentResult(
+        experiment="ablation_local_search",
+        description="relocate/inject/swap hill climb over each heuristic",
+    )
+    gains = {}
+    for method in METHODS:
+        before = solve(instance, method=method, plan=bench.plan)
+        start = time.perf_counter()
+        after, stats = improve_assignment(before, max_moves=2000)
+        elapsed = time.perf_counter() - start
+        assert after.is_valid()
+        gains[method] = (before.total_utility(), after.total_utility())
+        for label, assignment, runtime in (
+            (method, before, before.elapsed_seconds),
+            (f"{method}+ls", after, elapsed),
+        ):
+            result.rows.append(
+                ResultRow(
+                    x_label="approach", x_value=label, method=label,
+                    utility=assignment.total_utility(),
+                    runtime_seconds=runtime,
+                    served=assignment.num_served,
+                    num_riders=instance.num_riders,
+                    num_vehicles=instance.num_vehicles,
+                )
+            )
+        result.notes.append(
+            f"{method}: {stats.moves} moves "
+            f"({stats.injections} inject / {stats.relocations} relocate / "
+            f"{stats.swaps} swap), gap to bound "
+            f"{bound.gap(after):.1%}"
+        )
+    result.notes.append(f"analytic upper bound: {bound.total:.2f}")
+    return result, gains, bound
+
+
+def test_local_search_improves_all(benchmark):
+    result, gains, bound = run_once(benchmark, run_local_search_ablation)
+    record(result)
+    for method, (before, after) in gains.items():
+        assert after >= before - 1e-9, method
+        assert after <= bound.total + 1e-6, method
+    # CF, having ignored utility, gains the most in absolute terms
+    cf_gain = gains["cf"][1] - gains["cf"][0]
+    ba_gain = gains["ba"][1] - gains["ba"][0]
+    assert cf_gain >= ba_gain - 1e-9

@@ -1,0 +1,60 @@
+"""Ablation: EG's efficiency-update policy (stale vs lazy vs eager).
+
+DESIGN.md documents that Algorithm 3's complexity accounting implies stored
+efficiencies are reordered, not recomputed ("stale").  This bench compares
+the three policies, expecting quality stale <= lazy <= eager and cost to
+grow in the same direction — the trade that GBS exploits (eager updating
+becomes affordable inside small groups).
+"""
+
+from benchmarks.conftest import record, run_once
+from repro.core.assignment import Assignment
+from repro.core.greedy import run_efficient_greedy
+from repro.core.scoring import SolverState
+from repro.experiments.config import BENCH_SCALE, make_workbench
+from repro.experiments.runner import ExperimentResult, ResultRow
+
+import time
+
+POLICIES = ("stale", "lazy", "eager")
+
+
+def run_update_policy_ablation():
+    bench = make_workbench(city="nyc", scale=BENCH_SCALE)
+    instance = bench.instance()
+    result = ExperimentResult(
+        experiment="ablation_update_policy",
+        description="EG efficiency-update policy (Algorithm 3 line 11)",
+    )
+    measured = {}
+    for policy in POLICIES:
+        state = SolverState(instance)
+        start = time.perf_counter()
+        run_efficient_greedy(state, instance.riders, update=policy)
+        elapsed = time.perf_counter() - start
+        assignment = Assignment(
+            instance=instance, schedules=state.schedules, solver_name=policy
+        )
+        assert assignment.is_valid()
+        measured[policy] = (assignment.total_utility(), elapsed)
+        result.rows.append(
+            ResultRow(
+                x_label="policy", x_value=policy, method=policy,
+                utility=measured[policy][0], runtime_seconds=elapsed,
+                served=assignment.num_served,
+                num_riders=instance.num_riders,
+                num_vehicles=instance.num_vehicles,
+            )
+        )
+    return result, measured
+
+
+def test_update_policy_tradeoff(benchmark):
+    result, measured = run_once(benchmark, run_update_policy_ablation)
+    record(result)
+    stale_u, stale_t = measured["stale"]
+    eager_u, eager_t = measured["eager"]
+    # exact updating buys utility...
+    assert eager_u >= stale_u * 0.98
+    # ...and costs time (this is what makes the paper's GBS+EG sensible)
+    assert eager_t >= stale_t * 0.8

@@ -1,0 +1,23 @@
+"""Figure 7: distribution of time costs of taxi trips (NYC + Chicago).
+
+Shape to reproduce: a decaying duration histogram on both networks with
+more than half of all trips under 1,000 seconds (~16.7 minutes).
+"""
+
+from benchmarks.conftest import record, run_once
+from repro.experiments.figures import fig7_trip_distribution
+
+
+def test_fig7(benchmark):
+    result = run_once(benchmark, fig7_trip_distribution, num_trips=2000)
+    record(result)
+    for city in ("nyc", "chicago"):
+        rows = [r for r in result.rows if r.method == city]
+        counts = [r.served for r in rows]
+        total = sum(counts)
+        assert total == 2000
+        # majority of trips below 1,000 s: the first 3 bins (<= 15 min)
+        short = sum(counts[:3])
+        assert short / total > 0.5, f"{city}: only {short}/{total} short trips"
+        # decaying shape: the first bin dominates the tail bins
+        assert counts[0] > counts[-2]

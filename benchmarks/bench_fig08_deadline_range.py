@@ -1,0 +1,34 @@
+"""Figure 8 (NYC): effect of the pickup deadline range [rt-_min, rt-_max].
+
+Shape to reproduce (paper Section 7.2.1):
+
+- utilities of every approach increase as the range widens (more valid
+  vehicles per rider);
+- GBS+BA and BA achieve the top utilities; CF the lowest;
+- CF is the fastest; BA the slowest; the GBS variants accelerate / match
+  their base methods.
+"""
+
+from benchmarks.conftest import (
+    assert_ba_family_on_top,
+    assert_cf_worst_utility,
+    record,
+    run_once,
+)
+from repro.experiments.figures import fig8_deadline_range
+
+
+def test_fig8(benchmark):
+    result = run_once(benchmark, fig8_deadline_range)
+    record(result)
+    # utilities grow with the deadline range for every approach
+    for method in result.methods():
+        series = result.series(method)
+        assert series[0] < series[-1], f"{method} did not grow with the range"
+    assert_cf_worst_utility(result)
+    assert_ba_family_on_top(result)
+    # CF fastest / BA slowest at the default range
+    x = (10, 30)
+    runtimes = {m: result.row(m, x).runtime_seconds for m in result.methods()}
+    assert runtimes["cf"] == min(runtimes.values())
+    assert runtimes["ba"] == max(runtimes.values())

@@ -1,0 +1,27 @@
+"""Figure 9 (NYC): effect of the vehicle capacity a_j in {2, 3, 4, 5}.
+
+Shape to reproduce: utilities increase (slightly) with capacity; capacity
+has almost no effect on running times; CF worst/fastest, BA family on top.
+"""
+
+from benchmarks.conftest import (
+    assert_ba_family_on_top,
+    assert_cf_worst_utility,
+    record,
+    run_once,
+)
+from repro.experiments.figures import fig9_capacity
+
+
+def test_fig9(benchmark):
+    result = run_once(benchmark, fig9_capacity)
+    record(result)
+    assert_cf_worst_utility(result)
+    assert_ba_family_on_top(result, slack=0.95)
+    for method in result.methods():
+        series = result.series(method)
+        # capacity 5 at least matches capacity 2 (slight increase, noise-safe)
+        assert series[-1] >= series[0] * 0.95, f"{method} degraded with capacity"
+        # runtimes stay in the same ballpark across capacities
+        runtimes = result.series(method, "runtime_seconds")
+        assert max(runtimes) <= max(10 * min(runtimes), min(runtimes) + 3.0)

@@ -1,0 +1,32 @@
+"""Figure 10 (synthetic): effect of the balancing parameters (alpha, beta).
+
+Shape to reproduce (paper Section 7.2.2):
+
+- utilities are far lower at (0, 1) — social similarities are sparse;
+- at (0, 0) (pure trajectory utility) EG and CF nearly coincide;
+- the parameters have very little effect on running times;
+- the GBS variants improve on (or match) their base methods.
+"""
+
+from benchmarks.conftest import assert_cf_worst_utility, record, run_once
+from repro.experiments.figures import fig10_balancing
+
+
+def test_fig10(benchmark):
+    result = run_once(benchmark, fig10_balancing)
+    record(result)
+    assert_cf_worst_utility(result)
+    for method in result.methods():
+        zero_one = result.row(method, (0, 1)).utility
+        default = result.row(method, (0.33, 0.33)).utility
+        assert zero_one < 0.5 * default, (
+            f"{method}: (0,1) utility should collapse, got {zero_one:.2f}"
+        )
+    # EG ~ CF at (0, 0): pure trajectory utility drives both to similar pairs
+    eg = result.row("eg", (0, 0)).utility
+    cf = result.row("cf", (0, 0)).utility
+    assert abs(eg - cf) <= 0.15 * max(eg, cf)
+    # balancing parameters barely change runtimes
+    for method in result.methods():
+        runtimes = result.series(method, "runtime_seconds")
+        assert max(runtimes) <= max(6 * min(runtimes), min(runtimes) + 3.0)

@@ -1,0 +1,25 @@
+"""Figure 11 (synthetic): effect of the flexible factor eps in 1.2 .. 2.0.
+
+Shape to reproduce: both utilities and running times increase with eps
+(longer acceptable detours mean more sharing but also more valid pairs to
+evaluate); the usual method orderings hold.
+"""
+
+from benchmarks.conftest import (
+    assert_ba_family_on_top,
+    assert_cf_worst_utility,
+    record,
+    run_once,
+)
+from repro.experiments.figures import fig11_flexible_factor
+
+
+def test_fig11(benchmark):
+    result = run_once(benchmark, fig11_flexible_factor)
+    record(result)
+    assert_cf_worst_utility(result)
+    assert_ba_family_on_top(result, slack=0.95)
+    for method in result.methods():
+        series = result.series(method)
+        # eps 2.0 at least matches eps 1.2 (increase, noise-safe)
+        assert series[-1] >= series[0] * 0.95, f"{method} fell with eps"

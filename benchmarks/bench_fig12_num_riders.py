@@ -1,0 +1,34 @@
+"""Figure 12 (synthetic): effect of the number of riders m.
+
+Shape to reproduce: utilities rise with m — fast at first, then slowly once
+the fleet saturates; running times rise throughout; CF fastest, BA slowest.
+"""
+
+from benchmarks.conftest import (
+    assert_ba_family_on_top,
+    assert_cf_worst_utility,
+    record,
+    run_once,
+)
+from repro.experiments.figures import fig12_num_riders
+
+
+def test_fig12(benchmark):
+    result = run_once(benchmark, fig12_num_riders)
+    record(result)
+    assert_cf_worst_utility(result)
+    assert_ba_family_on_top(result, slack=0.93)
+    xs = result.x_values()
+    for method in result.methods():
+        series = result.series(method)
+        assert series[-1] > series[0], f"{method}: utility must grow with m"
+        runtimes = result.series(method, "runtime_seconds")
+        assert runtimes[-1] > runtimes[0], f"{method}: runtime must grow with m"
+    # saturation: the first growth step exceeds the last one
+    for method in ("ba", "eg"):
+        series = result.series(method)
+        early_gain = series[1] - series[0]
+        late_gain = series[-1] - series[-2]
+        assert early_gain >= late_gain - 1e-9, (
+            f"{method}: expected diminishing returns over m={xs}"
+        )

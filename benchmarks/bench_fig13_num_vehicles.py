@@ -1,0 +1,27 @@
+"""Figure 13 (synthetic): effect of the number of vehicles n.
+
+Shape to reproduce: utilities and running times both rise with n (more
+valid vehicles relieve competition; more pairs enlarge the search space).
+"""
+
+from benchmarks.conftest import (
+    assert_ba_family_on_top,
+    assert_cf_worst_utility,
+    record,
+    run_once,
+)
+from repro.experiments.figures import fig13_num_vehicles
+
+
+def test_fig13(benchmark):
+    result = run_once(benchmark, fig13_num_vehicles)
+    record(result)
+    assert_cf_worst_utility(result)
+    assert_ba_family_on_top(result, slack=0.93)
+    for method in result.methods():
+        series = result.series(method)
+        assert series[-1] > series[0], f"{method}: utility must grow with n"
+        runtimes = result.series(method, "runtime_seconds")
+        assert runtimes[-1] > runtimes[0] * 0.8, (
+            f"{method}: runtime should broadly grow with n"
+        )

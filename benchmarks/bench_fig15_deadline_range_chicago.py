@@ -1,0 +1,20 @@
+"""Figure 15 (Chicago): the Figure 8 deadline-range sweep on the Chicago
+network — the paper reports "similar results to NYC"."""
+
+from benchmarks.conftest import (
+    assert_ba_family_on_top,
+    assert_cf_worst_utility,
+    record,
+    run_once,
+)
+from repro.experiments.figures import fig15_deadline_range_chicago
+
+
+def test_fig15(benchmark):
+    result = run_once(benchmark, fig15_deadline_range_chicago)
+    record(result)
+    for method in result.methods():
+        series = result.series(method)
+        assert series[0] < series[-1], f"{method} did not grow with the range"
+    assert_cf_worst_utility(result)
+    assert_ba_family_on_top(result, slack=0.95)

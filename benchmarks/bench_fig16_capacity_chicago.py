@@ -1,0 +1,20 @@
+"""Figure 16 (Chicago): the Figure 9 capacity sweep on the Chicago network
+— the paper reports "similar results to NYC"."""
+
+from benchmarks.conftest import (
+    assert_ba_family_on_top,
+    assert_cf_worst_utility,
+    record,
+    run_once,
+)
+from repro.experiments.figures import fig16_capacity_chicago
+
+
+def test_fig16(benchmark):
+    result = run_once(benchmark, fig16_capacity_chicago)
+    record(result)
+    assert_cf_worst_utility(result)
+    assert_ba_family_on_top(result, slack=0.93)
+    for method in result.methods():
+        series = result.series(method)
+        assert series[-1] >= series[0] * 0.95, f"{method} degraded with capacity"

@@ -1,0 +1,25 @@
+"""Table 4: small-scale URR instance (3 vehicles, 8 riders) vs OPT.
+
+Paper's rows (utility / running time in seconds):
+BA 1.74 / 0.0022 — EG 0.81 / 0.0024 — CF 0.64 / 0.0013 — OPT 2.05 / 7218.
+
+Shape to reproduce: OPT > BA > EG > CF on utility; the heuristics answer in
+milliseconds while OPT takes orders of magnitude longer.
+"""
+
+from benchmarks.conftest import record, run_once
+from repro.experiments.figures import table4_small_instance
+
+
+def test_table4(benchmark):
+    result = run_once(benchmark, table4_small_instance, seed=4)
+    record(result)
+    x = "3v/8r"
+    opt = result.row("opt", x)
+    ba = result.row("ba", x)
+    eg = result.row("eg", x)
+    cf = result.row("cf", x)
+    assert opt.utility >= ba.utility >= eg.utility >= cf.utility - 1e-9
+    assert opt.runtime_seconds > 50 * ba.runtime_seconds
+    # BA lands close to the optimum (the paper's 85%)
+    assert ba.utility >= 0.75 * opt.utility

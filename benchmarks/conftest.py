@@ -1,0 +1,62 @@
+"""Shared benchmark helpers.
+
+Every figure bench runs its experiment exactly once inside
+``benchmark.pedantic`` (a sweep is minutes, not microseconds), prints the
+paper-style table, writes it under ``benchmarks/results/``, and asserts the
+qualitative shape the paper reports.  Absolute numbers are environment
+noise; the *orderings* are the reproduction target.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(result: ExperimentResult) -> None:
+    """Print and persist a figure's reproduction table."""
+    text = result.format_table()
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{result.experiment}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def assert_cf_fastest(result: ExperimentResult, methods=("eg", "ba")) -> None:
+    """CF must be the fastest approach at every x (Section 7's constant)."""
+    for x in result.x_values():
+        cf = result.row("cf", x).runtime_seconds
+        for method in methods:
+            assert cf <= result.row(method, x).runtime_seconds * 1.5 + 0.05, (
+                f"CF not fastest at {x}: {cf:.3f}s vs {method}"
+            )
+
+
+def assert_cf_worst_utility(result: ExperimentResult, slack: float = 1.02) -> None:
+    """CF's utility must not beat the best URR approach anywhere."""
+    for x in result.x_values():
+        cf = result.row("cf", x).utility
+        best = max(result.row(m, x).utility for m in result.methods())
+        assert cf <= best * slack, f"CF unexpectedly best at {x}"
+
+
+def assert_ba_family_on_top(result: ExperimentResult, slack: float = 0.97) -> None:
+    """BA or GBS+BA achieves (close to) the top utility at every x."""
+    for x in result.x_values():
+        top = max(result.row(m, x).utility for m in result.methods())
+        ba_top = max(
+            result.row(m, x).utility
+            for m in ("ba", "gbs+ba") if m in result.methods()
+        )
+        assert ba_top >= top * slack, (
+            f"BA family not on top at {x}: {ba_top:.2f} vs {top:.2f}"
+        )

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Social carpooling: how the rider-related utility shapes assignments.
+
+The paper's motivating scenario: with unlimited-ride packages, riders care
+about *who* they share the car with.  This example builds a workload whose
+riders carry Gowalla-style social profiles, then solves the same instance
+under three utility configurations:
+
+- beta = 0      — social similarity ignored;
+- beta = 0.5    — balanced;
+- beta = 1.0    — pure similarity matching (the DENSE-k-SUBGRAPH regime of
+  Theorem 2.2).
+
+For each solution we report the *co-ride similarity*: the mean pairwise
+Jaccard similarity over all rider pairs that actually share a leg.  Raising
+beta must raise it — the solver starts pooling friends.
+
+Run:
+    python examples/social_carpool.py
+"""
+
+from dataclasses import replace
+
+from repro import InstanceConfig, build_instance, generate_geo_social, grid_city, solve
+from repro.core.metrics import compute_metrics
+
+
+def co_ride_similarity(assignment, instance) -> tuple[float, int]:
+    """Mean similarity over rider pairs that share at least one leg."""
+    metrics = compute_metrics(assignment)
+    shared = set()
+    for rider in metrics.riders:
+        for other in rider.co_rider_ids:
+            shared.add((min(rider.rider_id, other), max(rider.rider_id, other)))
+    if not shared:
+        return 0.0, 0
+    total = sum(instance.similarity(a, b) for a, b in shared)
+    return total / len(shared), len(shared)
+
+
+def main() -> None:
+    network = grid_city(20, 20, seed=3, block_minutes=2.0)
+    geo = generate_geo_social(network, num_users=800, seed=3, mean_friends=12.0)
+    print(
+        f"geo-social network: {len(geo.social)} users, "
+        f"{geo.social.num_friendships} friendships, {len(geo.check_ins)} check-ins"
+    )
+
+    base_config = InstanceConfig(
+        num_riders=200, num_vehicles=25, capacity=4,
+        pickup_deadline_range=(10.0, 25.0), flexible_factor=1.8, seed=11,
+    )
+
+    print(f"\n{'beta':>5} {'alpha':>6} {'utility':>9} {'served':>7} "
+          f"{'co-ride sim':>12} {'sharing pairs':>14}")
+    for alpha, beta in ((0.4, 0.0), (0.25, 0.5), (0.0, 1.0)):
+        config = replace(base_config, alpha=alpha, beta=beta)
+        instance = build_instance(network, config, geo_social=geo)
+        assignment = solve(instance, method="ba")
+        assert assignment.is_valid()
+        sim, pairs = co_ride_similarity(assignment, instance)
+        print(
+            f"{beta:5.1f} {alpha:6.2f} {assignment.total_utility():9.2f} "
+            f"{assignment.num_served:4d}/{instance.num_riders} "
+            f"{sim:12.4f} {pairs:14d}"
+        )
+
+    print(
+        "\nAs beta grows the solver pools socially similar riders: the mean"
+        "\nco-ride similarity rises even though the overall utility scale"
+        "\nshrinks (similarities are sparse, exactly as the paper observes"
+        "\nfor the (0, 1) balancing setting in Figure 10)."
+    )
+
+
+if __name__ == "__main__":
+    main()

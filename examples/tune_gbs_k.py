@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Tuning the GBS area parameter k with the Section 6.3 cost model.
+
+The grouping-based scheduler's speed hinges on the number of areas eta,
+which the k-shortest-path-cover parameter k controls.  The paper derives a
+cost model Cost_gbs(eta) and binary-searches the k whose cover size sits at
+its minimum.  This example:
+
+1. prints the cost-model curve for the current network/workload,
+2. runs the paper's binary search (estimate_best_k),
+3. validates the choice against a brute-force sweep of solve times.
+
+Run:
+    python examples/tune_gbs_k.py
+"""
+
+from repro import InstanceConfig, build_instance, nyc_like, solve
+from repro.core.grouping import (
+    estimate_best_k,
+    gbs_cost_model,
+    optimal_eta,
+    prepare_grouping,
+)
+
+
+def main() -> None:
+    network = nyc_like(seed=0)
+    config = InstanceConfig(num_riders=400, num_vehicles=40, seed=5)
+    instance = build_instance(network, config)
+    s, m, n = network.num_nodes, config.num_riders, config.num_vehicles
+
+    # 1. the analytic cost model
+    print(f"cost model for s={s} nodes, m={m} riders, n={n} vehicles")
+    print(f"{'eta':>6} {'Cost_gbs':>12}")
+    for eta in (5, 20, 50, 100, 200, 400, 800):
+        print(f"{eta:6d} {gbs_cost_model(eta, s, m, n):12.0f}")
+    eta_star = optimal_eta(s, m, n)
+    print(f"analytic optimum: eta* = {eta_star:.0f}")
+
+    # 2. the paper's binary search over k
+    best_k, probed = estimate_best_k(network, m=m, n=n, k_min=4, k_max=16)
+    print(f"\nbinary search probes eta(k): "
+          + ", ".join(f"k={k}:{eta}" for k, eta in sorted(probed.items())))
+    print(f"selected k = {best_k}")
+
+    # 3. validate against measured solve times
+    print(f"\n{'k':>4} {'areas':>6} {'utility':>9} {'solve time':>11}")
+    for k in sorted(set(list(probed) + [best_k])):
+        plan = prepare_grouping(network, k=k)
+        assignment = solve(instance, method="gbs+eg", plan=plan)
+        marker = "  <- selected" if k == best_k else ""
+        print(f"{k:4d} {plan.num_areas:6d} {assignment.total_utility():9.2f} "
+              f"{assignment.elapsed_seconds:10.2f}s{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``.
+Keeping a ``setup.py`` (and no ``[build-system]`` table in pyproject.toml)
+lets ``pip install -e .`` fall back to the classic ``setup.py develop``
+path, which needs neither network nor wheel.
+"""
+
+from setuptools import setup
+
+setup()

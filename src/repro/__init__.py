@@ -1,0 +1,74 @@
+"""repro — reproduction of "Utility-Aware Ridesharing on Road Networks"
+(Cheng, Xin, Chen — SIGMOD 2017).
+
+Quickstart::
+
+    from repro import InstanceConfig, build_instance, nyc_like, solve
+
+    network = nyc_like(seed=0)
+    instance = build_instance(network, InstanceConfig(num_riders=500, num_vehicles=50))
+    assignment = solve(instance, method="eg")
+    print(assignment.total_utility(), assignment.num_served)
+
+Subpackages
+-----------
+``repro.roadnet``
+    Road network graph, shortest paths, distance oracle, k-path cover,
+    area construction, synthetic city generators, DIMACS IO.
+``repro.social``
+    Friendship graph, Jaccard similarity, synthetic geo-social network.
+``repro.core``
+    The URR problem model, transfer-event schedules, single-rider
+    insertion, and the BA / EG / GBS / CF / OPT solvers.
+``repro.workload``
+    Taxi-trip simulation (Eq. 11-12) and instance builders (Section 7.1.2).
+``repro.experiments``
+    The Section 7 experiment harness: one function per table/figure.
+"""
+
+from repro.core import (
+    Assignment,
+    Rider,
+    TransferSequence,
+    URRInstance,
+    UtilityModel,
+    Vehicle,
+    arrange_single_rider,
+    solve,
+    solve_optimal,
+)
+from repro.roadnet import RoadNetwork, chicago_like, grid_city, nyc_like
+from repro.social import SocialNetwork, generate_geo_social
+from repro.workload import (
+    InstanceConfig,
+    TaxiTripSimulator,
+    build_instance,
+    example1_instance,
+    small_instance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assignment",
+    "InstanceConfig",
+    "Rider",
+    "RoadNetwork",
+    "SocialNetwork",
+    "TaxiTripSimulator",
+    "TransferSequence",
+    "URRInstance",
+    "UtilityModel",
+    "Vehicle",
+    "arrange_single_rider",
+    "build_instance",
+    "chicago_like",
+    "example1_instance",
+    "generate_geo_social",
+    "grid_city",
+    "nyc_like",
+    "small_instance",
+    "solve",
+    "solve_optimal",
+    "__version__",
+]

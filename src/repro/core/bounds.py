@@ -1,0 +1,100 @@
+"""Upper bounds on the URR objective.
+
+OPT is exponential, so beyond Table-4 scale there is no ground truth.
+These analytic bounds sandwich any solver's result from above, giving an
+*optimality-gap certificate* without enumeration:
+
+- :func:`utility_upper_bound` — per-rider bound: each served rider can
+  contribute at most ``alpha * max_j mu_v(i, j) + beta * s_max(i) +
+  gamma * 1`` (Eq. 5 peaks at 1 for a zero-detour trip); riders no vehicle
+  can reach in time contribute 0.
+- :func:`serviceable_riders` — the reachability analysis behind it.
+
+Bounds are loose (they ignore capacity and inter-rider competition) but
+sound; the tests assert ``solver utility <= bound`` for every approach,
+and the gap they report is a useful effectiveness signal at scales where
+OPT is unavailable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from repro.core.assignment import Assignment
+from repro.core.instance import URRInstance
+from repro.core.requests import Rider
+
+
+@dataclass(frozen=True)
+class BoundReport:
+    """An upper bound and its decomposition."""
+
+    total: float
+    per_rider: Dict[int, float]
+    unreachable: Set[int]
+
+    def gap(self, assignment: Assignment) -> float:
+        """Relative gap of an assignment to this bound (0 = bound-tight)."""
+        if self.total <= 0:
+            return 0.0
+        return 1.0 - assignment.total_utility() / self.total
+
+
+def serviceable_riders(instance: URRInstance) -> Set[int]:
+    """Riders at least one vehicle could serve in isolation.
+
+    Necessary conditions only (pickup reachable before ``rt-`` from some
+    vehicle's start, and the direct continuation meets ``rt+``); capacity
+    and competition are ignored, so the set over-approximates.
+    """
+    cost = instance.cost
+    t0 = instance.start_time
+    result: Set[int] = set()
+    for rider in instance.riders:
+        direct = cost(rider.source, rider.destination)
+        for vehicle in instance.vehicles:
+            pickup_at = t0 + cost(vehicle.location, rider.source)
+            if pickup_at > rider.pickup_deadline + 1e-9:
+                continue
+            if pickup_at + direct > rider.dropoff_deadline + 1e-9:
+                continue
+            result.add(rider.rider_id)
+            break
+    return result
+
+
+def utility_upper_bound(instance: URRInstance) -> BoundReport:
+    """Sound upper bound on the Definition 4 objective."""
+    alpha, beta = instance.alpha, instance.beta
+    gamma = 1.0 - alpha - beta
+    reachable = serviceable_riders(instance)
+    per_rider: Dict[int, float] = {}
+    riders_by_id = {r.rider_id: r for r in instance.riders}
+    for rider in instance.riders:
+        if rider.rider_id not in reachable:
+            per_rider[rider.rider_id] = 0.0
+            continue
+        best_mu_v = max(
+            (instance.vehicle_utility(rider, v) for v in instance.vehicles),
+            default=0.0,
+        )
+        best_similarity = 0.0
+        if beta > 0:
+            best_similarity = max(
+                (
+                    instance.similarity(rider.rider_id, other.rider_id)
+                    for other in instance.riders
+                    if other.rider_id != rider.rider_id
+                ),
+                default=0.0,
+            )
+        per_rider[rider.rider_id] = (
+            alpha * best_mu_v + beta * best_similarity + gamma * 1.0
+        )
+    unreachable = {r.rider_id for r in instance.riders} - reachable
+    return BoundReport(
+        total=sum(per_rider.values()),
+        per_rider=per_rider,
+        unreachable=unreachable,
+    )

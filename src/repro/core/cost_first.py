@@ -1,0 +1,32 @@
+"""Cost-First greedy baseline, **CF** (Section 7.1.3).
+
+The baseline the paper compares against: repeatedly pick the rider-vehicle
+pair with the **lowest incremental travel cost** and commit it, ignoring
+utilities entirely.  It is the fastest approach (and the least effective on
+utility) in every experiment of Section 7.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.requests import Rider
+from repro.core.scoring import PairEvaluation, SolverState, greedy_assign
+from repro.core.vehicles import Vehicle
+
+
+def _cost_key(evaluation: PairEvaluation) -> tuple:
+    """Lowest incremental travel cost first (utilities ignored)."""
+    return (evaluation.delta_cost,)
+
+
+def run_cost_first(
+    state: SolverState,
+    riders: Iterable[Rider],
+    vehicles: Optional[List[Vehicle]] = None,
+    update: str = "stale",
+) -> List[PairEvaluation]:
+    """Run CF over the given riders, mutating ``state`` in place."""
+    return greedy_assign(
+        state, riders, vehicles, key=_cost_key, with_utility=False, update=update
+    )

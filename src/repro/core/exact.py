@@ -1,0 +1,173 @@
+"""Exact enumeration, **OPT** (Section 7.2.2).
+
+URR is NP-hard, so the paper only computes the optimum for a small instance
+(3 vehicles, 8 riders) by enumeration.  We do the same, but with two layers
+of dynamic programming instead of raw enumeration so the Table 4 scale
+finishes in seconds:
+
+1. **Per vehicle and rider subset** — the best (maximum-utility) valid stop
+   sequence, found by depth-first search over all pickup-before-drop-off
+   interleavings with deadline/capacity pruning.
+2. **Across vehicles** — a subset DP: ``g_j(T)`` = best utility serving a
+   subset ``T`` of riders with the first ``j`` vehicles, combined via
+   submask enumeration.  Riders may remain unserved (URR never forces
+   assignment).
+
+The search is still exponential (as it must be); :func:`solve_optimal`
+refuses instances beyond ``max_riders`` to protect callers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.assignment import Assignment
+from repro.core.instance import URRInstance
+from repro.core.requests import Rider
+from repro.core.schedule import Stop, TransferSequence
+from repro.core.utility import UtilityModel
+from repro.core.vehicles import Vehicle
+
+NEG_INF = float("-inf")
+
+
+def solve_optimal(instance: URRInstance, max_riders: int = 10) -> Assignment:
+    """Compute the optimal URR assignment by exhaustive search.
+
+    Raises
+    ------
+    ValueError
+        When the instance has more than ``max_riders`` riders (the search
+        is exponential in the rider count).
+    """
+    m = instance.num_riders
+    if m > max_riders:
+        raise ValueError(
+            f"solve_optimal is exponential; instance has {m} riders "
+            f"(> max_riders={max_riders})"
+        )
+    model = instance.utility_model()
+    riders = list(instance.riders)
+    vehicles = list(instance.vehicles)
+    full = (1 << m) - 1
+
+    # layer 1: best schedule per (vehicle, rider subset)
+    best_schedule: List[Dict[int, Tuple[float, Optional[TransferSequence]]]] = []
+    for vehicle in vehicles:
+        table: Dict[int, Tuple[float, Optional[TransferSequence]]] = {
+            0: (0.0, instance.empty_sequence(vehicle))
+        }
+        for mask in range(1, full + 1):
+            subset = [riders[i] for i in range(m) if mask & (1 << i)]
+            utility, seq = _best_sequence_for_subset(instance, model, vehicle, subset)
+            table[mask] = (utility, seq)
+        best_schedule.append(table)
+
+    # layer 2: combine vehicles over disjoint subsets
+    n = len(vehicles)
+    # g[T] after considering vehicles[0..j]: (utility, assignment masks)
+    g: Dict[int, Tuple[float, Tuple[int, ...]]] = {
+        T: (0.0, ()) for T in range(full + 1)
+    }
+    for j in range(n):
+        table = best_schedule[j]
+        new_g: Dict[int, Tuple[float, Tuple[int, ...]]] = {}
+        for T in range(full + 1):
+            # choose the submask S of T served by vehicle j
+            best_val, best_masks = g[T]
+            best_masks = best_masks + (0,)
+            S = T
+            while True:
+                util_s, seq_s = table[S]
+                if seq_s is not None:
+                    prev_val, prev_masks = g[T ^ S]
+                    cand = prev_val + util_s
+                    if cand > best_val + 1e-12:
+                        best_val = cand
+                        best_masks = prev_masks + (S,)
+                if S == 0:
+                    break
+                S = (S - 1) & T
+            new_g[T] = (best_val, best_masks)
+        g = new_g
+
+    best_val, best_masks = g[full]
+    assignment = Assignment.empty(instance, solver_name="opt")
+    for j, mask in enumerate(best_masks):
+        if mask:
+            _, seq = best_schedule[j][mask]
+            assert seq is not None
+            assignment.schedules[vehicles[j].vehicle_id] = seq
+    return assignment
+
+
+def _best_sequence_for_subset(
+    instance: URRInstance,
+    model: UtilityModel,
+    vehicle: Vehicle,
+    subset: Sequence[Rider],
+) -> Tuple[float, Optional[TransferSequence]]:
+    """Maximum-utility valid stop sequence serving exactly ``subset``.
+
+    Depth-first search over interleavings: at each step extend the partial
+    stop list with either a not-yet-picked rider's pickup (if capacity
+    allows) or an onboard rider's drop-off, pruning on deadlines.
+    Returns ``(-inf, None)`` when no valid sequence exists.
+    """
+    best_utility = NEG_INF
+    best_stops: Optional[List[Stop]] = None
+    cost = instance.cost
+    t0 = instance.start_time
+
+    riders = list(subset)
+    k = len(riders)
+    stops: List[Stop] = []
+
+    def dfs(current_loc: int, current_time: float, onboard: int,
+            picked_mask: int, dropped_mask: int) -> None:
+        nonlocal best_utility, best_stops
+        if dropped_mask == (1 << k) - 1:
+            seq = TransferSequence(
+                origin=vehicle.location,
+                start_time=t0,
+                capacity=vehicle.capacity,
+                cost=cost,
+                stops=list(stops),
+            )
+            utility = model.schedule_utility(vehicle, seq)
+            if utility > best_utility:
+                best_utility = utility
+                best_stops = list(stops)
+            return
+        for i, rider in enumerate(riders):
+            bit = 1 << i
+            if not picked_mask & bit:
+                if onboard >= vehicle.capacity:
+                    continue
+                arrival = current_time + cost(current_loc, rider.source)
+                if arrival > rider.pickup_deadline + 1e-9:
+                    continue
+                stops.append(Stop.pickup(rider))
+                dfs(rider.source, arrival, onboard + 1,
+                    picked_mask | bit, dropped_mask)
+                stops.pop()
+            elif not dropped_mask & bit:
+                arrival = current_time + cost(current_loc, rider.destination)
+                if arrival > rider.dropoff_deadline + 1e-9:
+                    continue
+                stops.append(Stop.dropoff(rider))
+                dfs(rider.destination, arrival, onboard - 1,
+                    picked_mask, dropped_mask | bit)
+                stops.pop()
+
+    dfs(vehicle.location, t0, 0, 0, 0)
+    if best_stops is None:
+        return NEG_INF, None
+    seq = TransferSequence(
+        origin=vehicle.location,
+        start_time=t0,
+        capacity=vehicle.capacity,
+        cost=cost,
+        stops=best_stops,
+    )
+    return best_utility, seq

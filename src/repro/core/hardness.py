@@ -1,0 +1,208 @@
+"""Computational hardness reductions (Theorems 2.1 and 2.2).
+
+The paper proves URR NP-hard by reducing 0-1 KNAPSACK to it (Appendix B)
+and constant-factor-inapproximable by reducing DENSE k-SUBGRAPH to it
+(Appendix C).  This module builds those reductions as *executable* instance
+transformers, so the proofs can be checked computationally: solving the
+constructed URR instance optimally recovers the optimal knapsack packing /
+the densest k-subgraph.
+
+Used by the test suite as a deep cross-check of the solvers and the
+utility model — if either reduction stops round-tripping, the problem
+semantics drifted from the paper's.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.assignment import Assignment
+from repro.core.instance import URRInstance
+from repro.core.requests import Rider
+from repro.core.vehicles import Vehicle
+from repro.roadnet.graph import RoadNetwork
+
+
+# ----------------------------------------------------------------------
+# Theorem 2.1: 0-1 KNAPSACK -> URR
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KnapsackItem:
+    weight: float
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("item weights must be positive")
+        if self.value < 0:
+            raise ValueError("item values must be non-negative")
+
+
+def knapsack_to_urr(
+    items: Sequence[KnapsackItem], capacity: float
+) -> URRInstance:
+    """Appendix B's construction.
+
+    One vehicle at a hub node ``o``; item ``i`` becomes a rider at a leaf
+    node ``A_i`` connected to the hub by an edge of cost ``w_i / 2`` whose
+    destination is... the paper sets destination = current location, which
+    our model forbids (zero-length trips); we use the equivalent gadget of
+    a *pair* of leaf nodes per item at distance ``w_i / 4`` from each other
+    so that serving item ``i`` costs exactly ``w_i`` of travel round trip
+    and pays utility ``v_i``:
+
+    - hub ``o`` = node 0;
+    - item i: pickup node ``2i+1`` at distance ``3 w_i / 8`` from the hub,
+      drop-off node ``2i+2`` at distance ``w_i / 4`` beyond it, with the
+      return to the hub costing ``3 w_i / 8`` again — total marginal cost
+      of serving the item: ``3w/8 + w/4 + 3w/8 = w_i``;
+    - item i's deadlines discount the unused return of whichever item is
+      served *last*: ``rt- = W - 5 w_i / 8`` and ``rt+ = W - 3 w_i / 8``,
+      so a set S is schedulable iff ``sum_{i in S} w_i <= W`` exactly
+      (the paper's Appendix B glosses this last-leg discount);
+    - utilities are rescaled so each rider's Eq. 1 utility equals ``v_i``
+      (alpha = 1, mu_v = v_i / max_v, objective scaled back by max_v).
+
+    Items heavier than the capacity get clamped, unservable deadlines.
+    """
+    if capacity <= 0:
+        raise ValueError("knapsack capacity must be positive")
+    if not items:
+        raise ValueError("need at least one item")
+    network = RoadNetwork(undirected=True)
+    network.add_node(0, x=0.0, y=0.0)
+    riders: List[Rider] = []
+    max_value = max(item.value for item in items) or 1.0
+    utilities: Dict[Tuple[int, int], float] = {}
+    for i, item in enumerate(items):
+        pickup = 2 * i + 1
+        dropoff = 2 * i + 2
+        network.add_node(pickup, x=float(i + 1), y=1.0)
+        network.add_node(dropoff, x=float(i + 1), y=2.0)
+        network.add_edge(0, pickup, 3.0 * item.weight / 8.0)
+        network.add_edge(pickup, dropoff, item.weight / 4.0)
+        network.add_edge(dropoff, 0, 3.0 * item.weight / 8.0)
+        if item.weight <= capacity:
+            pickup_deadline = capacity - 5.0 * item.weight / 8.0
+            dropoff_deadline = capacity - 3.0 * item.weight / 8.0
+        else:
+            # unpackable item: deadlines too tight to ever serve it
+            pickup_deadline = item.weight / 16.0
+            dropoff_deadline = item.weight / 8.0
+        rider = Rider(
+            rider_id=i,
+            source=pickup,
+            destination=dropoff,
+            pickup_deadline=pickup_deadline,
+            dropoff_deadline=dropoff_deadline,
+        )
+        riders.append(rider)
+        utilities[(i, 0)] = item.value / max_value
+    vehicle = Vehicle(vehicle_id=0, location=0, capacity=1)
+    return URRInstance(
+        network=network,
+        riders=riders,
+        vehicles=[vehicle],
+        alpha=1.0,
+        beta=0.0,
+        vehicle_utilities=utilities,
+    )
+
+
+def knapsack_value_of(assignment: Assignment, items: Sequence[KnapsackItem]) -> float:
+    """The knapsack value of the item set the URR solution serves."""
+    served = assignment.served_rider_ids()
+    return sum(items[i].value for i in served)
+
+
+def solve_knapsack_bruteforce(
+    items: Sequence[KnapsackItem], capacity: float
+) -> Tuple[float, Set[int]]:
+    """Reference optimum by enumeration (for the tests)."""
+    best_value, best_set = 0.0, set()
+    n = len(items)
+    for mask in range(1 << n):
+        weight = value = 0.0
+        chosen = set()
+        for i in range(n):
+            if mask & (1 << i):
+                weight += items[i].weight
+                value += items[i].value
+                chosen.add(i)
+        if weight <= capacity + 1e-9 and value > best_value:
+            best_value, best_set = value, chosen
+    return best_value, best_set
+
+
+# ----------------------------------------------------------------------
+# Theorem 2.2: DENSE k-SUBGRAPH -> URR
+# ----------------------------------------------------------------------
+def dense_subgraph_to_urr(
+    edges: Sequence[Tuple[int, int]], num_vertices: int, k: int
+) -> URRInstance:
+    """Appendix C's construction.
+
+    Two road nodes ``o_1 -> o_2``; every DkS vertex becomes a rider from
+    ``o_1`` to ``o_2``; one vehicle of capacity ``k`` at ``o_1``; beta = 1
+    so only the rider-related utility counts; the similarity of riders
+    ``(i, j)`` is 1 iff ``(v_i, v_j)`` is an edge.  Deadlines admit exactly
+    one ``o_1 -> o_2`` trip, so the solver must *choose k riders to share
+    the single ride* — and the schedule utility equals ``2 |E'| / (k - 1)``
+    for the induced edge set ``E'`` (the paper's Eq. 13).
+    """
+    if k < 2:
+        raise ValueError("k must be >= 2 (a single rider has no co-riders)")
+    if num_vertices < k:
+        raise ValueError("need at least k vertices")
+    network = RoadNetwork(undirected=False)
+    network.add_node(0, x=0.0, y=0.0)
+    network.add_node(1, x=1.0, y=0.0)
+    network.add_edge(0, 1, 1.0)
+    riders = [
+        Rider(
+            rider_id=i, source=0, destination=1,
+            # one trip only: everyone must board immediately
+            pickup_deadline=1e-9, dropoff_deadline=1.0,
+        )
+        for i in range(num_vertices)
+    ]
+    vehicle = Vehicle(vehicle_id=0, location=0, capacity=k)
+    similarities = {
+        (min(u, v), max(u, v)): 1.0 for u, v in edges if u != v
+    }
+    return URRInstance(
+        network=network,
+        riders=riders,
+        vehicles=[vehicle],
+        alpha=0.0,
+        beta=1.0,
+        similarity_overrides=similarities,
+    )
+
+
+def densest_k_subgraph_bruteforce(
+    edges: Sequence[Tuple[int, int]], num_vertices: int, k: int
+) -> Tuple[int, Set[int]]:
+    """Reference optimum: max |E'| over all k-vertex subsets."""
+    edge_set = {(min(u, v), max(u, v)) for u, v in edges if u != v}
+    best_edges, best_subset = -1, set()
+    for subset in itertools.combinations(range(num_vertices), k):
+        count = sum(
+            1 for a, b in itertools.combinations(subset, 2)
+            if (a, b) in edge_set
+        )
+        if count > best_edges:
+            best_edges, best_subset = count, set(subset)
+    return best_edges, best_subset
+
+
+def induced_edges_of(assignment: Assignment, edges: Sequence[Tuple[int, int]]) -> int:
+    """|E'| induced by the riders the URR solution serves."""
+    served = assignment.served_rider_ids()
+    edge_set = {(min(u, v), max(u, v)) for u, v in edges if u != v}
+    return sum(
+        1 for a, b in itertools.combinations(sorted(served), 2)
+        if (a, b) in edge_set
+    )

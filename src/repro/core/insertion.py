@@ -1,0 +1,205 @@
+"""Single-rider insertion (Section 3): Lemma 3.1/3.2 + Algorithm 1.
+
+Given a vehicle's existing transfer sequence, find where to insert a new
+rider's pickup and drop-off so that the **incremental travel cost is
+minimal** while the sequence stays valid, *without reordering existing
+stops* (the paper's standing assumption, justified by [25]).
+
+Position convention: inserting at position ``p`` makes the new stop
+``stops[p]``; this splits transfer event ``p`` (the leg ending at the old
+``stops[p]``) into two.  ``p == len(stops)`` appends a new tail event.
+
+Checked conditions per Lemma 3.1 (with the arrival check strengthened to
+``earliest_start + cost(l^-, x) <= dl(x)``, which implies the paper's
+conditions a and b and is what validity actually requires):
+
+- arrival feasibility at the inserted location,
+- detour within the event's flexible time (condition c) — not applicable to
+  appends, which have no subsequent events,
+- capacity (condition d) — checked per-event for the pickup and along the
+  whole pickup→drop-off span when the pair is combined.
+
+The search follows Algorithm 1: candidates sorted by incremental cost with
+early termination on both loops, and Lemma 3.2's earliest-start-time cut-off
+while collecting candidates.  One deliberate deviation, recorded in
+DESIGN.md: drop-off candidates are re-derived on the trial sequence after
+each tentative pickup insertion instead of patched from the pre-insertion
+list — same optimum, same ``O(n^2)`` bound, simpler invariants (and it
+naturally covers the "both stops in the same original event" case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.requests import Rider
+from repro.core.schedule import Stop, StopKind, TransferSequence
+
+INF = float("inf")
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class InsertionCandidate:
+    """A valid single-location insertion position with its cost increase."""
+
+    position: int
+    delta_cost: float
+
+
+@dataclass
+class InsertionResult:
+    """Outcome of :func:`arrange_single_rider`."""
+
+    sequence: TransferSequence
+    pickup_position: int
+    dropoff_position: int
+    delta_cost: float
+
+
+def valid_insertions(
+    sequence: TransferSequence,
+    location: int,
+    deadline: float,
+    count_capacity: bool,
+    min_position: int = 0,
+) -> List[InsertionCandidate]:
+    """All valid positions to insert one location (Lemma 3.1 + 3.2).
+
+    Parameters
+    ----------
+    sequence:
+        The transfer sequence to insert into.
+    location:
+        The node to visit (``s_i`` or ``e_i``).
+    deadline:
+        ``dl(x)`` — the deadline for reaching the location.
+    count_capacity:
+        True for pickups: the vehicle gains a rider at this stop, so the
+        split event must have spare capacity (condition d).
+    min_position:
+        Only positions ``>= min_position`` are considered (used to force
+        the drop-off after the pickup).
+    """
+    cost = sequence.cost
+    n = len(sequence)
+    candidates: List[InsertionCandidate] = []
+    for p in range(max(min_position, 0), n + 1):
+        earliest_start = sequence.earliest_start(p) if p < n else (
+            sequence.arrive[n - 1] if n else sequence.start_time
+        )
+        # Lemma 3.2: earliest starts are non-decreasing along the sequence,
+        # so once one exceeds the deadline no later position can be valid.
+        if earliest_start > deadline + _EPS:
+            break
+        start_loc = sequence.origin if p == 0 else sequence.stops[p - 1].location
+        to_x = cost(start_loc, location)
+        if earliest_start + to_x > deadline + _EPS:
+            continue  # cannot reach the location in time via this event
+        if p < n:
+            end_loc = sequence.stops[p].location
+            delta = to_x + cost(location, end_loc) - cost(start_loc, end_loc)
+            if delta > sequence.flexible[p] + _EPS:
+                continue  # condition c: detour exceeds the flexible time
+            if count_capacity and sequence.load_before[p] + 1 > sequence.capacity:
+                continue  # condition d
+        else:
+            delta = to_x
+            if count_capacity and n and _load_after_end(sequence) + 1 > sequence.capacity:
+                continue
+        candidates.append(InsertionCandidate(position=p, delta_cost=delta))
+    return candidates
+
+
+def arrange_single_rider(
+    sequence: TransferSequence, rider: Rider
+) -> Optional[InsertionResult]:
+    """Algorithm 1 (ArrangeSingleRider).
+
+    Returns the minimum-incremental-cost valid insertion of ``rider`` into
+    ``sequence`` (as a *new* sequence; the input is never mutated), or
+    ``None`` when no valid insertion exists.
+    """
+    pickups = valid_insertions(
+        sequence, rider.source, rider.pickup_deadline, count_capacity=True
+    )
+    if not pickups:
+        return None
+    pickups.sort(key=lambda c: c.delta_cost)
+
+    best: Optional[InsertionResult] = None
+    best_delta = INF
+    pickup_stop = Stop.pickup(rider)
+    dropoff_stop = Stop.dropoff(rider)
+
+    for cand_s in pickups:
+        if cand_s.delta_cost >= best_delta - _EPS:
+            break  # sorted: no later pickup candidate can win
+        trial = sequence.copy()
+        trial.insert_stop(cand_s.position, pickup_stop)
+        dropoffs = valid_insertions(
+            trial,
+            rider.destination,
+            rider.dropoff_deadline,
+            count_capacity=False,
+            min_position=cand_s.position + 1,
+        )
+        if not dropoffs:
+            continue
+        dropoffs.sort(key=lambda c: c.delta_cost)
+        cap_ok = _capacity_span_flags(trial, cand_s.position)
+        for cand_e in dropoffs:
+            total = cand_s.delta_cost + cand_e.delta_cost
+            if total >= best_delta - _EPS:
+                break
+            if not cap_ok[cand_e.position]:
+                continue
+            final = trial.copy()
+            final.insert_stop(cand_e.position, dropoff_stop)
+            best = InsertionResult(
+                sequence=final,
+                pickup_position=cand_s.position,
+                dropoff_position=cand_e.position,
+                delta_cost=total,
+            )
+            best_delta = total
+            break  # dropoffs sorted: the first feasible one is the cheapest
+    return best
+
+
+def can_serve(sequence: TransferSequence, rider: Rider) -> bool:
+    """True iff the rider has at least one valid (pickup, drop-off) pair."""
+    return arrange_single_rider(sequence, rider) is not None
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+def _load_after_end(sequence: TransferSequence) -> int:
+    """Onboard count after the last stop completes."""
+    load = len(sequence.initial_onboard)
+    for stop in sequence.stops:
+        load += 1 if stop.kind is StopKind.PICKUP else -1
+    return load
+
+
+def _capacity_span_flags(trial: TransferSequence, pickup_position: int) -> List[bool]:
+    """For each drop-off position ``v`` in the trial sequence (pickup already
+    inserted at ``pickup_position``), whether capacity holds on every event
+    the new rider would ride (events ``pickup_position + 1 .. v``).
+
+    In the trial sequence the new rider is counted onboard from the pickup
+    stop to the end (no drop-off yet), so dropping at ``v`` is capacity-safe
+    iff ``load_before[w] <= capacity`` for all events ``w`` in the span.
+    ``loads[n]`` (the onboard count after the last trial stop) covers the
+    append position.
+    """
+    n = len(trial)
+    loads = list(trial.load_before) + [_load_after_end(trial)]
+    flags = [False] * (n + 1)
+    ok = True
+    for v in range(pickup_position + 1, n + 1):
+        ok = ok and loads[v] <= trial.capacity
+        flags[v] = ok
+    return flags

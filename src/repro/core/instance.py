@@ -1,0 +1,159 @@
+"""URR problem instances (Definition 4).
+
+An :class:`URRInstance` bundles everything a solver needs: the road network
+(through a :class:`~repro.roadnet.oracle.DistanceOracle`), the riders, the
+vehicles, the vehicle-related utility values, the social similarities, and
+the balancing parameters.  Instances are immutable from the solvers' point
+of view — every solver builds fresh :class:`TransferSequence` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.requests import Rider
+from repro.core.schedule import TransferSequence
+from repro.core.utility import UtilityModel
+from repro.core.vehicles import Vehicle
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.oracle import DistanceOracle
+from repro.social.graph import SocialNetwork
+
+
+@dataclass
+class URRInstance:
+    """One utility-aware ridesharing problem instance.
+
+    Attributes
+    ----------
+    network:
+        The road network.
+    riders:
+        The ride requests ``R``.
+    vehicles:
+        The available vehicles ``C``.
+    alpha, beta:
+        Balancing parameters of Eq. 1.
+    vehicle_utilities:
+        ``(rider_id, vehicle_id) -> mu_v`` matrix.  Missing pairs default
+        to :attr:`default_vehicle_utility`.
+    social:
+        Social network for Eq. 3 similarities (rider ``social_id`` indexes
+        into it).  ``None`` means all similarities are zero.
+    similarity_overrides:
+        Optional explicit ``{(rider_id, rider_id): s}`` pairs taking
+        precedence over the social network (order-insensitive).  Used for
+        worked examples where the paper states similarities directly.
+    start_time:
+        Global timestamp ``t̄`` at which all vehicles sit at their current
+        locations.
+    seed:
+        RNG seed consumed by randomized solver steps (BA's rider order).
+    """
+
+    network: RoadNetwork
+    riders: List[Rider]
+    vehicles: List[Vehicle]
+    alpha: float = 1.0 / 3.0
+    beta: float = 1.0 / 3.0
+    vehicle_utilities: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    social: Optional[SocialNetwork] = None
+    similarity_overrides: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    start_time: float = 0.0
+    seed: int = 0
+    default_vehicle_utility: float = 0.5
+    oracle: Optional[DistanceOracle] = None
+
+    def __post_init__(self) -> None:
+        if self.oracle is None:
+            self.oracle = DistanceOracle(self.network)
+        # minimal-overhead cost callable (closure over the APSP table when
+        # the network is small enough); this is the solvers' hot path
+        self.cost = self.oracle.fast_cost_fn()
+        rider_ids = [r.rider_id for r in self.riders]
+        if len(set(rider_ids)) != len(rider_ids):
+            raise ValueError("duplicate rider ids in instance")
+        vehicle_ids = [v.vehicle_id for v in self.vehicles]
+        if len(set(vehicle_ids)) != len(vehicle_ids):
+            raise ValueError("duplicate vehicle ids in instance")
+        self._riders_by_id = {r.rider_id: r for r in self.riders}
+        self._vehicles_by_id = {v.vehicle_id: v for v in self.vehicles}
+        self._social_by_rider: Dict[int, Optional[int]] = {
+            r.rider_id: r.social_id for r in self.riders
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def num_riders(self) -> int:
+        return len(self.riders)
+
+    @property
+    def num_vehicles(self) -> int:
+        return len(self.vehicles)
+
+    def rider(self, rider_id: int) -> Rider:
+        return self._riders_by_id[rider_id]
+
+    def vehicle(self, vehicle_id: int) -> Vehicle:
+        return self._vehicles_by_id[vehicle_id]
+
+    # ``cost`` is replaced by a fast closure in ``__post_init__``; this
+    # method body only serves as documentation and a fallback.
+    def cost(self, u: int, v: int) -> float:
+        """Shortest travel cost between two nodes."""
+        assert self.oracle is not None
+        return self.oracle.cost(u, v)
+
+    def rng(self) -> np.random.Generator:
+        """A fresh deterministic RNG for solver-internal randomness."""
+        return np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    def vehicle_utility(self, rider: Rider, vehicle: Vehicle) -> float:
+        """``mu_v(r_i, c_j)`` lookup with default for missing pairs."""
+        return self.vehicle_utilities.get(
+            (rider.rider_id, vehicle.vehicle_id), self.default_vehicle_utility
+        )
+
+    def similarity(self, rider_id_a: int, rider_id_b: int) -> float:
+        """``s(r_i, r_i')`` between two riders via their social profiles."""
+        if self.similarity_overrides:
+            key = (min(rider_id_a, rider_id_b), max(rider_id_a, rider_id_b))
+            override = self.similarity_overrides.get(key)
+            if override is not None:
+                return override
+        if self.social is None:
+            return 0.0
+        sa = self._social_by_rider.get(rider_id_a)
+        sb = self._social_by_rider.get(rider_id_b)
+        if sa is None or sb is None:
+            return 0.0
+        return self.social.similarity(sa, sb)
+
+    def utility_model(self) -> UtilityModel:
+        """The Eq. 1 utility model configured for this instance."""
+        return UtilityModel(
+            alpha=self.alpha,
+            beta=self.beta,
+            vehicle_utility=self.vehicle_utility,
+            similarity=self.similarity,
+            cost=self.cost,
+        )
+
+    def empty_sequence(self, vehicle: Vehicle) -> TransferSequence:
+        """A fresh empty schedule for a vehicle at the instance start time."""
+        return TransferSequence(
+            origin=vehicle.location,
+            start_time=self.start_time,
+            capacity=vehicle.capacity,
+            cost=self.cost,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"URRInstance(riders={self.num_riders}, vehicles={self.num_vehicles}, "
+            f"alpha={self.alpha:g}, beta={self.beta:g})"
+        )

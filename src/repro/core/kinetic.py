@@ -1,0 +1,293 @@
+"""Kinetic tree schedules (Huang et al. [20], discussed in Section 3).
+
+The paper's Algorithm 1 inserts a rider without reordering and cites the
+kinetic tree as the alternative that *does* reorder: a per-vehicle tree
+whose root-to-leaf paths enumerate **every valid ordering** of the pending
+stops.  Inserting a rider grafts its pickup/drop-off pair into all branches
+where deadlines and capacity permit; the best schedule is the cheapest
+leaf.
+
+This implementation is used by the reordering ablation and as an optional
+insertion backend.  It mirrors [20]'s structure:
+
+- every root-to-leaf path is a permutation of all pending stops with each
+  pickup before its drop-off;
+- branches that can no longer satisfy a deadline or capacity are pruned
+  eagerly during insertion;
+- the tree size is capped (``max_nodes``): on overflow the tree degrades
+  gracefully to its single best path (losing alternatives, never
+  correctness) — the same pragmatic bound real deployments of [20] need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.requests import Rider
+from repro.core.schedule import CostFn, Stop, StopKind, TransferSequence
+
+_EPS = 1e-9
+
+
+class _Node:
+    __slots__ = ("stop", "children")
+
+    def __init__(self, stop: Stop, children: Optional[List["_Node"]] = None) -> None:
+        self.stop = stop
+        self.children = children if children is not None else []
+
+    def clone(self) -> "_Node":
+        return _Node(self.stop, [child.clone() for child in self.children])
+
+    def count(self) -> int:
+        return 1 + sum(child.count() for child in self.children)
+
+
+@dataclass(frozen=True)
+class _State:
+    """Traversal state while walking a branch."""
+
+    location: int
+    time: float
+    onboard: int
+
+
+class KineticTree:
+    """All valid stop orderings of one vehicle, as in [20].
+
+    Parameters
+    ----------
+    origin, start_time, capacity, cost:
+        Same semantics as :class:`~repro.core.schedule.TransferSequence`.
+    max_nodes:
+        Tree-size cap; exceeded trees collapse to their best path.
+    """
+
+    def __init__(
+        self,
+        origin: int,
+        start_time: float,
+        capacity: int,
+        cost: CostFn,
+        max_nodes: int = 4096,
+    ) -> None:
+        self.origin = origin
+        self.start_time = float(start_time)
+        self.capacity = capacity
+        self.cost = cost
+        self.max_nodes = max_nodes
+        self._children: List[_Node] = []
+        self._riders: List[Rider] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def num_riders(self) -> int:
+        return len(self._riders)
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(child.count() for child in self._children)
+
+    def riders(self) -> List[Rider]:
+        return list(self._riders)
+
+    # ------------------------------------------------------------------
+    def try_insert(self, rider: Rider) -> Optional[float]:
+        """Cost of the best schedule after inserting ``rider``, or ``None``
+        when no valid ordering exists.  Does not modify the tree."""
+        new_children = self._inserted_children(rider)
+        if not new_children:
+            return None
+        best = self._best_leaf_time(new_children)
+        return best - self.start_time
+
+    def insert(self, rider: Rider) -> Optional[float]:
+        """Insert ``rider`` (all valid placements); returns the new best
+        total cost, or ``None`` (tree unchanged) when infeasible."""
+        new_children = self._inserted_children(rider)
+        if not new_children:
+            return None
+        self._children = new_children
+        self._riders.append(rider)
+        if self.num_nodes > self.max_nodes:
+            self._collapse_to_best()
+        return self.best_cost()
+
+    def remove(self, rider_id: int) -> Rider:
+        """Remove a rider and rebuild the tree from the remaining riders."""
+        keep = [r for r in self._riders if r.rider_id != rider_id]
+        if len(keep) == len(self._riders):
+            raise KeyError(f"rider {rider_id} not in kinetic tree")
+        removed = next(r for r in self._riders if r.rider_id == rider_id)
+        self._children = []
+        self._riders = []
+        for rider in keep:
+            if self.insert(rider) is None:
+                raise AssertionError(
+                    "removing a rider cannot invalidate the remainder"
+                )
+        return removed
+
+    # ------------------------------------------------------------------
+    def best_cost(self) -> float:
+        """Total travel cost of the cheapest valid ordering (0 if empty)."""
+        if not self._children:
+            return 0.0
+        return self._best_leaf_time(self._children) - self.start_time
+
+    def best_schedule(self) -> TransferSequence:
+        """The cheapest ordering as a :class:`TransferSequence`."""
+        stops: List[Stop] = []
+        if self._children:
+            _, stops = self._best_path(
+                self._children, _State(self.origin, self.start_time, 0)
+            )
+        return TransferSequence(
+            origin=self.origin,
+            start_time=self.start_time,
+            capacity=self.capacity,
+            cost=self.cost,
+            stops=stops,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _step(self, state: _State, stop: Stop) -> Optional[_State]:
+        """Advance the traversal state through one stop; None if invalid."""
+        arrival = state.time + self.cost(state.location, stop.location)
+        if arrival > stop.deadline + _EPS:
+            return None
+        onboard = state.onboard + (
+            1 if stop.kind is StopKind.PICKUP else -1
+        )
+        if onboard > self.capacity:
+            return None
+        return _State(stop.location, arrival, onboard)
+
+    def _inserted_children(self, rider: Rider) -> List[_Node]:
+        pickup = Stop.pickup(rider)
+        dropoff = Stop.dropoff(rider)
+        state = _State(self.origin, self.start_time, 0)
+        if not self._children:
+            # empty tree: the only ordering is pickup -> dropoff
+            s1 = self._step(state, pickup)
+            if s1 is None:
+                return []
+            s2 = self._step(s1, dropoff)
+            if s2 is None:
+                return []
+            return [_Node(pickup, [_Node(dropoff)])]
+        return self._graft(self._children, pickup, dropoff, state, False)
+
+    def _graft(
+        self,
+        children: List[_Node],
+        pickup: Stop,
+        dropoff: Stop,
+        state: _State,
+        picked: bool,
+    ) -> List[_Node]:
+        """All orderings extending ``state`` with the existing subtrees and
+        the new pickup/drop-off woven in.  Returns [] when none survive."""
+        results: List[_Node] = []
+
+        # option A: place the pending new stop (pickup, or drop-off once
+        # picked) at this position
+        new_stop = dropoff if picked else pickup
+        new_state = self._step(state, new_stop)
+        if new_state is not None:
+            if picked:
+                # drop-off placed: the rest must host the original subtrees
+                tail = self._revalidated(children, new_state)
+                if tail or not children:
+                    results.append(_Node(new_stop, tail))
+            else:
+                subtree = self._graft(children, pickup, dropoff, new_state, True)
+                if subtree:
+                    results.append(_Node(new_stop, subtree))
+
+        # option B: keep each existing child first and recurse below it
+        for child in children:
+            child_state = self._step(state, child.stop)
+            if child_state is None:
+                continue
+            if child.children:
+                grafted = self._graft(
+                    child.children, pickup, dropoff, child_state, picked
+                )
+                if grafted:
+                    results.append(_Node(child.stop, grafted))
+            else:
+                # leaf: the new stop(s) must follow it
+                new_state = self._step(child_state, dropoff if picked else pickup)
+                if new_state is None:
+                    continue
+                if picked:
+                    results.append(_Node(child.stop, [_Node(dropoff)]))
+                else:
+                    final = self._step(new_state, dropoff)
+                    if final is not None:
+                        results.append(
+                            _Node(child.stop, [_Node(pickup, [_Node(dropoff)])])
+                        )
+        return results
+
+    def _revalidated(
+        self, children: List[_Node], state: _State
+    ) -> List[_Node]:
+        """Copies of the subtrees that remain fully valid from ``state``;
+        partial branches are pruned."""
+        valid: List[_Node] = []
+        for child in children:
+            child_state = self._step(state, child.stop)
+            if child_state is None:
+                continue
+            if not child.children:
+                valid.append(_Node(child.stop))
+                continue
+            tail = self._revalidated(child.children, child_state)
+            if tail:
+                valid.append(_Node(child.stop, tail))
+        return valid
+
+    def _best_leaf_time(self, children: List[_Node]) -> float:
+        best, _ = self._best_path(
+            children, _State(self.origin, self.start_time, 0)
+        )
+        return best
+
+    def _best_path(
+        self, children: List[_Node], state: _State
+    ) -> Tuple[float, List[Stop]]:
+        best_time = float("inf")
+        best_stops: List[Stop] = []
+        for child in children:
+            child_state = self._step(state, child.stop)
+            if child_state is None:
+                continue
+            if child.children:
+                sub_time, sub_stops = self._best_path(child.children, child_state)
+                if sub_time < best_time:
+                    best_time = sub_time
+                    best_stops = [child.stop] + sub_stops
+            elif child_state.time < best_time:
+                best_time = child_state.time
+                best_stops = [child.stop]
+        return best_time, best_stops
+
+    def _collapse_to_best(self) -> None:
+        _, stops = self._best_path(
+            self._children, _State(self.origin, self.start_time, 0)
+        )
+        chain: Optional[_Node] = None
+        for stop in reversed(stops):
+            chain = _Node(stop, [chain] if chain else [])
+        self._children = [chain] if chain else []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KineticTree(riders={self.num_riders}, nodes={self.num_nodes}, "
+            f"best_cost={self.best_cost():.2f})"
+        )

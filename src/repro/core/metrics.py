@@ -1,0 +1,147 @@
+"""Assignment analytics.
+
+Operational metrics a ridesharing operator would compute over a solved
+assignment — detours, occupancy, utility decomposition, fleet utilisation.
+Used by the examples and handy for debugging solver behaviour; everything
+here is read-only over :class:`~repro.core.assignment.Assignment`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.assignment import Assignment
+
+
+@dataclass
+class RiderMetrics:
+    """Per-rider service quality."""
+
+    rider_id: int
+    vehicle_id: int
+    pickup_time: float
+    dropoff_time: float
+    onboard_cost: float
+    shortest_cost: float
+    co_rider_ids: Tuple[int, ...]
+
+    @property
+    def detour_ratio(self) -> float:
+        """Eq. 4's sigma: onboard cost over the direct shortest cost."""
+        if self.shortest_cost <= 0:
+            return math.inf
+        return max(self.onboard_cost / self.shortest_cost, 1.0)
+
+    @property
+    def wait_time(self) -> float:
+        """Pickup time relative to the instance start."""
+        return self.pickup_time
+
+    @property
+    def shared(self) -> bool:
+        return bool(self.co_rider_ids)
+
+
+@dataclass
+class AssignmentMetrics:
+    """Fleet-level summary of one assignment."""
+
+    riders: List[RiderMetrics] = field(default_factory=list)
+    vehicle_costs: Dict[int, float] = field(default_factory=dict)
+    vehicle_rider_counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_served(self) -> int:
+        return len(self.riders)
+
+    @property
+    def mean_detour_ratio(self) -> float:
+        if not self.riders:
+            return 0.0
+        return sum(r.detour_ratio for r in self.riders) / len(self.riders)
+
+    @property
+    def sharing_rate(self) -> float:
+        """Fraction of served riders who shared at least one leg."""
+        if not self.riders:
+            return 0.0
+        return sum(1 for r in self.riders if r.shared) / len(self.riders)
+
+    @property
+    def total_travel_cost(self) -> float:
+        return sum(self.vehicle_costs.values())
+
+    @property
+    def active_vehicles(self) -> int:
+        return sum(1 for c in self.vehicle_rider_counts.values() if c > 0)
+
+    def detour_histogram(
+        self, edges: Tuple[float, ...] = (1.0, 1.1, 1.25, 1.5, 2.0)
+    ) -> List[Tuple[float, int]]:
+        """Counts of riders whose sigma falls below each edge (cumulative
+        remainder collected under ``inf``)."""
+        counts = [0] * len(edges)
+        overflow = 0
+        for rider in self.riders:
+            sigma = rider.detour_ratio
+            for i, edge in enumerate(edges):
+                if sigma <= edge + 1e-12:
+                    counts[i] += 1
+                    break
+            else:
+                overflow += 1
+        histogram = list(zip(edges, counts))
+        histogram.append((math.inf, overflow))
+        return histogram
+
+
+def compute_metrics(assignment: Assignment) -> AssignmentMetrics:
+    """Derive :class:`AssignmentMetrics` from a solved assignment."""
+    instance = assignment.instance
+    cost = instance.cost
+    metrics = AssignmentMetrics()
+    for vehicle_id, seq in assignment.schedules.items():
+        metrics.vehicle_costs[vehicle_id] = seq.total_cost
+        riders = seq.assigned_riders()
+        metrics.vehicle_rider_counts[vehicle_id] = len(riders)
+        onboard_sets = seq._onboard_sets()
+        for rider in riders:
+            pickup_idx, dropoff_idx = seq.stop_indices(rider.rider_id)
+            assert pickup_idx is not None and dropoff_idx is not None
+            onboard_cost = sum(
+                seq.leg_costs[event]
+                for event in range(pickup_idx + 1, dropoff_idx + 1)
+            )
+            co_riders: set = set()
+            for event in range(pickup_idx + 1, dropoff_idx + 1):
+                co_riders |= onboard_sets[event] - {rider.rider_id}
+            metrics.riders.append(
+                RiderMetrics(
+                    rider_id=rider.rider_id,
+                    vehicle_id=vehicle_id,
+                    pickup_time=seq.arrive[pickup_idx],
+                    dropoff_time=seq.arrive[dropoff_idx],
+                    onboard_cost=onboard_cost,
+                    shortest_cost=cost(rider.source, rider.destination),
+                    co_rider_ids=tuple(sorted(co_riders)),
+                )
+            )
+    return metrics
+
+
+def format_metrics(metrics: AssignmentMetrics) -> str:
+    """A compact operations summary for terminals and logs."""
+    lines = [
+        f"served riders      : {metrics.num_served}",
+        f"active vehicles    : {metrics.active_vehicles}",
+        f"total travel cost  : {metrics.total_travel_cost:.1f} min",
+        f"mean detour ratio  : {metrics.mean_detour_ratio:.3f}",
+        f"sharing rate       : {metrics.sharing_rate:.0%}",
+        "detour distribution:",
+    ]
+    for edge, count in metrics.detour_histogram():
+        label = "inf" if math.isinf(edge) else f"{edge:.2f}"
+        lines.append(f"  sigma <= {label:>5}: {count}")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Time-constrained riders (Definition 1).
+
+A rider ``r_i`` submits a request with a source ``s_i``, destination ``e_i``,
+pickup deadline ``rt_i^-`` and drop-off deadline ``rt_i^+``.  We fold the
+request into the rider object (the paper's ``q_i`` carries no extra state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Rider:
+    """A time-constrained rider / ride request.
+
+    Attributes
+    ----------
+    rider_id:
+        Unique id within the instance.
+    source:
+        Pickup node ``s_i`` on the road network.
+    destination:
+        Drop-off node ``e_i``.
+    pickup_deadline:
+        ``rt_i^-`` — latest acceptable pickup time.
+    dropoff_deadline:
+        ``rt_i^+`` — latest acceptable drop-off time.
+    social_id:
+        Id of the rider in the social network (``None`` when the rider has
+        no social profile; their similarities are then all zero).
+    """
+
+    rider_id: int
+    source: int
+    destination: int
+    pickup_deadline: float
+    dropoff_deadline: float
+    social_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError(
+                f"rider {self.rider_id}: source and destination must differ"
+            )
+        if not self.pickup_deadline < self.dropoff_deadline:
+            raise ValueError(
+                f"rider {self.rider_id}: pickup deadline ({self.pickup_deadline}) "
+                f"must precede drop-off deadline ({self.dropoff_deadline})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Rider({self.rider_id}, {self.source}->{self.destination}, "
+            f"dl=[{self.pickup_deadline:g}, {self.dropoff_deadline:g}])"
+        )

@@ -1,0 +1,111 @@
+"""Unified solver front-end.
+
+``solve(instance, method)`` dispatches to the paper's approaches and returns
+a timed :class:`~repro.core.assignment.Assignment`:
+
+=============  ====================================================
+method         approach
+=============  ====================================================
+``"cf"``       Cost-First greedy baseline (Section 7.1.3)
+``"eg"``       Efficient Greedy (Algorithm 3)
+``"ba"``       Bilateral Arrangement (Algorithm 2)
+``"gbs+eg"``   Grouping-Based Scheduling with EG groups (Algorithm 5)
+``"gbs+ba"``   Grouping-Based Scheduling with BA groups
+``"opt"``      exact enumeration (small instances only)
+=============  ====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.core.assignment import Assignment
+from repro.core.bilateral import run_bilateral
+from repro.core.cost_first import run_cost_first
+from repro.core.exact import solve_optimal
+from repro.core.greedy import run_efficient_greedy
+from repro.core.grouping import GroupingPlan, prepare_grouping, run_grouping
+from repro.core.instance import URRInstance
+from repro.core.scoring import SolverState
+
+METHODS = ("cf", "eg", "ba", "gbs+eg", "gbs+ba", "opt")
+
+
+def solve(
+    instance: URRInstance,
+    method: str = "eg",
+    plan: Optional[GroupingPlan] = None,
+    k: int = 8,
+    opt_max_riders: int = 10,
+    local_search: bool = False,
+) -> Assignment:
+    """Solve a URR instance with the chosen approach.
+
+    Parameters
+    ----------
+    instance:
+        The problem instance.
+    method:
+        One of :data:`METHODS`.
+    plan:
+        Precomputed :class:`GroupingPlan` for the GBS methods (built on
+        demand when omitted; pass one to amortise preprocessing across
+        instances on the same network, as the paper does).
+    k:
+        k-path-cover parameter when a plan must be built.
+    opt_max_riders:
+        Safety bound forwarded to :func:`~repro.core.exact.solve_optimal`.
+    local_search:
+        When true, run the relocate/inject/swap hill climb
+        (:func:`~repro.core.local_search.improve_assignment`) on the
+        heuristic's result before returning (ignored for ``"opt"``, which
+        is already optimal).  The improvement time is counted in
+        ``elapsed_seconds``.
+
+    Returns
+    -------
+    Assignment
+        With ``solver_name`` and ``elapsed_seconds`` filled in.  The
+        GBS preprocessing time is *not* counted (the paper treats area
+        construction as offline road-network preprocessing).
+    """
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+
+    if method == "opt":
+        start = time.perf_counter()
+        assignment = solve_optimal(instance, max_riders=opt_max_riders)
+        assignment.elapsed_seconds = time.perf_counter() - start
+        assignment.solver_name = "opt"
+        return assignment
+
+    if method.startswith("gbs") and plan is None:
+        plan = prepare_grouping(instance.network, k=k)
+
+    state = SolverState(instance)
+    start = time.perf_counter()
+    if method == "cf":
+        run_cost_first(state, instance.riders)
+    elif method == "eg":
+        run_efficient_greedy(state, instance.riders)
+    elif method == "ba":
+        run_bilateral(state, instance.riders)
+    elif method == "gbs+eg":
+        assert plan is not None
+        run_grouping(state, instance.riders, plan, base="eg")
+    elif method == "gbs+ba":
+        assert plan is not None
+        run_grouping(state, instance.riders, plan, base="ba")
+
+    assignment = Assignment(
+        instance=instance,
+        schedules=state.schedules,
+        solver_name=method,
+    )
+    if local_search:
+        from repro.core.local_search import improve_assignment
+
+        assignment, _ = improve_assignment(assignment)
+    assignment.elapsed_seconds = time.perf_counter() - start
+    return assignment

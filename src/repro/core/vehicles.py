@@ -1,0 +1,38 @@
+"""Dynamically moving vehicles (Definition 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Vehicle:
+    """A capacity-constrained vehicle offering ridesharing.
+
+    Attributes
+    ----------
+    vehicle_id:
+        Unique id within the instance.
+    location:
+        Current node ``l(c_j)`` on the road network.
+    capacity:
+        Maximum simultaneous riders ``a_j`` (excluding the driver).
+    driver_social_id:
+        Social id of the driver (currently informational; the vehicle-related
+        utility matrix of the instance already encodes driver preferences).
+    """
+
+    vehicle_id: int
+    location: int
+    capacity: int
+    driver_social_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(
+                f"vehicle {self.vehicle_id}: capacity must be >= 1, got {self.capacity}"
+            )
+
+    def __repr__(self) -> str:
+        return f"Vehicle({self.vehicle_id} at {self.location}, cap={self.capacity})"

@@ -1,0 +1,65 @@
+"""Experiment harness (Section 7).
+
+One function per table/figure of the paper's evaluation; each returns an
+:class:`~repro.experiments.runner.ExperimentResult` whose rows carry the
+same series the paper plots (overall utility and running time per approach
+per x-value).  ``python -m repro.experiments --list`` shows all experiments;
+``benchmarks/`` wraps each in a pytest-benchmark target.
+"""
+
+from repro.experiments.config import (
+    BENCH_SCALE,
+    PAPER_SCALE,
+    ExperimentScale,
+    Workbench,
+    make_workbench,
+)
+from repro.experiments.figures import (
+    EXPERIMENTS,
+    fig7_trip_distribution,
+    fig8_deadline_range,
+    fig9_capacity,
+    fig10_balancing,
+    fig11_flexible_factor,
+    fig12_num_riders,
+    fig13_num_vehicles,
+    fig15_deadline_range_chicago,
+    fig16_capacity_chicago,
+    table4_small_instance,
+)
+from repro.experiments.export import (
+    read_result_csv,
+    write_aggregated_json,
+    write_result_csv,
+    write_result_json,
+)
+from repro.experiments.runner import ExperimentResult, ResultRow, run_methods
+from repro.experiments.variance import AggregatedResult, run_with_seeds
+
+__all__ = [
+    "BENCH_SCALE",
+    "EXPERIMENTS",
+    "AggregatedResult",
+    "ExperimentResult",
+    "ExperimentScale",
+    "PAPER_SCALE",
+    "ResultRow",
+    "Workbench",
+    "fig10_balancing",
+    "fig11_flexible_factor",
+    "fig12_num_riders",
+    "fig13_num_vehicles",
+    "fig15_deadline_range_chicago",
+    "fig16_capacity_chicago",
+    "fig7_trip_distribution",
+    "fig8_deadline_range",
+    "fig9_capacity",
+    "make_workbench",
+    "read_result_csv",
+    "run_methods",
+    "run_with_seeds",
+    "table4_small_instance",
+    "write_aggregated_json",
+    "write_result_csv",
+    "write_result_json",
+]

@@ -1,0 +1,76 @@
+"""CLI for the Section 7 experiment reproductions.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig8
+    python -m repro.experiments fig12 --scale paper     # Table 3 counts
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.config import BENCH_SCALE, PAPER_SCALE
+from repro.experiments.figures import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (e.g. fig8, table4) or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--scale",
+        choices=("bench", "paper"),
+        default="bench",
+        help="bench = counts / 10 (default); paper = Table 3 counts",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--plot", action="store_true",
+        help="also render the series as ASCII charts",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        for name, fn in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {doc}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {unknown}; use --list")
+
+    scale = PAPER_SCALE if args.scale == "paper" else BENCH_SCALE
+    for name in names:
+        fn = EXPERIMENTS[name]
+        start = time.perf_counter()
+        if name in ("table4", "fig7"):
+            result = fn(seed=args.seed) if name == "table4" else fn()
+        else:
+            result = fn(scale=scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(result.format_table())
+        if args.plot and name not in ("fig7",):
+            from repro.experiments.plotting import render_experiment
+
+            print()
+            print(render_experiment(result))
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

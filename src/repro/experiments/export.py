@@ -1,0 +1,133 @@
+"""Result export (CSV / JSON) for external analysis and plotting.
+
+Every figure reproduction returns an
+:class:`~repro.experiments.runner.ExperimentResult`; these writers persist
+it in the two formats downstream tooling actually consumes.  The CSV is
+long-form (one row per method per x-value — ready for pandas/R); the JSON
+mirrors the object structure including notes.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.runner import ExperimentResult, ResultRow
+from repro.experiments.variance import AggregatedResult
+
+PathLike = Union[str, Path]
+
+CSV_COLUMNS = (
+    "experiment", "x_label", "x_value", "method", "utility",
+    "runtime_seconds", "served", "num_riders", "num_vehicles",
+)
+
+
+def write_result_csv(result: ExperimentResult, path: PathLike) -> None:
+    """Long-form CSV, one row per (method, x) measurement."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(CSV_COLUMNS)
+        for row in result.rows:
+            writer.writerow(
+                [
+                    result.experiment, row.x_label, repr(row.x_value),
+                    row.method, f"{row.utility:.9g}",
+                    f"{row.runtime_seconds:.9g}", row.served,
+                    row.num_riders, row.num_vehicles,
+                ]
+            )
+
+
+def read_result_csv(path: PathLike) -> ExperimentResult:
+    """Inverse of :func:`write_result_csv` (x-values come back as strings
+    of their repr — sufficient for plotting; not a full round trip of
+    tuple-typed x-values)."""
+    result: ExperimentResult = None  # type: ignore[assignment]
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None or set(reader.fieldnames) != set(CSV_COLUMNS):
+            raise ValueError(f"{path}: unexpected columns {reader.fieldnames}")
+        for raw in reader:
+            if result is None:
+                result = ExperimentResult(
+                    experiment=raw["experiment"], description=""
+                )
+            result.rows.append(
+                ResultRow(
+                    x_label=raw["x_label"],
+                    x_value=raw["x_value"],
+                    method=raw["method"],
+                    utility=float(raw["utility"]),
+                    runtime_seconds=float(raw["runtime_seconds"]),
+                    served=int(raw["served"]),
+                    num_riders=int(raw["num_riders"]),
+                    num_vehicles=int(raw["num_vehicles"]),
+                )
+            )
+    if result is None:
+        raise ValueError(f"{path}: no data rows")
+    return result
+
+
+def write_result_json(result: ExperimentResult, path: PathLike) -> None:
+    """Structured JSON: metadata, rows, notes."""
+    payload = {
+        "experiment": result.experiment,
+        "description": result.description,
+        "notes": list(result.notes),
+        "rows": [
+            {
+                "x_label": row.x_label,
+                "x_value": _jsonable(row.x_value),
+                "method": row.method,
+                "utility": row.utility,
+                "runtime_seconds": row.runtime_seconds,
+                "served": row.served,
+                "num_riders": row.num_riders,
+                "num_vehicles": row.num_vehicles,
+            }
+            for row in result.rows
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def write_aggregated_json(aggregated: AggregatedResult, path: PathLike) -> None:
+    """JSON export of a multi-seed aggregation (mean/std/min/max cells)."""
+    payload = {
+        "experiment": aggregated.experiment,
+        "description": aggregated.description,
+        "seeds": list(aggregated.seeds),
+        "methods": list(aggregated.methods),
+        "x_values": [_jsonable(x) for x in aggregated.x_values],
+        "cells": [
+            {
+                "method": method,
+                "x_value": _jsonable(x),
+                "which": which,
+                "n": cell.n,
+                "mean": cell.mean,
+                "std": cell.std,
+                "min": cell.min,
+                "max": cell.max,
+            }
+            for which, table in (
+                ("utility", aggregated.utility),
+                ("runtime", aggregated.runtime),
+            )
+            for (method, x), cell in table.items()
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _jsonable(value: object) -> object:
+    """Tuples -> lists; everything else JSON handles natively or as repr."""
+    if isinstance(value, tuple):
+        return list(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

@@ -1,0 +1,317 @@
+"""One reproduction function per table/figure of Section 7.
+
+Each function builds the paper's sweep at the requested scale, runs every
+approach, and returns an :class:`~repro.experiments.runner.ExperimentResult`
+whose series correspond to the paper's plotted lines.  The expected shapes
+(who wins, trends) are documented per function and asserted by the test
+suite; EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.core.solver import solve
+from repro.experiments.config import (
+    BALANCING,
+    BENCH_SCALE,
+    CAPACITIES,
+    DEADLINE_RANGES,
+    FLEXIBLE_FACTORS,
+    ExperimentScale,
+    Workbench,
+    make_workbench,
+)
+from repro.experiments.runner import (
+    DEFAULT_METHODS,
+    ExperimentResult,
+    ResultRow,
+    run_methods,
+)
+from repro.workload.small import small_instance
+from repro.workload.taxi import TaxiTripSimulator, trip_duration_histogram
+
+
+# ----------------------------------------------------------------------
+# Table 4: small-scale instance vs the enumerated optimum
+# ----------------------------------------------------------------------
+def table4_small_instance(seed: int = 4) -> ExperimentResult:
+    """Table 4: BA / EG / CF / OPT on a 3-vehicle, 8-rider instance.
+
+    Expected shape: OPT highest utility; BA close to OPT; EG above CF;
+    OPT orders of magnitude slower than the heuristics.
+    """
+    result = ExperimentResult(
+        experiment="table4",
+        description="small URR instance (3 vehicles, 8 riders) vs OPT",
+    )
+    instance = small_instance(seed=seed)
+    result.rows.extend(
+        run_methods(instance, "instance", "3v/8r", methods=("ba", "eg", "cf"))
+    )
+    assignment = solve(instance, method="opt")
+    result.rows.append(
+        ResultRow(
+            x_label="instance",
+            x_value="3v/8r",
+            method="opt",
+            utility=assignment.total_utility(),
+            runtime_seconds=assignment.elapsed_seconds,
+            served=assignment.num_served,
+            num_riders=instance.num_riders,
+            num_vehicles=instance.num_vehicles,
+        )
+    )
+    result.notes.append(
+        "GBS is omitted exactly as in the paper: the instance is too small "
+        "to split into areas."
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 7: distribution of trip time costs
+# ----------------------------------------------------------------------
+def fig7_trip_distribution(
+    num_trips: int = 2000, seed: int = 0
+) -> ExperimentResult:
+    """Figure 7: histogram of taxi-trip time costs (NYC + Chicago).
+
+    Expected shape: decaying histogram with more than half of all trips
+    under ~17 minutes (1,000 seconds) on both networks.
+    """
+    result = ExperimentResult(
+        experiment="fig7",
+        description="distribution of time costs of taxi trips",
+        panels=("count",),
+    )
+    for city in ("nyc", "chicago"):
+        bench = make_workbench(city=city)
+        simulator = TaxiTripSimulator(bench.network, oracle=bench.oracle, seed=seed)
+        trips = simulator.generate_trips(num_trips, 0.0, 30.0)
+        histogram = trip_duration_histogram(trips, bin_minutes=5.0, max_minutes=50.0)
+        for edge, count in histogram:
+            result.rows.append(
+                ResultRow(
+                    x_label="duration bin (min)",
+                    x_value=f"{city}:<={edge:g}",
+                    method=city,
+                    utility=float(count),  # the histogram count
+                    runtime_seconds=0.0,
+                    served=count,
+                    num_riders=len(trips),
+                    num_vehicles=0,
+                )
+            )
+        short = sum(1 for t in trips if t.duration < 1000.0 / 60.0)
+        result.notes.append(
+            f"{city}: {short}/{len(trips)} trips (<{short / len(trips):.0%}) "
+            "take under 1,000 seconds"
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figures 8/15: effect of the pickup deadline range
+# ----------------------------------------------------------------------
+def _deadline_range_experiment(
+    city: str,
+    experiment: str,
+    scale: ExperimentScale,
+    methods: Sequence[str],
+    seed: int,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment=experiment,
+        description=f"effect of the pickup deadline range ({city.upper()})",
+    )
+    bench = make_workbench(city=city, scale=scale, seed=seed)
+    for deadline_range in DEADLINE_RANGES:
+        instance = bench.instance(pickup_deadline_range=deadline_range)
+        result.rows.extend(
+            run_methods(
+                instance,
+                "[rt-_min, rt-_max]",
+                deadline_range,
+                methods=methods,
+                plan=bench.plan,
+            )
+        )
+    return result
+
+
+def fig8_deadline_range(
+    scale: ExperimentScale = BENCH_SCALE,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 8 (NYC): larger pickup-deadline ranges raise every approach's
+    utility (more valid vehicles per rider); CF is fastest and worst, BA
+    and GBS+BA achieve the top utilities, BA is slowest."""
+    return _deadline_range_experiment("nyc", "fig8", scale, methods, seed)
+
+
+def fig15_deadline_range_chicago(
+    scale: ExperimentScale = BENCH_SCALE,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 15: the Figure 8 sweep on the Chicago network (same shape)."""
+    return _deadline_range_experiment("chicago", "fig15", scale, methods, seed)
+
+
+# ----------------------------------------------------------------------
+# Figures 9/16: effect of the vehicle capacity
+# ----------------------------------------------------------------------
+def _capacity_experiment(
+    city: str,
+    experiment: str,
+    scale: ExperimentScale,
+    methods: Sequence[str],
+    seed: int,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment=experiment,
+        description=f"effect of the vehicle capacity ({city.upper()})",
+    )
+    bench = make_workbench(city=city, scale=scale, seed=seed)
+    for capacity in CAPACITIES:
+        instance = bench.instance(capacity=capacity)
+        result.rows.extend(
+            run_methods(instance, "capacity a_j", capacity, methods=methods, plan=bench.plan)
+        )
+    return result
+
+
+def fig9_capacity(
+    scale: ExperimentScale = BENCH_SCALE,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 9 (NYC): utilities increase slightly with capacity; capacity
+    has almost no effect on runtimes; orderings as in Figure 8."""
+    return _capacity_experiment("nyc", "fig9", scale, methods, seed)
+
+
+def fig16_capacity_chicago(
+    scale: ExperimentScale = BENCH_SCALE,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 16: the Figure 9 sweep on the Chicago network (same shape)."""
+    return _capacity_experiment("chicago", "fig16", scale, methods, seed)
+
+
+# ----------------------------------------------------------------------
+# Figure 10: effect of the balancing parameters (synthetic)
+# ----------------------------------------------------------------------
+def fig10_balancing(
+    scale: ExperimentScale = BENCH_SCALE,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 10 (synthetic): (alpha, beta) sweep.
+
+    Expected shape: utilities lowest at (0, 1) (sparse social
+    similarities); EG and CF nearly coincide at (0, 0) (pure trajectory
+    utility makes both greedy rules pick similar pairs); the parameters
+    barely change runtimes."""
+    result = ExperimentResult(
+        experiment="fig10",
+        description="effect of the balancing parameters (alpha, beta)",
+    )
+    bench = make_workbench(city="nyc", scale=scale, seed=seed, synthetic=True)
+    for alpha, beta in BALANCING:
+        instance = bench.instance(alpha=alpha, beta=beta)
+        result.rows.extend(
+            run_methods(
+                instance, "(alpha, beta)", (alpha, beta), methods=methods, plan=bench.plan
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 11: effect of the flexible factor (synthetic)
+# ----------------------------------------------------------------------
+def fig11_flexible_factor(
+    scale: ExperimentScale = BENCH_SCALE,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 11 (synthetic): larger flexible factors raise both utilities
+    (longer acceptable detours -> more sharing) and runtimes (more valid
+    rider-vehicle pairs to consider)."""
+    result = ExperimentResult(
+        experiment="fig11",
+        description="effect of the flexible factor eps",
+    )
+    bench = make_workbench(city="nyc", scale=scale, seed=seed, synthetic=True)
+    for eps in FLEXIBLE_FACTORS:
+        instance = bench.instance(flexible_factor=eps)
+        result.rows.extend(
+            run_methods(instance, "flexible factor", eps, methods=methods, plan=bench.plan)
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 12: effect of the number of riders (synthetic)
+# ----------------------------------------------------------------------
+def fig12_num_riders(
+    scale: ExperimentScale = BENCH_SCALE,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 12 (synthetic): utilities rise with m, fast at first then
+    slowly once vehicles saturate; runtimes rise throughout."""
+    result = ExperimentResult(
+        experiment="fig12",
+        description="effect of the number of riders m",
+    )
+    bench = make_workbench(city="nyc", scale=scale, seed=seed, synthetic=True)
+    for m in scale.riders_values:
+        instance = bench.instance(num_riders=m)
+        result.rows.extend(
+            run_methods(instance, "riders m", m, methods=methods, plan=bench.plan)
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 13: effect of the number of vehicles (synthetic)
+# ----------------------------------------------------------------------
+def fig13_num_vehicles(
+    scale: ExperimentScale = BENCH_SCALE,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 13 (synthetic): utilities and runtimes both rise with n
+    (less competition for vehicles; more pairs to consider)."""
+    result = ExperimentResult(
+        experiment="fig13",
+        description="effect of the number of vehicles n",
+    )
+    bench = make_workbench(city="nyc", scale=scale, seed=seed, synthetic=True)
+    for n in scale.vehicles_values:
+        instance = bench.instance(num_vehicles=n)
+        result.rows.extend(
+            run_methods(instance, "vehicles n", n, methods=methods, plan=bench.plan)
+        )
+    return result
+
+
+#: Registry for the CLI and the benches.
+EXPERIMENTS = {
+    "table4": table4_small_instance,
+    "fig7": fig7_trip_distribution,
+    "fig8": fig8_deadline_range,
+    "fig9": fig9_capacity,
+    "fig10": fig10_balancing,
+    "fig11": fig11_flexible_factor,
+    "fig12": fig12_num_riders,
+    "fig13": fig13_num_vehicles,
+    "fig15": fig15_deadline_range_chicago,
+    "fig16": fig16_capacity_chicago,
+}

@@ -1,0 +1,74 @@
+"""Terminal rendering of experiment figures (no plotting dependencies).
+
+The paper's figures are line charts of utility/runtime per approach; this
+module renders the same series as ASCII charts so `python -m
+repro.experiments fig8 --plot`-style workflows work over SSH and in CI
+logs.  Deliberately simple: fixed-size canvas, one marker per method.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.runner import ExperimentResult
+
+#: plot markers per approach, in the harness's plotting order
+MARKERS = {"cf": "c", "eg": "e", "gbs+eg": "g", "gbs+ba": "G", "ba": "b",
+           "opt": "o"}
+DEFAULT_MARKERS = "xo*#@+%"
+
+
+def render_series(
+    result: ExperimentResult,
+    field_name: str = "utility",
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Render one panel of an experiment as an ASCII chart.
+
+    X positions are the sweep's categorical x-values (evenly spaced); each
+    approach plots with its own marker; a legend and the y-range frame the
+    canvas.
+    """
+    methods = result.methods()
+    xs = result.x_values()
+    if not methods or not xs:
+        return "(empty result)"
+    series: Dict[str, List[float]] = {
+        m: result.series(m, field_name) for m in methods
+    }
+    values = [v for s in series.values() for v in s]
+    lo, hi = min(values), max(values)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for i, method in enumerate(methods):
+        marker = MARKERS.get(method, DEFAULT_MARKERS[i % len(DEFAULT_MARKERS)])
+        points = series[method]
+        for j, value in enumerate(points):
+            x = round(j * (width - 1) / max(len(points) - 1, 1))
+            y = height - 1 - round((value - lo) * (height - 1) / (hi - lo))
+            canvas[y][x] = marker
+
+    legend = ", ".join(
+        "{}={}".format(MARKERS.get(m, "?"), m) for m in methods
+    )
+    lines = [
+        f"{result.experiment}: {field_name} ({legend})",
+        f"{hi:12.3f} +" + "-" * width + "+",
+    ]
+    for row in canvas:
+        lines.append(" " * 13 + "|" + "".join(row) + "|")
+    lines.append(f"{lo:12.3f} +" + "-" * width + "+")
+    x_labels = f"{xs[0]!s:<{width // 2}}{xs[-1]!s:>{width // 2}}"
+    lines.append(" " * 14 + x_labels)
+    return "\n".join(lines)
+
+
+def render_experiment(result: ExperimentResult, width: int = 60) -> str:
+    """Both panels (utility + runtime) of one experiment."""
+    panels = []
+    for field_name in ("utility", "runtime_seconds"):
+        panels.append(render_series(result, field_name, width=width))
+    return "\n\n".join(panels)

@@ -1,0 +1,131 @@
+"""Experiment execution and result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.instance import URRInstance
+from repro.core.grouping import GroupingPlan
+from repro.core.solver import solve
+
+#: The approaches every figure compares (Section 7.1.3), in plot order.
+DEFAULT_METHODS = ("cf", "eg", "gbs+eg", "gbs+ba", "ba")
+
+
+@dataclass
+class ResultRow:
+    """One measured point: one approach at one x-value."""
+
+    x_label: str
+    x_value: object
+    method: str
+    utility: float
+    runtime_seconds: float
+    served: int
+    num_riders: int
+    num_vehicles: int
+
+    @property
+    def service_rate(self) -> float:
+        return self.served / self.num_riders if self.num_riders else 0.0
+
+
+#: panel id -> (title, ResultRow field, cell format)
+_PANELS = {
+    "utility": ("(a) overall utility", "utility", "{:>12.3f}"),
+    "runtime": ("(b) running time [s]", "runtime_seconds", "{:>12.3f}"),
+    "count": ("trip count", "served", "{:>12d}"),
+}
+
+
+@dataclass
+class ExperimentResult:
+    """All rows of one table/figure reproduction."""
+
+    experiment: str
+    description: str
+    rows: List[ResultRow] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    panels: Sequence[str] = ("utility", "runtime")
+
+    def methods(self) -> List[str]:
+        seen: List[str] = []
+        for row in self.rows:
+            if row.method not in seen:
+                seen.append(row.method)
+        return seen
+
+    def x_values(self) -> List[object]:
+        seen: List[object] = []
+        for row in self.rows:
+            if row.x_value not in seen:
+                seen.append(row.x_value)
+        return seen
+
+    def series(self, method: str, field_name: str = "utility") -> List[float]:
+        """The y-series of one approach across x-values (plot order)."""
+        return [
+            getattr(row, field_name) for row in self.rows if row.method == method
+        ]
+
+    def row(self, method: str, x_value: object) -> ResultRow:
+        for r in self.rows:
+            if r.method == method and r.x_value == x_value:
+                return r
+        raise KeyError(f"no row for method={method!r}, x={x_value!r}")
+
+    # ------------------------------------------------------------------
+    def format_table(self) -> str:
+        """The figure's two panels as text tables (utility + runtime)."""
+        lines = [f"== {self.experiment}: {self.description} =="]
+        methods = self.methods()
+        xs = self.x_values()
+        for panel, field_name, fmt in (_PANELS[p] for p in self.panels):
+            lines.append(panel)
+            header = f"{self.rows[0].x_label:>16} " + " ".join(
+                f"{m:>12}" for m in methods
+            )
+            lines.append(header)
+            for x in xs:
+                cells = []
+                for m in methods:
+                    try:
+                        cells.append(fmt.format(getattr(self.row(m, x), field_name)))
+                    except KeyError:
+                        cells.append(f"{'-':>12}")
+                lines.append(f"{str(x):>16} " + " ".join(cells))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def run_methods(
+    instance: URRInstance,
+    x_label: str,
+    x_value: object,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    plan: Optional[GroupingPlan] = None,
+) -> List[ResultRow]:
+    """Solve one instance with each approach; one row per approach."""
+    rows: List[ResultRow] = []
+    for method in methods:
+        assignment = solve(instance, method=method, plan=plan)
+        errors = assignment.validity_errors()
+        if errors:
+            raise AssertionError(
+                f"{method} produced an invalid assignment: {errors[:3]}"
+            )
+        rows.append(
+            ResultRow(
+                x_label=x_label,
+                x_value=x_value,
+                method=method,
+                utility=assignment.total_utility(),
+                runtime_seconds=assignment.elapsed_seconds,
+                served=assignment.num_served,
+                num_riders=instance.num_riders,
+                num_vehicles=instance.num_vehicles,
+            )
+        )
+    return rows

@@ -1,0 +1,120 @@
+"""Multi-seed aggregation for experiment sweeps.
+
+Single-seed sweeps at bench scale carry ±10 % noise (EXPERIMENTS.md,
+deviation 3).  :func:`run_with_seeds` repeats any figure function over
+several seeds and aggregates each (method, x) cell into mean / standard
+deviation / min / max, so trend assertions can be made against means
+instead of single draws.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.experiments.runner import ExperimentResult
+
+
+@dataclass
+class AggregatedCell:
+    """Statistics of one (method, x) cell across seeds."""
+
+    values: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1)
+        )
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+
+@dataclass
+class AggregatedResult:
+    """Per-cell aggregates for one experiment across seeds."""
+
+    experiment: str
+    description: str
+    seeds: Tuple[int, ...]
+    utility: Dict[Tuple[str, object], AggregatedCell] = field(default_factory=dict)
+    runtime: Dict[Tuple[str, object], AggregatedCell] = field(default_factory=dict)
+    methods: List[str] = field(default_factory=list)
+    x_values: List[object] = field(default_factory=list)
+
+    def cell(self, method: str, x_value: object, which: str = "utility") -> AggregatedCell:
+        table = self.utility if which == "utility" else self.runtime
+        return table[(method, x_value)]
+
+    def mean_series(self, method: str, which: str = "utility") -> List[float]:
+        return [self.cell(method, x, which).mean for x in self.x_values]
+
+    def format_table(self) -> str:
+        lines = [
+            f"== {self.experiment} over seeds {list(self.seeds)}: "
+            f"{self.description} ==",
+            "(a) overall utility, mean ± std",
+        ]
+        header = f"{'x':>16} " + " ".join(f"{m:>18}" for m in self.methods)
+        lines.append(header)
+        for x in self.x_values:
+            cells = []
+            for m in self.methods:
+                cell = self.cell(m, x)
+                cells.append(f"{cell.mean:>10.3f} ±{cell.std:>6.3f}")
+            lines.append(f"{str(x):>16} " + " ".join(cells))
+        return "\n".join(lines)
+
+
+def run_with_seeds(
+    experiment_fn: Callable[..., ExperimentResult],
+    seeds: Sequence[int],
+    **kwargs,
+) -> AggregatedResult:
+    """Run ``experiment_fn(seed=s, **kwargs)`` per seed and aggregate.
+
+    The experiment function must accept a ``seed`` keyword (every sweep in
+    :mod:`repro.experiments.figures` does, except fig7/table4 whose
+    single-instance nature makes aggregation moot).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    aggregated: AggregatedResult = None  # type: ignore[assignment]
+    for seed in seeds:
+        result = experiment_fn(seed=seed, **kwargs)
+        if aggregated is None:
+            aggregated = AggregatedResult(
+                experiment=result.experiment,
+                description=result.description,
+                seeds=tuple(seeds),
+                methods=result.methods(),
+                x_values=result.x_values(),
+            )
+        for row in result.rows:
+            key = (row.method, row.x_value)
+            aggregated.utility.setdefault(key, AggregatedCell()).add(row.utility)
+            aggregated.runtime.setdefault(key, AggregatedCell()).add(
+                row.runtime_seconds
+            )
+    return aggregated

@@ -1,0 +1,223 @@
+"""Contraction Hierarchies (CH) for fast exact distance queries.
+
+The bench networks are small enough for an all-pairs table, but the paper's
+real networks (264k nodes) are not — production deployments of this library
+on DIMACS-scale graphs need a sublinear point-to-point method.  Contraction
+Hierarchies are the standard answer:
+
+- **preprocessing**: contract nodes in importance order; when removing node
+  ``v``, add shortcut edges between its neighbours wherever ``v`` lay on
+  their only shortest path (checked by a local *witness search*);
+- **query**: bidirectional Dijkstra that only relaxes edges toward
+  *more important* nodes; the searches meet at the highest-ranked node of
+  the shortest path.
+
+Node importance uses the classic lazy heuristic: edge difference (shortcuts
+added minus edges removed) plus contracted-neighbour count, re-evaluated
+lazily on pop.
+
+The implementation is exact (verified against Dijkstra by the test suite)
+and self-contained — no external solver, as everything else in this
+reproduction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.shortest_path import INF
+
+
+class ContractionHierarchy:
+    """Preprocessed CH over an undirected road network.
+
+    Parameters
+    ----------
+    network:
+        The input network (undirected; directed support would need split
+        upward/downward graphs, which the reproduction does not require).
+    witness_hop_limit:
+        Settled-node budget of each witness search; smaller is faster to
+        preprocess but inserts more (harmless) shortcuts.
+    """
+
+    def __init__(self, network: RoadNetwork, witness_hop_limit: int = 60) -> None:
+        if not network.undirected:
+            raise ValueError("ContractionHierarchy requires an undirected network")
+        if len(network) == 0:
+            raise ValueError("cannot build a hierarchy over an empty network")
+        self.network = network
+        self.witness_hop_limit = witness_hop_limit
+        #: contraction rank per node (higher = more important)
+        self.rank: Dict[int, int] = {}
+        #: search graph: node -> {neighbor: cost}, original edges + shortcuts
+        self._graph: Dict[int, Dict[int, float]] = {
+            u: dict(nbrs) for u, nbrs in network.adjacency.items()
+        }
+        self.num_shortcuts = 0
+        self._build()
+        #: upward adjacency used by queries (toward higher ranks only)
+        self._upward: Dict[int, List[Tuple[int, float]]] = {
+            u: [
+                (v, cost)
+                for v, cost in nbrs.items()
+                if self.rank[v] > self.rank[u]
+            ]
+            for u, nbrs in self._graph.items()
+        }
+
+    # ------------------------------------------------------------------
+    # preprocessing
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        remaining: Dict[int, Dict[int, float]] = {
+            u: dict(nbrs) for u, nbrs in self._graph.items()
+        }
+        contracted_neighbors: Dict[int, int] = {u: 0 for u in remaining}
+        heap: List[Tuple[float, int]] = []
+        for node in remaining:
+            priority = self._priority(node, remaining, contracted_neighbors)
+            heapq.heappush(heap, (priority, node))
+
+        next_rank = 0
+        while heap:
+            priority, node = heapq.heappop(heap)
+            if node in self.rank:
+                continue
+            # lazy update: re-evaluate; re-push unless still the minimum
+            fresh = self._priority(node, remaining, contracted_neighbors)
+            if heap and fresh > heap[0][0] + 1e-12:
+                heapq.heappush(heap, (fresh, node))
+                continue
+            self._contract(node, remaining, contracted_neighbors)
+            self.rank[node] = next_rank
+            next_rank += 1
+
+    def _priority(
+        self,
+        node: int,
+        remaining: Dict[int, Dict[int, float]],
+        contracted_neighbors: Dict[int, int],
+    ) -> float:
+        shortcuts = self._simulate_contraction(node, remaining, count_only=True)
+        degree = len(remaining[node])
+        return (shortcuts - degree) + 0.75 * contracted_neighbors[node]
+
+    def _simulate_contraction(
+        self,
+        node: int,
+        remaining: Dict[int, Dict[int, float]],
+        count_only: bool,
+    ) -> int:
+        """Count (or collect) the shortcuts contracting ``node`` needs."""
+        neighbors = remaining[node]
+        items = sorted(neighbors.items())
+        added = 0
+        for i, (u, cu) in enumerate(items):
+            for v, cv in items[i + 1:]:
+                via = cu + cv
+                if not self._has_witness(u, v, via, node, remaining):
+                    added += 1
+                    if not count_only:
+                        self._add_shortcut(u, v, via, remaining)
+        return added
+
+    def _has_witness(
+        self,
+        source: int,
+        target: int,
+        limit: float,
+        skip: int,
+        remaining: Dict[int, Dict[int, float]],
+    ) -> bool:
+        """Bounded Dijkstra in the remaining graph avoiding ``skip``: is
+        there a path source -> target with cost <= limit?"""
+        dist: Dict[int, float] = {source: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        settled = 0
+        while heap and settled < self.witness_hop_limit:
+            d, u = heapq.heappop(heap)
+            if d > limit + 1e-12:
+                return False
+            if u == target:
+                return True
+            if d > dist.get(u, INF):
+                continue
+            settled += 1
+            for v, cost in remaining[u].items():
+                if v == skip:
+                    continue
+                nd = d + cost
+                if nd <= limit + 1e-12 and nd < dist.get(v, INF):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return dist.get(target, INF) <= limit + 1e-12
+
+    def _add_shortcut(
+        self, u: int, v: int, cost: float, remaining: Dict[int, Dict[int, float]]
+    ) -> None:
+        for a, b in ((u, v), (v, u)):
+            if cost < remaining[a].get(b, INF):
+                remaining[a][b] = cost
+            if cost < self._graph[a].get(b, INF):
+                self._graph[a][b] = cost
+        self.num_shortcuts += 1
+
+    def _contract(
+        self,
+        node: int,
+        remaining: Dict[int, Dict[int, float]],
+        contracted_neighbors: Dict[int, int],
+    ) -> None:
+        self._simulate_contraction(node, remaining, count_only=False)
+        for neighbor in list(remaining[node]):
+            del remaining[neighbor][node]
+            contracted_neighbors[neighbor] += 1
+        remaining[node] = {}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def cost(self, source: int, target: int) -> float:
+        """Exact shortest distance (inf when unreachable)."""
+        if source == target:
+            return 0.0
+        dist_f = self._upward_search(source)
+        dist_b = self._upward_search(target)
+        best = INF
+        # meet at any node settled by both upward searches
+        smaller, larger = (
+            (dist_f, dist_b) if len(dist_f) <= len(dist_b) else (dist_b, dist_f)
+        )
+        for node, d in smaller.items():
+            other = larger.get(node)
+            if other is not None and d + other < best:
+                best = d + other
+        return best
+
+    __call__ = cost
+
+    def _upward_search(self, source: int) -> Dict[int, float]:
+        dist: Dict[int, float] = {source: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        settled: Dict[int, float] = {}
+        upward = self._upward
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled[u] = d
+            for v, cost in upward[u]:
+                nd = d + cost
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return settled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ContractionHierarchy(nodes={len(self.rank)}, "
+            f"shortcuts={self.num_shortcuts})"
+        )

@@ -1,0 +1,224 @@
+"""Synthetic road-network generators.
+
+The paper evaluates on the DIMACS USA road networks (NYC: 264,346 nodes;
+Chicago: 57,181 nodes).  Those files are not available offline, so we
+generate city-like networks that exercise the same code paths:
+
+- :func:`grid_city` — a perturbed grid with randomly weighted street
+  segments, a fraction of removed edges (irregular blocks) and optional
+  fast arterial roads (heterogeneous edge costs, like real avenues);
+- :func:`ring_radial_city` — a ring-and-spoke layout (European-style core);
+- :func:`nyc_like` / :func:`chicago_like` — presets approximating the two
+  paper networks at laptop scale (relative size ratio preserved: the NYC
+  network is ~4.6x the Chicago one).
+
+Edge costs are travel times in minutes.  All generators take a seed and are
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.roadnet.graph import RoadNetwork
+
+#: default travel time of one grid block, in minutes (~1/20 mile at 25 mph)
+DEFAULT_BLOCK_MINUTES = 1.0
+
+
+def grid_city(
+    rows: int,
+    cols: int,
+    seed: int = 0,
+    block_minutes: float = DEFAULT_BLOCK_MINUTES,
+    cost_jitter: float = 0.35,
+    removal_fraction: float = 0.08,
+    arterial_every: Optional[int] = 6,
+    arterial_speedup: float = 2.5,
+) -> RoadNetwork:
+    """Generate a perturbed grid city.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions; the network has ``rows * cols`` nodes before the
+        largest-component restriction.
+    seed:
+        RNG seed.
+    block_minutes:
+        Mean travel time of one street segment.
+    cost_jitter:
+        Relative uniform jitter applied to each segment's cost (congestion
+        heterogeneity).
+    removal_fraction:
+        Fraction of candidate edges dropped to create irregular blocks.
+    arterial_every:
+        Every ``arterial_every``-th row/column is an arterial whose segments
+        are ``arterial_speedup``x faster.  ``None`` disables arterials.
+    arterial_speedup:
+        Speed multiplier on arterial segments.
+
+    Returns
+    -------
+    RoadNetwork
+        The largest connected component of the generated grid (guaranteed
+        strongly connected since edges are undirected).
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("grid_city needs at least a 2x2 grid")
+    if not 0 <= removal_fraction < 0.5:
+        raise ValueError("removal_fraction must be in [0, 0.5)")
+    rng = np.random.default_rng(seed)
+    net = RoadNetwork(undirected=True)
+
+    def node_id(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            net.add_node(node_id(r, c), x=float(c), y=float(r))
+
+    def segment_cost(on_arterial: bool) -> float:
+        jitter = 1.0 + rng.uniform(-cost_jitter, cost_jitter)
+        cost = block_minutes * jitter
+        if on_arterial:
+            cost /= arterial_speedup
+        return max(cost, 0.05)
+
+    candidates = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                arterial = arterial_every is not None and r % arterial_every == 0
+                candidates.append((node_id(r, c), node_id(r, c + 1), arterial))
+            if r + 1 < rows:
+                arterial = arterial_every is not None and c % arterial_every == 0
+                candidates.append((node_id(r, c), node_id(r + 1, c), arterial))
+
+    removal_mask = rng.random(len(candidates)) < removal_fraction
+    for (u, v, arterial), removed in zip(candidates, removal_mask):
+        if removed and not arterial:  # keep arterials intact for connectivity
+            continue
+        net.add_edge(u, v, segment_cost(arterial))
+
+    return net.largest_component()
+
+
+def ring_radial_city(
+    rings: int,
+    spokes: int,
+    seed: int = 0,
+    ring_minutes: float = 1.5,
+    spoke_minutes: float = 1.0,
+    cost_jitter: float = 0.25,
+) -> RoadNetwork:
+    """Generate a ring-and-spoke city (dense core, sparse periphery).
+
+    Node 0 is the centre; ring ``i`` (1-based) has ``spokes`` nodes connected
+    circularly and radially.
+    """
+    if rings < 1 or spokes < 3:
+        raise ValueError("need at least 1 ring and 3 spokes")
+    rng = np.random.default_rng(seed)
+    net = RoadNetwork(undirected=True)
+    net.add_node(0, x=0.0, y=0.0)
+
+    def node_id(ring: int, spoke: int) -> int:
+        return 1 + (ring - 1) * spokes + spoke
+
+    def jitter(base: float) -> float:
+        return max(base * (1.0 + rng.uniform(-cost_jitter, cost_jitter)), 0.05)
+
+    for ring in range(1, rings + 1):
+        for s in range(spokes):
+            angle = 2 * math.pi * s / spokes
+            net.add_node(node_id(ring, s), x=ring * math.cos(angle), y=ring * math.sin(angle))
+    for s in range(spokes):
+        net.add_edge(0, node_id(1, s), jitter(spoke_minutes))
+    for ring in range(1, rings + 1):
+        # ring segments get longer further out, like real orbital roads
+        base = ring_minutes * (2 * math.pi * ring / spokes)
+        for s in range(spokes):
+            net.add_edge(node_id(ring, s), node_id(ring, (s + 1) % spokes), jitter(base))
+        if ring < rings:
+            for s in range(spokes):
+                net.add_edge(node_id(ring, s), node_id(ring + 1, s), jitter(spoke_minutes))
+    return net
+
+
+def nyc_like(seed: int = 0, scale: float = 1.0) -> RoadNetwork:
+    """A Manhattan-flavoured network standing in for the DIMACS NYC graph.
+
+    ``scale=1.0`` yields roughly a 40x28 grid (~1.1k nodes) — big enough to
+    produce meaningful areas and detours, small enough for laptop APSP.
+    Blocks take 2 minutes, giving a ~2.3 h travel-time diameter: the DIMACS
+    NYC box spans a full degree of latitude (~110 km), so Table 3's
+    [10, 30]-minute pickup deadlines must cover only a small fraction of
+    the network — that ratio, not the node count, is what shapes the
+    experiments.
+    """
+    rows = max(8, int(round(40 * math.sqrt(scale))))
+    cols = max(6, int(round(28 * math.sqrt(scale))))
+    return grid_city(
+        rows, cols, seed=seed, block_minutes=2.0, arterial_every=5,
+        removal_fraction=0.10,
+    )
+
+
+def chicago_like(seed: int = 1, scale: float = 1.0) -> RoadNetwork:
+    """A network standing in for the DIMACS Chicago graph (~1/4.6 of NYC).
+
+    Same 2-minute blocks as :func:`nyc_like`; the Chicago DIMACS box is
+    geographically tighter, hence the smaller grid.
+    """
+    rows = max(6, int(round(20 * math.sqrt(scale))))
+    cols = max(5, int(round(13 * math.sqrt(scale))))
+    return grid_city(
+        rows, cols, seed=seed, block_minutes=2.0, arterial_every=7,
+        removal_fraction=0.06,
+    )
+
+
+def paper_example_network() -> RoadNetwork:
+    """The 8-node road network of Figure 1 (Example 1).
+
+    Node letters are mapped to integers: A=0, B=1, C=2, D=3, E=4, F=5, G=6,
+    H=7.  Edge costs follow the figure as closely as the scanned figure
+    allows; they reproduce the travel costs used by the worked example
+    (cost(B, A) = 1, rider r1 from A to H, etc.).
+    """
+    net = RoadNetwork(undirected=True)
+    coords = {
+        0: (0.0, 2.0),  # A
+        1: (1.0, 2.0),  # B
+        2: (2.0, 2.0),  # C
+        3: (0.0, 1.0),  # D
+        4: (1.0, 1.0),  # E
+        5: (2.0, 1.0),  # F
+        6: (1.0, 0.0),  # G
+        7: (2.0, 0.0),  # H
+    }
+    for node, (x, y) in coords.items():
+        net.add_node(node, x=x, y=y)
+    edges = [
+        (0, 1, 1.0),  # A-B
+        (1, 2, 2.0),  # B-C
+        (0, 3, 2.0),  # A-D
+        (1, 4, 2.0),  # B-E
+        (2, 5, 1.0),  # C-F
+        (3, 4, 2.0),  # D-E
+        (4, 5, 2.0),  # E-F
+        (4, 6, 3.0),  # E-G
+        (5, 7, 2.0),  # F-H
+        (6, 7, 2.0),  # G-H
+    ]
+    for u, v, cost in edges:
+        net.add_edge(u, v, cost)
+    return net
+
+
+#: Human-readable labels for the Figure 1 example network.
+PAPER_EXAMPLE_LABELS = {0: "A", 1: "B", 2: "C", 3: "D", 4: "E", 5: "F", 6: "G", 7: "H"}

@@ -1,0 +1,133 @@
+"""Cached distance oracle.
+
+Every URR solver issues very many ``cost(u, v)`` queries with heavily skewed
+locality (the same pickup/drop-off locations appear in many candidate
+insertions).  :class:`DistanceOracle` serves them from
+
+1. an optional all-pairs table (worth it below ``apsp_threshold`` nodes —
+   the synthetic benchmark networks qualify), or
+2. an LRU cache of full single-source Dijkstra runs, falling back to
+3. bidirectional point-to-point search for one-off queries.
+
+The oracle is a drop-in ``cost(u, v)`` callable, which is the only interface
+the scheduling layer (Section 3) depends on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.shortest_path import INF, bidirectional_dijkstra, dijkstra
+
+
+class DistanceOracle:
+    """Shortest travel-cost oracle over a road network.
+
+    Parameters
+    ----------
+    network:
+        The road network.  The oracle assumes the network is not mutated
+        afterwards; call :meth:`invalidate` if it is.
+    cache_sources:
+        Maximum number of full single-source Dijkstra result dicts to keep
+        (LRU).  Each entry costs O(|V|) memory.
+    apsp_threshold:
+        When ``len(network) <= apsp_threshold``, the first query triggers a
+        full all-pairs precomputation (|V| Dijkstras) and all later queries
+        are O(1) dict lookups.  Set to 0 to disable.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        cache_sources: int = 2048,
+        apsp_threshold: int = 1500,
+    ) -> None:
+        self.network = network
+        self.cache_sources = cache_sources
+        self.apsp_threshold = apsp_threshold
+        self._source_cache: "OrderedDict[int, Dict[int, float]]" = OrderedDict()
+        self._apsp: Optional[Dict[int, Dict[int, float]]] = None
+        self.query_count = 0
+        self.dijkstra_count = 0
+
+    # ------------------------------------------------------------------
+    def cost(self, u: int, v: int) -> float:
+        """Shortest travel cost from ``u`` to ``v`` (inf if unreachable)."""
+        self.query_count += 1
+        if u == v:
+            return 0.0
+        if self._apsp is None and 0 < len(self.network) <= self.apsp_threshold:
+            self._build_apsp()
+        if self._apsp is not None:
+            return self._apsp[u].get(v, INF)
+        cached = self._source_cache.get(u)
+        if cached is not None:
+            self._source_cache.move_to_end(u)
+            return cached.get(v, INF)
+        # one-off query: bidirectional is cheaper than a full Dijkstra
+        return bidirectional_dijkstra(self.network, u, v)
+
+    __call__ = cost
+
+    def fast_cost_fn(self) -> "Callable[[int, int], float]":
+        """A minimal-overhead ``cost(u, v)`` callable.
+
+        When the network qualifies for the all-pairs table this returns a
+        closure over the raw dict (no bookkeeping per query) — the solvers'
+        hot loops issue millions of cost queries, so the saved attribute
+        lookups and counters matter.  Falls back to :meth:`cost` otherwise.
+        """
+        if self._apsp is None and 0 < len(self.network) <= self.apsp_threshold:
+            self._build_apsp()
+        if self._apsp is None:
+            return self.cost
+        table = self._apsp
+
+        def fast_cost(u: int, v: int) -> float:
+            if u == v:
+                return 0.0
+            return table[u].get(v, INF)
+
+        return fast_cost
+
+    def costs_from(self, source: int) -> Dict[int, float]:
+        """All shortest distances from ``source`` (cached)."""
+        if self._apsp is None and 0 < len(self.network) <= self.apsp_threshold:
+            self._build_apsp()
+        if self._apsp is not None:
+            return self._apsp[source]
+        cached = self._source_cache.get(source)
+        if cached is not None:
+            self._source_cache.move_to_end(source)
+            return cached
+        self.dijkstra_count += 1
+        dist = dijkstra(self.network, source)
+        self._source_cache[source] = dist
+        if len(self._source_cache) > self.cache_sources:
+            self._source_cache.popitem(last=False)
+        return dist
+
+    def warm(self, sources: Iterable[int]) -> None:
+        """Precompute (and pin into the LRU) the given sources."""
+        for s in sources:
+            self.costs_from(s)
+
+    def invalidate(self) -> None:
+        """Drop all caches; call after mutating the underlying network."""
+        self._source_cache.clear()
+        self._apsp = None
+
+    # ------------------------------------------------------------------
+    def _build_apsp(self) -> None:
+        table: Dict[int, Dict[int, float]] = {}
+        for node in self.network.nodes():
+            self.dijkstra_count += 1
+            table[node] = dijkstra(self.network, node)
+        self._apsp = table
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "apsp" if self._apsp is not None else f"lru({len(self._source_cache)})"
+        return f"DistanceOracle({mode}, queries={self.query_count})"

@@ -1,0 +1,204 @@
+"""Shortest-path algorithms over :class:`~repro.roadnet.graph.RoadNetwork`.
+
+Everything the URR solvers need reduces to travel costs between locations,
+so these Dijkstra variants are the performance core of the reproduction:
+
+- :func:`dijkstra` — full single-source search (used by the oracle cache);
+- :func:`dijkstra_to_target` — point-to-point with early exit;
+- :func:`bidirectional_dijkstra` — point-to-point meeting-in-the-middle;
+- :func:`multi_source_dijkstra` — nearest-key-vertex labelling used by the
+  area construction of Section 6.1;
+- :func:`shortest_path` — path reconstruction for trajectory inspection.
+
+All functions treat unreachable nodes as ``float('inf')`` distance, matching
+the convention the scheduling layer relies on (an infinite travel cost simply
+fails every deadline check).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.roadnet.graph import RoadNetwork
+
+INF = float("inf")
+
+
+def dijkstra(network: RoadNetwork, source: int) -> Dict[int, float]:
+    """Single-source shortest distances from ``source`` to all nodes.
+
+    Returns a dict containing every reachable node; absent nodes are
+    unreachable.
+    """
+    dist: Dict[int, float] = {source: 0.0}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    settled: Dict[int, float] = {}
+    adjacency = network.adjacency
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled[u] = d
+        for v, cost in adjacency[u].items():
+            nd = d + cost
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return settled
+
+
+def dijkstra_to_target(network: RoadNetwork, source: int, target: int) -> float:
+    """Shortest distance from ``source`` to ``target`` with early exit."""
+    if source == target:
+        return 0.0
+    dist: Dict[int, float] = {source: 0.0}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    settled = set()
+    adjacency = network.adjacency
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u == target:
+            return d
+        if u in settled:
+            continue
+        settled.add(u)
+        for v, cost in adjacency[u].items():
+            nd = d + cost
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return INF
+
+
+def bidirectional_dijkstra(network: RoadNetwork, source: int, target: int) -> float:
+    """Point-to-point distance via simultaneous forward/backward search.
+
+    Typically explores far fewer nodes than :func:`dijkstra_to_target` on
+    road-like networks.  Uses the reverse adjacency for the backward search,
+    so it is correct on directed networks too.
+    """
+    if source == target:
+        return 0.0
+    dist_f: Dict[int, float] = {source: 0.0}
+    dist_b: Dict[int, float] = {target: 0.0}
+    heap_f: List[Tuple[float, int]] = [(0.0, source)]
+    heap_b: List[Tuple[float, int]] = [(0.0, target)]
+    settled_f: Dict[int, float] = {}
+    settled_b: Dict[int, float] = {}
+    best = INF
+    forward_adj = network.adjacency
+    backward_adj = network.reverse_adjacency
+
+    while heap_f and heap_b:
+        # stop when the two frontiers can no longer improve the meeting point
+        if heap_f[0][0] + heap_b[0][0] >= best:
+            break
+        # expand the smaller frontier
+        if heap_f[0][0] <= heap_b[0][0]:
+            d, u = heapq.heappop(heap_f)
+            if u in settled_f:
+                continue
+            settled_f[u] = d
+            if u in settled_b:
+                best = min(best, d + settled_b[u])
+            for v, cost in forward_adj[u].items():
+                nd = d + cost
+                if nd < dist_f.get(v, INF):
+                    dist_f[v] = nd
+                    heapq.heappush(heap_f, (nd, v))
+                if v in dist_b:
+                    best = min(best, nd + dist_b[v])
+        else:
+            d, u = heapq.heappop(heap_b)
+            if u in settled_b:
+                continue
+            settled_b[u] = d
+            if u in settled_f:
+                best = min(best, d + settled_f[u])
+            for v, cost in backward_adj[u].items():
+                nd = d + cost
+                if nd < dist_b.get(v, INF):
+                    dist_b[v] = nd
+                    heapq.heappush(heap_b, (nd, v))
+                if v in dist_f:
+                    best = min(best, nd + dist_f[v])
+    return best
+
+
+def multi_source_dijkstra(
+    network: RoadNetwork, sources: Iterable[int]
+) -> Tuple[Dict[int, float], Dict[int, int]]:
+    """Distance and nearest-source labelling from a set of sources.
+
+    Returns ``(dist, owner)`` where ``owner[v]`` is the source closest to
+    ``v``.  This implements the "attach each vertex to the closest key
+    vertex" step of Algorithm 4 (AreaConstruction) in a single sweep instead
+    of one Dijkstra per key vertex.
+
+    Distances follow *outgoing* edges from the sources; on the undirected
+    networks used throughout the paper this equals the vehicle's travel cost
+    to reach the source's area.
+    """
+    dist: Dict[int, float] = {}
+    owner: Dict[int, int] = {}
+    heap: List[Tuple[float, int, int]] = []
+    for s in sources:
+        dist[s] = 0.0
+        owner[s] = s
+        heap.append((0.0, s, s))
+    heapq.heapify(heap)
+    settled = set()
+    adjacency = network.adjacency
+    while heap:
+        d, u, src = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        owner[u] = src
+        for v, cost in adjacency[u].items():
+            nd = d + cost
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v, src))
+    return dist, owner
+
+
+def shortest_path(
+    network: RoadNetwork, source: int, target: int
+) -> Tuple[float, Optional[List[int]]]:
+    """Shortest distance and node path from ``source`` to ``target``.
+
+    Returns ``(inf, None)`` when the target is unreachable.
+    """
+    if source == target:
+        return 0.0, [source]
+    dist: Dict[int, float] = {source: 0.0}
+    prev: Dict[int, int] = {}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    settled = set()
+    adjacency = network.adjacency
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u == target:
+            path = [target]
+            while path[-1] != source:
+                path.append(prev[path[-1]])
+            path.reverse()
+            return d, path
+        if u in settled:
+            continue
+        settled.add(u)
+        for v, cost in adjacency[u].items():
+            nd = d + cost
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                prev[v] = u
+                heapq.heappush(heap, (nd, v))
+    return INF, None
+
+
+def eccentricity(network: RoadNetwork, source: int) -> float:
+    """Largest finite shortest-path distance from ``source``."""
+    dist = dijkstra(network, source)
+    return max(dist.values()) if dist else 0.0

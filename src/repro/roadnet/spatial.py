@@ -1,0 +1,135 @@
+"""Grid-based spatial index over network nodes (the paper's [29] hook).
+
+Algorithm 3's valid-vehicle retrieval "can be sped up with a spatial
+index"; :class:`SpatialGrid` provides the standard uniform-grid variant
+over the network's coordinates: bucket every indexed point by cell, answer
+radius queries by scanning only the overlapping cells.
+
+Distances here are *Euclidean over coordinates* — a lower bound on road
+distance whenever edge costs dominate straight-line distance (true for the
+generators, whose edge costs are at least the unit block length).  The
+index is therefore used as a conservative prefilter: anything it rules out
+is truly unreachable, anything it returns is verified with real costs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.roadnet.graph import RoadNetwork
+
+
+class SpatialGrid:
+    """Uniform-grid index over labelled points at network nodes.
+
+    Parameters
+    ----------
+    network:
+        Provides node coordinates.
+    cell_size:
+        Grid cell edge length (coordinate units).  Around the typical
+        query radius is a good choice.
+    """
+
+    def __init__(self, network: RoadNetwork, cell_size: float = 4.0) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.network = network
+        self.cell_size = cell_size
+        self._cells: Dict[Tuple[int, int], List[Tuple[Hashable, int]]] = {}
+        self._items: Dict[Hashable, int] = {}
+
+    # ------------------------------------------------------------------
+    def _cell_of(self, node: int) -> Tuple[int, int]:
+        x, y = self.network.coordinates[node]
+        return (int(math.floor(x / self.cell_size)),
+                int(math.floor(y / self.cell_size)))
+
+    def insert(self, item: Hashable, node: int) -> None:
+        """Index ``item`` at ``node`` (re-inserting moves it)."""
+        if node not in self.network.coordinates:
+            raise KeyError(f"node {node} has no coordinates")
+        if item in self._items:
+            self.remove(item)
+        self._items[item] = node
+        self._cells.setdefault(self._cell_of(node), []).append((item, node))
+
+    def remove(self, item: Hashable) -> None:
+        node = self._items.pop(item)
+        cell = self._cell_of(node)
+        bucket = self._cells[cell]
+        bucket.remove((item, node))
+        if not bucket:
+            del self._cells[cell]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._items
+
+    def location_of(self, item: Hashable) -> int:
+        return self._items[item]
+
+    # ------------------------------------------------------------------
+    def within_radius(self, node: int, radius: float) -> List[Hashable]:
+        """Items whose Euclidean distance to ``node`` is <= ``radius``."""
+        if radius < 0:
+            return []
+        x, y = self.network.coordinates[node]
+        r_cells = int(math.ceil(radius / self.cell_size))
+        cx, cy = self._cell_of(node)
+        hits: List[Hashable] = []
+        r2 = radius * radius
+        for dx in range(-r_cells, r_cells + 1):
+            for dy in range(-r_cells, r_cells + 1):
+                bucket = self._cells.get((cx + dx, cy + dy))
+                if not bucket:
+                    continue
+                for item, item_node in bucket:
+                    ix, iy = self.network.coordinates[item_node]
+                    if (ix - x) ** 2 + (iy - y) ** 2 <= r2 + 1e-12:
+                        hits.append(item)
+        return hits
+
+    def nearest(self, node: int, max_radius: Optional[float] = None) -> Optional[Hashable]:
+        """The item Euclidean-closest to ``node`` (ties arbitrary)."""
+        if not self._items:
+            return None
+        x, y = self.network.coordinates[node]
+        best_item = None
+        best_d2 = math.inf
+        radius = self.cell_size
+        limit = max_radius if max_radius is not None else math.inf
+        while True:
+            candidates = self.within_radius(node, min(radius, limit))
+            for item in candidates:
+                ix, iy = self.network.coordinates[self._items[item]]
+                d2 = (ix - x) ** 2 + (iy - y) ** 2
+                if d2 < best_d2:
+                    best_d2 = d2
+                    best_item = item
+            if best_item is not None or radius >= limit:
+                return best_item
+            radius *= 2.0
+            if radius > 1e9:  # no coordinates anywhere nearby
+                return best_item
+
+
+def vehicle_prefilter(
+    grid: SpatialGrid,
+    node: int,
+    time_budget: float,
+    min_speed: float,
+) -> List[Hashable]:
+    """Conservative reachability prefilter for EG/BA candidate retrieval.
+
+    Vehicles farther than ``time_budget * min_speed`` in straight-line
+    distance cannot reach ``node`` within the budget when every road unit
+    costs at least ``1 / min_speed`` — so the returned set is a superset of
+    the truly reachable vehicles and can be verified with exact costs.
+    """
+    if time_budget <= 0:
+        return []
+    return grid.within_radius(node, time_budget * min_speed)

@@ -1,0 +1,30 @@
+"""Geo-social network substrate.
+
+The rider-related utility (Eq. 2) consumes pairwise social similarities
+``s(r_i, r_i')`` computed with Jaccard similarity over friend sets (Eq. 3).
+This subpackage provides the friendship graph, the similarity computation,
+and a synthetic Gowalla-like generator (users, friendships, check-ins) used
+in place of the real Gowalla dataset.
+"""
+
+from repro.social.analysis import (
+    clustering_coefficient,
+    connected_components,
+    degree_stats,
+    similarity_sample,
+    summarize,
+)
+from repro.social.generators import GeoSocialNetwork, generate_geo_social
+from repro.social.graph import SocialNetwork, jaccard_similarity
+
+__all__ = [
+    "GeoSocialNetwork",
+    "SocialNetwork",
+    "clustering_coefficient",
+    "connected_components",
+    "degree_stats",
+    "generate_geo_social",
+    "jaccard_similarity",
+    "similarity_sample",
+    "summarize",
+]

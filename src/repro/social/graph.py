@@ -1,0 +1,95 @@
+"""Friendship graph and Jaccard social similarity (Eq. 3).
+
+``s(r_i, r_i') = |Γ(r_i) ∩ Γ(r_i')| / |Γ(r_i) ∪ Γ(r_i')|`` where ``Γ(u)`` is
+the friend set of user ``u``.  Similarities are symmetric, in ``[0, 1]``,
+and cached: the URR solvers query the same pairs repeatedly while scoring
+candidate co-riders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Set, Tuple
+
+
+def jaccard_similarity(a: Set[int], b: Set[int]) -> float:
+    """Jaccard similarity of two sets; 0.0 when both are empty.
+
+    The both-empty convention matters: riders without any social profile
+    should contribute zero rider-related utility, not NaN.
+    """
+    if not a and not b:
+        return 0.0
+    intersection = len(a & b)
+    if intersection == 0:
+        return 0.0
+    return intersection / (len(a) + len(b) - intersection)
+
+
+class SocialNetwork:
+    """Undirected friendship graph over integer user ids."""
+
+    def __init__(self) -> None:
+        self._friends: Dict[int, Set[int]] = {}
+        self._similarity_cache: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    def add_user(self, user: int) -> None:
+        if user not in self._friends:
+            self._friends[user] = set()
+
+    def add_friendship(self, u: int, v: int) -> None:
+        """Add an undirected friendship edge.
+
+        Self-friendships are rejected: Γ(u) never contains u itself, which
+        keeps Eq. 3 consistent with the Gowalla data model.
+        """
+        if u == v:
+            raise ValueError(f"self-friendship not allowed (user {u})")
+        self.add_user(u)
+        self.add_user(v)
+        self._friends[u].add(v)
+        self._friends[v].add(u)
+        self._similarity_cache.clear()
+
+    # ------------------------------------------------------------------
+    def __contains__(self, user: int) -> bool:
+        return user in self._friends
+
+    def __len__(self) -> int:
+        return len(self._friends)
+
+    def users(self) -> Iterator[int]:
+        return iter(self._friends)
+
+    def friends(self, user: int) -> Set[int]:
+        """Friend set Γ(user); empty set for unknown users."""
+        return self._friends.get(user, set())
+
+    def degree(self, user: int) -> int:
+        return len(self._friends.get(user, ()))
+
+    @property
+    def num_friendships(self) -> int:
+        return sum(len(f) for f in self._friends.values()) // 2
+
+    def similarity(self, u: int, v: int) -> float:
+        """Jaccard similarity s(u, v) per Eq. 3, cached and symmetric."""
+        if u == v:
+            return 1.0
+        key = (u, v) if u < v else (v, u)
+        cached = self._similarity_cache.get(key)
+        if cached is None:
+            cached = jaccard_similarity(self.friends(u), self.friends(v))
+            self._similarity_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[int, int]]) -> "SocialNetwork":
+        net = cls()
+        for u, v in edges:
+            net.add_friendship(u, v)
+        return net
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SocialNetwork(users={len(self)}, friendships={self.num_friendships})"

@@ -1,0 +1,180 @@
+"""Trip-record file IO (NYC TLC-style CSV).
+
+The paper's rider workloads come from the NYC Taxi & Limousine Commission
+and Chicago Data Portal trip records.  This module reads and writes the
+common denominator of those formats so real files can replace the
+simulator:
+
+- ``pickup_datetime, dropoff_datetime, pickup_longitude, pickup_latitude,
+  dropoff_longitude, dropoff_latitude`` (coordinate form), or
+- ``pickup_node, pickup_time, dropoff_node, dropoff_time`` (node form, the
+  library's native representation — what :func:`write_trips_csv` emits).
+
+Coordinate-form records are snapped to the nearest network node (Euclidean
+over the network's coordinate frame); timestamps are ISO-8601 or plain
+minutes.  Malformed rows are skipped with a count returned, mirroring how
+real TLC files are cleaned.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from datetime import datetime
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.roadnet.graph import RoadNetwork
+from repro.workload.taxi import TripRecord
+
+PathLike = Union[str, Path]
+
+NODE_FIELDS = ("pickup_node", "pickup_time", "dropoff_node", "dropoff_time")
+COORD_FIELDS = (
+    "pickup_datetime",
+    "dropoff_datetime",
+    "pickup_longitude",
+    "pickup_latitude",
+    "dropoff_longitude",
+    "dropoff_latitude",
+)
+
+
+def write_trips_csv(trips: List[TripRecord], path: PathLike) -> None:
+    """Write node-form trip records."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(NODE_FIELDS)
+        for trip in trips:
+            writer.writerow(
+                [trip.pickup_node, f"{trip.pickup_time:.6f}",
+                 trip.dropoff_node, f"{trip.dropoff_time:.6f}"]
+            )
+
+
+def read_trips_csv(
+    path: PathLike,
+    network: Optional[RoadNetwork] = None,
+) -> Tuple[List[TripRecord], int]:
+    """Read trip records; returns ``(trips, skipped_row_count)``.
+
+    Node-form files need no network; coordinate-form files require one
+    (for nearest-node snapping) and raise ``ValueError`` without it.
+    Unknown header layouts raise ``ValueError``.
+    """
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            raise ValueError(f"{path}: empty file")
+        fields = set(reader.fieldnames)
+        if set(NODE_FIELDS) <= fields:
+            return _read_node_form(reader)
+        if set(COORD_FIELDS) <= fields:
+            if network is None:
+                raise ValueError(
+                    "coordinate-form trip files need a network for snapping"
+                )
+            return _read_coord_form(reader, network)
+        raise ValueError(
+            f"{path}: unrecognised columns {sorted(fields)}; expected "
+            f"{NODE_FIELDS} or {COORD_FIELDS}"
+        )
+
+
+def _read_node_form(reader: csv.DictReader) -> Tuple[List[TripRecord], int]:
+    trips: List[TripRecord] = []
+    skipped = 0
+    for row in reader:
+        try:
+            trip = TripRecord(
+                pickup_node=int(row["pickup_node"]),
+                pickup_time=float(row["pickup_time"]),
+                dropoff_node=int(row["dropoff_node"]),
+                dropoff_time=float(row["dropoff_time"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            skipped += 1
+            continue
+        if trip.dropoff_time < trip.pickup_time:
+            skipped += 1
+            continue
+        trips.append(trip)
+    return trips, skipped
+
+
+def _read_coord_form(
+    reader: csv.DictReader, network: RoadNetwork
+) -> Tuple[List[TripRecord], int]:
+    snapper = _NodeSnapper(network)
+    trips: List[TripRecord] = []
+    skipped = 0
+    for row in reader:
+        try:
+            pickup_time = _parse_timestamp(row["pickup_datetime"])
+            dropoff_time = _parse_timestamp(row["dropoff_datetime"])
+            pickup_node = snapper.nearest(
+                float(row["pickup_longitude"]), float(row["pickup_latitude"])
+            )
+            dropoff_node = snapper.nearest(
+                float(row["dropoff_longitude"]), float(row["dropoff_latitude"])
+            )
+        except (KeyError, TypeError, ValueError):
+            skipped += 1
+            continue
+        if dropoff_time < pickup_time or pickup_node == dropoff_node:
+            skipped += 1
+            continue
+        trips.append(
+            TripRecord(
+                pickup_node=pickup_node,
+                pickup_time=pickup_time,
+                dropoff_node=dropoff_node,
+                dropoff_time=dropoff_time,
+            )
+        )
+    return trips, skipped
+
+
+def _parse_timestamp(raw: str) -> float:
+    """Minutes since the day's midnight for ISO datetimes, or plain floats."""
+    raw = raw.strip()
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    stamp = datetime.fromisoformat(raw)
+    return stamp.hour * 60.0 + stamp.minute + stamp.second / 60.0
+
+
+class _NodeSnapper:
+    """Nearest-node lookup over a network's coordinates (grid-bucketed)."""
+
+    def __init__(self, network: RoadNetwork, cell: float = 2.0) -> None:
+        if not network.coordinates:
+            raise ValueError("network has no coordinates to snap against")
+        self.cell = cell
+        self.buckets: dict = {}
+        for node, (x, y) in network.coordinates.items():
+            key = (int(math.floor(x / cell)), int(math.floor(y / cell)))
+            self.buckets.setdefault(key, []).append((node, x, y))
+
+    def nearest(self, x: float, y: float) -> int:
+        cx, cy = int(math.floor(x / self.cell)), int(math.floor(y / self.cell))
+        best_node, best_d2 = None, math.inf
+        ring = 0
+        while ring <= 10_000:
+            for dx in range(-ring, ring + 1):
+                for dy in range(-ring, ring + 1):
+                    if max(abs(dx), abs(dy)) != ring:
+                        continue  # only the newly added ring of cells
+                    for node, nx, ny in self.buckets.get((cx + dx, cy + dy), ()):
+                        d2 = (nx - x) ** 2 + (ny - y) ** 2
+                        if d2 < best_d2:
+                            best_node, best_d2 = node, d2
+            if best_node is not None:
+                # every unexplored cell lies at least (ring * cell) away;
+                # once that exceeds the best distance nothing can improve
+                if ring * self.cell > math.sqrt(best_d2):
+                    return best_node
+            ring += 1
+        raise ValueError(f"could not snap ({x}, {y}) to any node")

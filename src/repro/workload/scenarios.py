@@ -1,0 +1,166 @@
+"""Canned workload scenarios.
+
+Demand in a city is not homogeneous; the taxi records the paper fits its
+model to carry strong spatial structure.  These presets configure the
+simulator for recognisable regimes so examples, tests and benches can
+speak in scenarios rather than raw parameters:
+
+- :func:`uniform_city` — flat popularity, mid-range trips (a neutral
+  baseline);
+- :func:`airport_run` — one overwhelming attractor far from the centre:
+  long trips to/from a single zone (stresses the long-trip group ``g_0``);
+- :func:`stadium_event` — an extreme hotspot with short feeder trips
+  (stresses per-area grouping and vehicle contention);
+- :func:`commuter_corridor` — two poles exchanging demand (classic
+  morning flow; stresses schedule chaining along a corridor).
+
+Each returns a configured :class:`TaxiTripSimulator`; the scenario only
+shapes *where* trips appear, never the solver-facing semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.oracle import DistanceOracle
+from repro.workload.taxi import TaxiTripSimulator
+
+
+def _weights_to_popularity(sim: TaxiTripSimulator, weights: np.ndarray) -> None:
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("scenario produced an all-zero popularity vector")
+    sim.popularity = weights / total
+
+
+def uniform_city(
+    network: RoadNetwork,
+    seed: int = 0,
+    oracle: Optional[DistanceOracle] = None,
+    trips_per_minute: float = 4.0,
+) -> TaxiTripSimulator:
+    """Flat demand over all nodes; destinations by pure distance decay."""
+    sim = TaxiTripSimulator(
+        network, oracle=oracle, seed=seed, zipf_exponent=0.0,
+        trips_per_minute=trips_per_minute,
+    )
+    _weights_to_popularity(sim, np.ones(len(sim.nodes)))
+    return sim
+
+
+def airport_run(
+    network: RoadNetwork,
+    seed: int = 0,
+    oracle: Optional[DistanceOracle] = None,
+    airport_node: Optional[int] = None,
+    airport_pull: float = 30.0,
+    trips_per_minute: float = 4.0,
+) -> TaxiTripSimulator:
+    """One remote mega-attractor: most trips start or end at the airport.
+
+    ``airport_node`` defaults to the node with the largest coordinate sum
+    (a corner — realistically peripheral).  ``airport_pull`` is its
+    popularity multiple over an average node.  The gravity decay is
+    weakened so the long haul to the airport stays likely.
+    """
+    sim = TaxiTripSimulator(
+        network, oracle=oracle, seed=seed, zipf_exponent=0.5,
+        gravity_tau=25.0, trips_per_minute=trips_per_minute,
+    )
+    if airport_node is None:
+        airport_node = max(
+            sim.nodes, key=lambda n: sum(network.coordinates.get(n, (0, 0)))
+        )
+    weights = np.ones(len(sim.nodes))
+    weights[sim._node_index[airport_node]] = airport_pull * len(sim.nodes) / 10.0
+    _weights_to_popularity(sim, weights)
+    return sim
+
+
+def stadium_event(
+    network: RoadNetwork,
+    seed: int = 0,
+    oracle: Optional[DistanceOracle] = None,
+    stadium_node: Optional[int] = None,
+    crowd_radius: float = 6.0,
+    trips_per_minute: float = 6.0,
+) -> TaxiTripSimulator:
+    """Event let-out: a huge short-trip hotspot around one venue.
+
+    Popularity decays with Euclidean distance from the stadium; the
+    gravity scale is short so the crowd disperses into the neighbourhood —
+    many riders, small area, exactly the grouping-friendly regime of
+    Section 6.
+    """
+    sim = TaxiTripSimulator(
+        network, oracle=oracle, seed=seed, zipf_exponent=0.0,
+        gravity_tau=5.0, trips_per_minute=trips_per_minute,
+    )
+    if stadium_node is None:
+        # central-ish node: closest to the coordinate centroid
+        xs = [network.coordinates.get(n, (0.0, 0.0)) for n in sim.nodes]
+        cx = sum(p[0] for p in xs) / len(xs)
+        cy = sum(p[1] for p in xs) / len(xs)
+        stadium_node = min(
+            sim.nodes,
+            key=lambda n: (network.coordinates.get(n, (0, 0))[0] - cx) ** 2
+            + (network.coordinates.get(n, (0, 0))[1] - cy) ** 2,
+        )
+    sx, sy = network.coordinates.get(stadium_node, (0.0, 0.0))
+    weights = np.empty(len(sim.nodes))
+    for i, node in enumerate(sim.nodes):
+        x, y = network.coordinates.get(node, (math.inf, math.inf))
+        dist = math.hypot(x - sx, y - sy)
+        weights[i] = math.exp(-dist / crowd_radius)
+    _weights_to_popularity(sim, weights)
+    return sim
+
+
+def commuter_corridor(
+    network: RoadNetwork,
+    seed: int = 0,
+    oracle: Optional[DistanceOracle] = None,
+    pole_fraction: float = 0.15,
+    trips_per_minute: float = 4.0,
+) -> TaxiTripSimulator:
+    """Two opposite poles exchanging demand (morning commute).
+
+    Pickup popularity concentrates in the ``pole_fraction`` of nodes with
+    the smallest coordinate sum (the "residential" corner); the gravity
+    decay is weak enough that the opposite "business" corner attracts the
+    destinations through its own popularity mass.
+    """
+    if not 0 < pole_fraction <= 0.5:
+        raise ValueError("pole_fraction must be in (0, 0.5]")
+    sim = TaxiTripSimulator(
+        network, oracle=oracle, seed=seed, zipf_exponent=0.0,
+        gravity_tau=40.0, trips_per_minute=trips_per_minute,
+    )
+    order = sorted(
+        sim.nodes, key=lambda n: sum(network.coordinates.get(n, (0, 0)))
+    )
+    pole_size = max(int(len(order) * pole_fraction), 1)
+    residential = set(order[:pole_size])
+    business = set(order[-pole_size:])
+    weights = np.empty(len(sim.nodes))
+    for i, node in enumerate(sim.nodes):
+        if node in residential:
+            weights[i] = 10.0   # pickups cluster here...
+        elif node in business:
+            weights[i] = 6.0    # ...and destinations gravitate here
+        else:
+            weights[i] = 0.5
+    _weights_to_popularity(sim, weights)
+    return sim
+
+
+SCENARIOS = {
+    "uniform": uniform_city,
+    "airport": airport_run,
+    "stadium": stadium_event,
+    "commuter": commuter_corridor,
+}

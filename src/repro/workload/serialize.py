@@ -1,0 +1,148 @@
+"""URR instance serialization (JSON).
+
+Instances are the unit of reproducibility: a saved instance replays any
+solver run bit-for-bit (solvers are deterministic given the instance
+seed).  The format captures the network, riders, vehicles, utility matrix,
+similarity overrides, and balancing parameters; the social network is
+flattened into pairwise similarity overrides for the riders present (the
+solvers consume nothing else from it).
+"""
+
+from __future__ import annotations
+
+import json
+from itertools import combinations
+from pathlib import Path
+from typing import Union
+
+from repro.core.instance import URRInstance
+from repro.core.requests import Rider
+from repro.core.vehicles import Vehicle
+from repro.roadnet.graph import RoadNetwork
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+
+
+def instance_to_dict(instance: URRInstance) -> dict:
+    """A JSON-ready dict capturing everything the solvers consume."""
+    network = instance.network
+    similarities = dict(instance.similarity_overrides)
+    if instance.social is not None:
+        # flatten the social graph into the pairs that can ever matter
+        for a, b in combinations(instance.riders, 2):
+            key = (min(a.rider_id, b.rider_id), max(a.rider_id, b.rider_id))
+            if key not in similarities:
+                value = instance.similarity(a.rider_id, b.rider_id)
+                if value > 0.0:
+                    similarities[key] = value
+    return {
+        "format_version": FORMAT_VERSION,
+        "alpha": instance.alpha,
+        "beta": instance.beta,
+        "start_time": instance.start_time,
+        "seed": instance.seed,
+        "default_vehicle_utility": instance.default_vehicle_utility,
+        "network": {
+            "undirected": network.undirected,
+            "nodes": [
+                {
+                    "id": node,
+                    "xy": list(network.coordinates[node])
+                    if node in network.coordinates
+                    else None,
+                }
+                for node in sorted(network.nodes())
+            ],
+            "edges": [
+                [u, v, cost] for u, v, cost in sorted(network.edges())
+            ],
+        },
+        "riders": [
+            {
+                "id": r.rider_id,
+                "source": r.source,
+                "destination": r.destination,
+                "pickup_deadline": r.pickup_deadline,
+                "dropoff_deadline": r.dropoff_deadline,
+            }
+            for r in instance.riders
+        ],
+        "vehicles": [
+            {
+                "id": v.vehicle_id,
+                "location": v.location,
+                "capacity": v.capacity,
+            }
+            for v in instance.vehicles
+        ],
+        "vehicle_utilities": [
+            [rid, vid, value]
+            for (rid, vid), value in sorted(instance.vehicle_utilities.items())
+        ],
+        "similarities": [
+            [a, b, value] for (a, b), value in sorted(similarities.items())
+        ],
+    }
+
+
+def instance_from_dict(payload: dict) -> URRInstance:
+    """Inverse of :func:`instance_to_dict`."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported instance format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    net_data = payload["network"]
+    network = RoadNetwork(undirected=False)
+    for node in net_data["nodes"]:
+        if node["xy"] is not None:
+            network.add_node(node["id"], x=node["xy"][0], y=node["xy"][1])
+        else:
+            network.add_node(node["id"])
+    for u, v, cost in net_data["edges"]:
+        network.add_edge(u, v, cost)
+    network.undirected = bool(net_data["undirected"])
+
+    riders = [
+        Rider(
+            rider_id=r["id"],
+            source=r["source"],
+            destination=r["destination"],
+            pickup_deadline=r["pickup_deadline"],
+            dropoff_deadline=r["dropoff_deadline"],
+        )
+        for r in payload["riders"]
+    ]
+    vehicles = [
+        Vehicle(vehicle_id=v["id"], location=v["location"], capacity=v["capacity"])
+        for v in payload["vehicles"]
+    ]
+    return URRInstance(
+        network=network,
+        riders=riders,
+        vehicles=vehicles,
+        alpha=payload["alpha"],
+        beta=payload["beta"],
+        vehicle_utilities={
+            (rid, vid): value for rid, vid, value in payload["vehicle_utilities"]
+        },
+        similarity_overrides={
+            (a, b): value for a, b, value in payload["similarities"]
+        },
+        start_time=payload["start_time"],
+        seed=payload["seed"],
+        default_vehicle_utility=payload["default_vehicle_utility"],
+    )
+
+
+def save_instance(instance: URRInstance, path: PathLike) -> None:
+    """Write an instance as JSON."""
+    Path(path).write_text(json.dumps(instance_to_dict(instance)) + "\n")
+
+
+def load_instance(path: PathLike) -> URRInstance:
+    """Read an instance written by :func:`save_instance`."""
+    return instance_from_dict(json.loads(Path(path).read_text()))

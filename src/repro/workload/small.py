@@ -1,0 +1,108 @@
+"""Small worked instances: Example 1 (Figure 1) and the Table 4 scale.
+
+The Figure 1 edge weights are only partially recoverable from the paper's
+scan, so :func:`example1_instance` reproduces the *structure* of the worked
+example — 8 road nodes, 4 riders with the Table 1 utility matrix, 2 vehicles
+of capacity 2, stated pairwise similarities — with self-consistent weights.
+Tests assert the qualitative facts the example demonstrates (the optimal
+assignment pairs socially similar riders; heuristics approach OPT), not the
+scan's exact utility figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.instance import URRInstance
+from repro.core.requests import Rider
+from repro.core.vehicles import Vehicle
+from repro.roadnet.generators import grid_city, paper_example_network
+from repro.roadnet.oracle import DistanceOracle
+from repro.workload.instances import InstanceConfig, build_instance
+
+#: Table 1 — mu_v(r_i, c_j) of the worked example.
+EXAMPLE1_VEHICLE_UTILITIES: Dict[Tuple[int, int], float] = {
+    (0, 0): 0.2, (0, 1): 0.4,   # r1
+    (1, 0): 0.6, (1, 1): 0.3,   # r2
+    (2, 0): 0.2, (2, 1): 0.8,   # r3
+    (3, 0): 0.2, (3, 1): 1.0,   # r4
+}
+
+#: Figure 2 — pairwise social similarities of the worked example (the
+#: worked utility derivation uses s(r1, r3) = 0.25).
+EXAMPLE1_SIMILARITIES: Dict[Tuple[int, int], float] = {
+    (0, 1): 0.50,  # r1-r2
+    (0, 2): 0.25,  # r1-r3
+    (0, 3): 0.10,  # r1-r4
+    (1, 2): 0.20,  # r2-r3
+    (1, 3): 0.30,  # r2-r4
+    (2, 3): 0.60,  # r3-r4
+}
+
+
+def example1_instance(alpha: float = 1.0 / 3.0, beta: float = 1.0 / 3.0) -> URRInstance:
+    """The Example 1 instance: 4 riders, 2 vehicles on the Figure 1 network.
+
+    Node letters map to ids A=0, B=1, C=2, D=3, E=4, F=5, G=6, H=7.
+    Riders (id, source, destination, pickup deadline, drop-off deadline):
+
+    - r1 (id 0): A -> H, picked up before 4, delivered before 12;
+    - r2 (id 1): D -> G, picked up before 6, delivered before 14;
+    - r3 (id 2): E -> G, picked up before 6, delivered before 14;
+    - r4 (id 3): C -> F, picked up before 5, delivered before 12.
+
+    Vehicle c1 (id 0) waits at B, c2 (id 1) at F; both have capacity 2.
+    """
+    network = paper_example_network()
+    riders = [
+        Rider(rider_id=0, source=0, destination=7, pickup_deadline=4.0, dropoff_deadline=12.0),
+        Rider(rider_id=1, source=3, destination=6, pickup_deadline=6.0, dropoff_deadline=14.0),
+        Rider(rider_id=2, source=4, destination=6, pickup_deadline=6.0, dropoff_deadline=14.0),
+        Rider(rider_id=3, source=2, destination=5, pickup_deadline=5.0, dropoff_deadline=12.0),
+    ]
+    vehicles = [
+        Vehicle(vehicle_id=0, location=1, capacity=2),
+        Vehicle(vehicle_id=1, location=5, capacity=2),
+    ]
+    return URRInstance(
+        network=network,
+        riders=riders,
+        vehicles=vehicles,
+        alpha=alpha,
+        beta=beta,
+        vehicle_utilities=dict(EXAMPLE1_VEHICLE_UTILITIES),
+        similarity_overrides=dict(EXAMPLE1_SIMILARITIES),
+        start_time=0.0,
+        seed=0,
+    )
+
+
+def small_instance(
+    num_vehicles: int = 3,
+    num_riders: int = 8,
+    seed: int = 4,
+    capacity: int = 2,
+    alpha: float = 0.33,
+    beta: float = 0.33,
+) -> URRInstance:
+    """The Table 4 small-scale instance: 3 vehicles, 8 riders.
+
+    Built on a small grid so OPT's exhaustive enumeration stays tractable;
+    deadlines are generous enough that most riders are serviceable (the
+    point of Table 4 is comparing solution quality, not feasibility).
+    """
+    network = grid_city(6, 6, seed=seed, removal_fraction=0.0, arterial_every=None)
+    config = InstanceConfig(
+        num_riders=num_riders,
+        num_vehicles=num_vehicles,
+        pickup_deadline_range=(8.0, 16.0),
+        capacity=capacity,
+        alpha=alpha,
+        beta=beta,
+        flexible_factor=2.0,
+        seed=seed,
+    )
+    oracle = DistanceOracle(network)
+    return build_instance(network, config, oracle=oracle)

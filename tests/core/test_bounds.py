@@ -1,0 +1,118 @@
+"""Unit + property tests for repro.core.bounds."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import serviceable_riders, utility_upper_bound
+from repro.core.instance import URRInstance
+from repro.core.solver import solve
+from repro.core.vehicles import Vehicle
+from tests.conftest import make_rider
+
+
+class TestServiceableRiders:
+    def test_reachable_rider_included(self, line_instance):
+        assert serviceable_riders(line_instance) == {0, 1}
+
+    def test_unreachable_pickup_excluded(self, line_network):
+        riders = [make_rider(0, source=4, destination=0, pickup_deadline=0.5,
+                             dropoff_deadline=10.0)]
+        instance = URRInstance(
+            network=line_network, riders=riders,
+            vehicles=[Vehicle(0, 0, 2)],
+        )
+        assert serviceable_riders(instance) == set()
+
+    def test_impossible_dropoff_excluded(self, line_network):
+        riders = [make_rider(0, source=1, destination=4, pickup_deadline=2.0,
+                             dropoff_deadline=2.5)]
+        instance = URRInstance(
+            network=line_network, riders=riders,
+            vehicles=[Vehicle(0, 0, 2)],
+        )
+        assert serviceable_riders(instance) == set()
+
+    def test_no_vehicles(self, line_network):
+        riders = [make_rider(0, source=1, destination=3)]
+        instance = URRInstance(network=line_network, riders=riders, vehicles=[])
+        assert serviceable_riders(instance) == set()
+
+
+class TestUpperBound:
+    def test_bound_structure(self, line_instance):
+        report = utility_upper_bound(line_instance)
+        assert set(report.per_rider) == {0, 1}
+        assert report.unreachable == set()
+        assert report.total == pytest.approx(sum(report.per_rider.values()))
+
+    def test_unreachable_contribute_zero(self, line_network):
+        riders = [
+            make_rider(0, source=1, destination=3),
+            make_rider(1, source=4, destination=0, pickup_deadline=0.2,
+                       dropoff_deadline=1.0),
+        ]
+        instance = URRInstance(
+            network=line_network, riders=riders,
+            vehicles=[Vehicle(0, 0, 2)],
+        )
+        report = utility_upper_bound(instance)
+        assert report.per_rider[1] == 0.0
+        assert 1 in report.unreachable
+
+    def test_bound_dominates_opt_on_line(self, line_instance):
+        report = utility_upper_bound(line_instance)
+        opt = solve(line_instance, method="opt")
+        assert report.total >= opt.total_utility() - 1e-9
+        assert 0.0 <= report.gap(opt) <= 1.0
+
+    def test_gap_zero_for_perfect(self, line_network):
+        """A solo zero-detour rider with the best vehicle hits the bound."""
+        riders = [make_rider(0, source=1, destination=3)]
+        instance = URRInstance(
+            network=line_network, riders=riders,
+            vehicles=[Vehicle(0, 0, 2)],
+            alpha=1.0, beta=0.0,
+            vehicle_utilities={(0, 0): 0.7},
+        )
+        report = utility_upper_bound(instance)
+        opt = solve(instance, method="opt")
+        assert report.gap(opt) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gap_of_empty_assignment(self, line_instance):
+        from repro.core.assignment import Assignment
+
+        report = utility_upper_bound(line_instance)
+        assert report.gap(Assignment.empty(line_instance)) == pytest.approx(1.0)
+
+
+class TestSoundnessProperty:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data())
+    def test_every_solver_below_bound(self, data, small_grid):
+        import numpy as np
+
+        rng = np.random.default_rng(data.draw(st.integers(0, 500)))
+        nodes = sorted(small_grid.nodes())
+        riders = []
+        for i in range(data.draw(st.integers(1, 8))):
+            src, dst = (int(x) for x in rng.choice(nodes, size=2, replace=False))
+            pickup = float(rng.uniform(1, 12))
+            riders.append(
+                make_rider(i, source=src, destination=dst,
+                           pickup_deadline=pickup,
+                           dropoff_deadline=pickup + float(rng.uniform(5, 25)))
+            )
+        vehicles = [
+            Vehicle(j, int(rng.choice(nodes)), capacity=2)
+            for j in range(data.draw(st.integers(1, 3)))
+        ]
+        instance = URRInstance(
+            network=small_grid, riders=riders, vehicles=vehicles,
+            alpha=0.33, beta=0.33,
+        )
+        report = utility_upper_bound(instance)
+        for method in ("cf", "eg", "ba"):
+            assignment = solve(instance, method=method)
+            assert assignment.total_utility() <= report.total + 1e-6, method

@@ -1,0 +1,119 @@
+"""Unit tests for repro.core.dispatch (rolling-horizon dispatcher)."""
+
+import pytest
+
+from repro.core.dispatch import Dispatcher
+from repro.core.vehicles import Vehicle
+from repro.roadnet.generators import grid_city
+from repro.roadnet.oracle import DistanceOracle
+from repro.workload.taxi import TaxiTripSimulator
+from tests.conftest import make_rider
+
+
+@pytest.fixture(scope="module")
+def city():
+    return grid_city(8, 8, seed=2, removal_fraction=0.0, arterial_every=None)
+
+
+@pytest.fixture
+def dispatcher(city):
+    fleet = [
+        Vehicle(vehicle_id=0, location=0, capacity=2),
+        Vehicle(vehicle_id=1, location=63, capacity=2),
+    ]
+    return Dispatcher(city, fleet, method="eg", frame_length=30.0, seed=1)
+
+
+def frame_requests(city, count, start, seed):
+    """Requests whose deadlines live on the absolute dispatcher clock."""
+    oracle = DistanceOracle(city)
+    sim = TaxiTripSimulator(city, oracle=oracle, seed=seed)
+    trips = sim.generate_trips(count, start, 30.0)
+    riders = []
+    for i, t in enumerate(trips):
+        shortest = oracle.cost(t.pickup_node, t.dropoff_node)
+        riders.append(
+            make_rider(
+                i, source=t.pickup_node, destination=t.dropoff_node,
+                pickup_deadline=start + 20.0,
+                dropoff_deadline=start + 20.0 + 2.0 * shortest,
+            )
+        )
+    return riders
+
+
+class TestConstruction:
+    def test_duplicate_fleet_ids_rejected(self, city):
+        fleet = [Vehicle(0, 0, 2), Vehicle(0, 1, 2)]
+        with pytest.raises(ValueError, match="unique"):
+            Dispatcher(city, fleet)
+
+    def test_empty_fleet_rejected(self, city):
+        with pytest.raises(ValueError, match="at least one"):
+            Dispatcher(city, [])
+
+    def test_initial_state(self, dispatcher):
+        assert dispatcher.clock == 0.0
+        assert dispatcher.total_requests == 0
+        assert dispatcher.fleet_locations() == {0: 0, 1: 63}
+
+
+class TestDispatchFrame:
+    def test_single_frame(self, dispatcher, city):
+        requests = frame_requests(city, 8, 0.0, seed=3)
+        report = dispatcher.dispatch_frame(requests)
+        assert report.frame_index == 0
+        assert report.num_requests == 8
+        assert 0 < report.num_served <= 8
+        assert report.utility > 0
+        assert report.assignment.is_valid()
+        assert dispatcher.clock == 30.0
+
+    def test_fleet_rolls_forward(self, dispatcher, city):
+        requests = frame_requests(city, 8, 0.0, seed=3)
+        report = dispatcher.dispatch_frame(requests)
+        for vid, seq in report.assignment.schedules.items():
+            expected = seq.stops[-1].location if seq.stops else seq.origin
+            assert dispatcher.fleet_locations()[vid] == expected
+
+    def test_multiple_frames_accumulate(self, dispatcher, city):
+        for frame in range(3):
+            requests = frame_requests(city, 6, frame * 30.0, seed=10 + frame)
+            dispatcher.dispatch_frame(requests)
+        assert dispatcher.total_requests == 18
+        assert 0 < dispatcher.total_served <= 18
+        assert 0.0 < dispatcher.service_rate <= 1.0
+        assert len(dispatcher.reports) == 3
+        assert dispatcher.clock == 90.0
+
+    def test_empty_frame(self, dispatcher):
+        report = dispatcher.dispatch_frame([])
+        assert report.num_requests == 0
+        assert report.num_served == 0
+        assert report.service_rate == 0.0
+
+    def test_utilisation_tracking(self, dispatcher, city):
+        dispatcher.dispatch_frame(frame_requests(city, 8, 0.0, seed=3))
+        utilisation = dispatcher.utilisation()
+        assert set(utilisation) == {0, 1}
+        assert all(u >= 0 for u in utilisation.values())
+        assert sum(u > 0 for u in utilisation.values()) >= 1
+
+    def test_deadlines_use_absolute_clock(self, dispatcher, city):
+        """A request whose deadlines already passed cannot be served."""
+        dispatcher.dispatch_frame(frame_requests(city, 4, 0.0, seed=3))
+        stale = [
+            make_rider(0, source=10, destination=20,
+                       pickup_deadline=1.0, dropoff_deadline=5.0)
+        ]
+        report = dispatcher.dispatch_frame(stale)
+        assert report.num_served == 0
+
+    def test_gbs_method_supported(self, city):
+        from repro.core.grouping import prepare_grouping
+
+        fleet = [Vehicle(0, 0, 2), Vehicle(1, 30, 2)]
+        plan = prepare_grouping(city, k=3)
+        dispatcher = Dispatcher(city, fleet, method="gbs+eg", plan=plan)
+        report = dispatcher.dispatch_frame(frame_requests(city, 6, 0.0, seed=4))
+        assert report.assignment.is_valid()

@@ -1,0 +1,121 @@
+"""Unit tests for repro.core.exact (OPT enumeration)."""
+
+import pytest
+
+from repro.core.exact import solve_optimal
+from repro.core.instance import URRInstance
+from repro.core.solver import solve
+from repro.core.vehicles import Vehicle
+from tests.conftest import make_rider
+
+
+@pytest.fixture
+def tiny_instance(line_network):
+    riders = [
+        make_rider(0, source=1, destination=3, pickup_deadline=5.0,
+                   dropoff_deadline=20.0),
+        make_rider(1, source=2, destination=4, pickup_deadline=8.0,
+                   dropoff_deadline=25.0),
+        make_rider(2, source=3, destination=0, pickup_deadline=12.0,
+                   dropoff_deadline=40.0),
+    ]
+    vehicles = [
+        Vehicle(vehicle_id=0, location=0, capacity=2),
+        Vehicle(vehicle_id=1, location=4, capacity=2),
+    ]
+    return URRInstance(
+        network=line_network, riders=riders, vehicles=vehicles,
+        alpha=0.33, beta=0.33,
+        vehicle_utilities={(i, j): 0.5 for i in range(3) for j in range(2)},
+    )
+
+
+class TestSolveOptimal:
+    def test_assignment_valid(self, tiny_instance):
+        assignment = solve_optimal(tiny_instance)
+        assert assignment.is_valid()
+
+    def test_beats_every_heuristic(self, tiny_instance):
+        opt = solve_optimal(tiny_instance).total_utility()
+        for method in ("cf", "eg", "ba"):
+            heuristic = solve(tiny_instance, method=method).total_utility()
+            assert opt >= heuristic - 1e-9
+
+    def test_riders_not_duplicated(self, tiny_instance):
+        assignment = solve_optimal(tiny_instance)
+        served = []
+        for seq in assignment.schedules.values():
+            served.extend(r.rider_id for r in seq.assigned_riders())
+        assert len(served) == len(set(served))
+
+    def test_size_guard(self, tiny_instance):
+        with pytest.raises(ValueError, match="exponential"):
+            solve_optimal(tiny_instance, max_riders=2)
+
+    def test_single_rider_optimal_is_best_vehicle(self, line_network):
+        riders = [make_rider(0, source=2, destination=4, pickup_deadline=9.0,
+                             dropoff_deadline=30.0)]
+        vehicles = [
+            Vehicle(vehicle_id=0, location=0, capacity=1),
+            Vehicle(vehicle_id=1, location=2, capacity=1),
+        ]
+        instance = URRInstance(
+            network=line_network, riders=riders, vehicles=vehicles,
+            alpha=1.0, beta=0.0,
+            vehicle_utilities={(0, 0): 0.9, (0, 1): 0.3},
+        )
+        assignment = solve_optimal(instance)
+        # pure vehicle utility: OPT must choose vehicle 0 despite distance
+        assert assignment.vehicle_of(0) == 0
+        assert assignment.total_utility() == pytest.approx(0.9)
+
+    def test_infeasible_riders_left_unserved(self, line_network):
+        riders = [
+            make_rider(0, source=4, destination=0, pickup_deadline=0.1,
+                       dropoff_deadline=1.0),
+            make_rider(1, source=1, destination=2, pickup_deadline=5.0,
+                       dropoff_deadline=20.0),
+        ]
+        vehicles = [Vehicle(vehicle_id=0, location=0, capacity=1)]
+        instance = URRInstance(network=line_network, riders=riders,
+                               vehicles=vehicles)
+        assignment = solve_optimal(instance)
+        assert assignment.is_valid()
+        assert 0 in assignment.unserved_rider_ids()
+        assert 1 in assignment.served_rider_ids()
+
+    def test_capacity_respected(self, line_network):
+        riders = [
+            make_rider(i, source=1, destination=4, pickup_deadline=4.0,
+                       dropoff_deadline=30.0)
+            for i in range(3)
+        ]
+        vehicles = [Vehicle(vehicle_id=0, location=0, capacity=2)]
+        instance = URRInstance(network=line_network, riders=riders,
+                               vehicles=vehicles)
+        assignment = solve_optimal(instance)
+        assert assignment.is_valid()
+        # at most 2 riders can be picked up by deadline 4 (same source)
+        assert assignment.num_served <= 2
+
+    def test_sharing_beats_serial_when_social(self, line_network):
+        """With beta = 1 and two friends on the same corridor, OPT puts
+        them in the same vehicle."""
+        riders = [
+            make_rider(0, source=1, destination=4, pickup_deadline=6.0,
+                       dropoff_deadline=30.0),
+            make_rider(1, source=1, destination=4, pickup_deadline=6.0,
+                       dropoff_deadline=30.0),
+        ]
+        vehicles = [
+            Vehicle(vehicle_id=0, location=0, capacity=2),
+            Vehicle(vehicle_id=1, location=0, capacity=2),
+        ]
+        instance = URRInstance(
+            network=line_network, riders=riders, vehicles=vehicles,
+            alpha=0.0, beta=1.0,
+            similarity_overrides={(0, 1): 1.0},
+        )
+        assignment = solve_optimal(instance)
+        assert assignment.vehicle_of(0) == assignment.vehicle_of(1)
+        assert assignment.total_utility() == pytest.approx(2.0)

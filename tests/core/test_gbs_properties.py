@@ -1,0 +1,139 @@
+"""Property-based tests for grouping-based scheduling (Section 6).
+
+GBS is the most stateful solver (shared schedules across sequentially
+solved groups), so its invariants get their own hypothesis suite:
+
+- results always pass the full validity audit for any (k, d_max, base);
+- no rider is ever assigned twice across groups;
+- the short/long classification is consistent with the plan's bound;
+- grouping never serves a rider outside the rider set it was given.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import Assignment
+from repro.core.grouping import prepare_grouping, run_grouping
+from repro.core.instance import URRInstance
+from repro.core.requests import Rider
+from repro.core.scoring import SolverState
+from repro.core.vehicles import Vehicle
+from repro.roadnet.generators import grid_city
+from repro.roadnet.oracle import DistanceOracle
+
+NET = grid_city(6, 6, seed=12, removal_fraction=0.0, arterial_every=None)
+ORACLE = DistanceOracle(NET)
+NODES = sorted(NET.nodes())
+
+#: plans for a few (k, d_max) combinations, built once
+PLANS = {
+    (k, d_max): prepare_grouping(NET, k=k, d_max=d_max)
+    for k in (2, 4)
+    for d_max in (1.0, 2.5)
+}
+
+SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def gbs_cases(draw):
+    num_riders = draw(st.integers(2, 12))
+    num_vehicles = draw(st.integers(1, 4))
+    riders = []
+    for i in range(num_riders):
+        src = draw(st.sampled_from(NODES))
+        dst = draw(st.sampled_from([n for n in NODES if n != src]))
+        pickup = draw(st.floats(2.0, 12.0))
+        riders.append(
+            Rider(
+                rider_id=i, source=src, destination=dst,
+                pickup_deadline=pickup,
+                dropoff_deadline=pickup + 2.0 * ORACLE.cost(src, dst) + 0.5,
+            )
+        )
+    vehicles = [
+        Vehicle(vehicle_id=j, location=draw(st.sampled_from(NODES)), capacity=2)
+        for j in range(num_vehicles)
+    ]
+    instance = URRInstance(
+        network=NET, riders=riders, vehicles=vehicles,
+        alpha=0.33, beta=0.33, oracle=ORACLE,
+        seed=draw(st.integers(0, 50)),
+    )
+    plan_key = draw(st.sampled_from(sorted(PLANS)))
+    base = draw(st.sampled_from(["eg", "ba"]))
+    return instance, PLANS[plan_key], base
+
+
+class TestGbsInvariants:
+    @settings(**SETTINGS)
+    @given(case=gbs_cases())
+    def test_always_valid(self, case):
+        instance, plan, base = case
+        state = SolverState(instance)
+        run_grouping(state, instance.riders, plan, base=base)
+        assignment = Assignment(instance=instance, schedules=state.schedules)
+        assert assignment.validity_errors() == []
+
+    @settings(**SETTINGS)
+    @given(case=gbs_cases())
+    def test_no_duplicate_assignment(self, case):
+        instance, plan, base = case
+        state = SolverState(instance)
+        run_grouping(state, instance.riders, plan, base=base)
+        seen = []
+        for seq in state.schedules.values():
+            seen.extend(r.rider_id for r in seq.assigned_riders())
+        assert len(seen) == len(set(seen))
+
+    @settings(**SETTINGS)
+    @given(case=gbs_cases())
+    def test_only_given_riders_served(self, case):
+        """Handing GBS a subset must never serve riders outside it."""
+        instance, plan, base = case
+        subset = instance.riders[::2]
+        state = SolverState(instance)
+        run_grouping(state, subset, plan, base=base)
+        allowed = {r.rider_id for r in subset}
+        for seq in state.schedules.values():
+            for rider in seq.assigned_riders():
+                assert rider.rider_id in allowed
+
+    @settings(**SETTINGS)
+    @given(case=gbs_cases())
+    def test_classification_consistent_with_bound(self, case):
+        instance, plan, _ = case
+        bound = plan.short_trip_bound
+        for rider in instance.riders:
+            shortest = instance.cost(rider.source, rider.destination)
+            if shortest <= bound:
+                # short trips must belong to the area of their source
+                center = plan.areas.center_of(rider.source)
+                assert rider.source in plan.areas.area_of(rider.source)
+                assert center in plan.areas.centers
+
+    @settings(**SETTINGS)
+    @given(case=gbs_cases())
+    def test_gbs_not_wildly_below_base(self, case):
+        """GBS may differ from its base solver but must stay in the same
+        ballpark (>= 40% of the base utility) — a regression tripwire for
+        grouping bugs that silently drop most riders."""
+        instance, plan, base = case
+        from repro.core.bilateral import run_bilateral
+        from repro.core.greedy import run_efficient_greedy
+
+        gbs_state = SolverState(instance)
+        run_grouping(gbs_state, instance.riders, plan, base=base)
+        base_state = SolverState(instance)
+        if base == "eg":
+            run_efficient_greedy(base_state, instance.riders)
+        else:
+            run_bilateral(base_state, instance.riders)
+        base_utility = base_state.total_utility()
+        if base_utility > 1.0:
+            assert gbs_state.total_utility() >= 0.4 * base_utility

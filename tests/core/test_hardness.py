@@ -1,0 +1,153 @@
+"""Computational checks of the Appendix B / C reductions.
+
+Solving the constructed URR instances optimally must recover the optimal
+knapsack packing and the densest k-subgraph — a deep cross-check of the
+scheduling semantics and the utility model against the paper's proofs.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import solve_optimal
+from repro.core.hardness import (
+    KnapsackItem,
+    dense_subgraph_to_urr,
+    densest_k_subgraph_bruteforce,
+    induced_edges_of,
+    knapsack_to_urr,
+    knapsack_value_of,
+    solve_knapsack_bruteforce,
+)
+
+
+class TestKnapsackReduction:
+    def test_item_validation(self):
+        with pytest.raises(ValueError):
+            KnapsackItem(weight=0.0, value=1.0)
+        with pytest.raises(ValueError):
+            KnapsackItem(weight=1.0, value=-1.0)
+
+    def test_instance_validation(self):
+        with pytest.raises(ValueError):
+            knapsack_to_urr([], 5.0)
+        with pytest.raises(ValueError):
+            knapsack_to_urr([KnapsackItem(1, 1)], 0.0)
+
+    def test_structure(self):
+        items = [KnapsackItem(2, 3), KnapsackItem(4, 5)]
+        instance = knapsack_to_urr(items, 5.0)
+        assert instance.num_riders == 2
+        assert instance.num_vehicles == 1
+        assert instance.alpha == 1.0
+
+    def test_serving_cost_equals_weight(self):
+        """Serving one item must cost exactly w_i of vehicle travel."""
+        items = [KnapsackItem(4.0, 1.0)]
+        instance = knapsack_to_urr(items, 10.0)
+        assignment = solve_optimal(instance)
+        (seq,) = assignment.schedules.values()
+        # the schedule ends at the drop-off: 3w/8 + w/4 = 5w/8 travelled;
+        # the remaining 3w/8 would be the unused return leg
+        assert seq.total_cost == pytest.approx(5.0 * 4.0 / 8.0)
+
+    def test_simple_exact_recovery(self):
+        items = [KnapsackItem(3, 6), KnapsackItem(4, 7), KnapsackItem(5, 8)]
+        capacity = 7.0
+        instance = knapsack_to_urr(items, capacity)
+        assignment = solve_optimal(instance)
+        best_value, best_set = solve_knapsack_bruteforce(items, capacity)
+        assert knapsack_value_of(assignment, items) == pytest.approx(best_value)
+        assert assignment.served_rider_ids() == best_set
+
+    def test_overweight_item_never_served(self):
+        items = [KnapsackItem(10.0, 100.0), KnapsackItem(2.0, 1.0)]
+        instance = knapsack_to_urr(items, 5.0)
+        assignment = solve_optimal(instance)
+        assert 0 not in assignment.served_rider_ids()
+        assert 1 in assignment.served_rider_ids()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        weights=st.lists(st.integers(1, 8), min_size=1, max_size=5),
+        values=st.data(),
+        capacity=st.integers(3, 16),
+    )
+    def test_reduction_roundtrip_property(self, weights, values, capacity):
+        items = [
+            KnapsackItem(w, values.draw(st.integers(0, 9), label=f"v{i}"))
+            for i, w in enumerate(weights)
+        ]
+        instance = knapsack_to_urr(items, float(capacity))
+        assignment = solve_optimal(instance)
+        best_value, _ = solve_knapsack_bruteforce(items, float(capacity))
+        assert knapsack_value_of(assignment, items) == pytest.approx(best_value)
+
+
+def best_density_any_size(edges, num_vertices, k):
+    """max over subset sizes 2..k of 2|E(S)| / (|S| - 1) (what the URR
+    optimum actually maximises; equals the k-subgraph value when the
+    densest subgraph at size k dominates)."""
+    edge_set = {(min(u, v), max(u, v)) for u, v in edges if u != v}
+    best = 0.0
+    for size in range(2, k + 1):
+        for subset in itertools.combinations(range(num_vertices), size):
+            count = sum(
+                1 for a, b in itertools.combinations(subset, 2)
+                if (a, b) in edge_set
+            )
+            best = max(best, 2.0 * count / (size - 1))
+    return best
+
+
+class TestDenseSubgraphReduction:
+    TRIANGLE_PLUS = [(0, 1), (1, 2), (0, 2), (2, 3)]  # triangle + pendant
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dense_subgraph_to_urr([], 3, 1)
+        with pytest.raises(ValueError):
+            dense_subgraph_to_urr([], 2, 3)
+
+    def test_structure(self):
+        instance = dense_subgraph_to_urr(self.TRIANGLE_PLUS, 4, 3)
+        assert instance.num_riders == 4
+        assert instance.vehicles[0].capacity == 3
+        assert instance.beta == 1.0
+
+    def test_selects_triangle(self):
+        """k = 3 on triangle+pendant: OPT must pool the triangle."""
+        instance = dense_subgraph_to_urr(self.TRIANGLE_PLUS, 4, 3)
+        assignment = solve_optimal(instance)
+        assert assignment.served_rider_ids() == {0, 1, 2}
+        # Eq. 13: 2 |E'| / (k - 1) = 2 * 3 / 2 = 3
+        assert assignment.total_utility() == pytest.approx(3.0)
+
+    def test_utility_matches_eq13(self):
+        instance = dense_subgraph_to_urr(self.TRIANGLE_PLUS, 4, 2)
+        assignment = solve_optimal(instance)
+        served = assignment.served_rider_ids()
+        edges = induced_edges_of(assignment, self.TRIANGLE_PLUS)
+        assert assignment.total_utility() == pytest.approx(
+            2.0 * edges / (len(served) - 1)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        num_vertices=st.integers(3, 6),
+        k=st.integers(2, 4),
+        data=st.data(),
+    )
+    def test_reduction_roundtrip_property(self, num_vertices, k, data):
+        if k > num_vertices:
+            k = num_vertices
+        possible = list(itertools.combinations(range(num_vertices), 2))
+        edges = data.draw(
+            st.lists(st.sampled_from(possible), max_size=len(possible), unique=True)
+        )
+        instance = dense_subgraph_to_urr(edges, num_vertices, k)
+        assignment = solve_optimal(instance)
+        expected = best_density_any_size(edges, num_vertices, k)
+        assert assignment.total_utility() == pytest.approx(expected, abs=1e-9)

@@ -1,0 +1,183 @@
+"""Unit tests for repro.core.insertion (Lemma 3.1/3.2, Algorithm 1)."""
+
+import pytest
+
+from repro.core.insertion import arrange_single_rider, can_serve, valid_insertions
+from repro.core.schedule import Stop
+from tests.conftest import make_rider, make_sequence
+
+
+@pytest.fixture
+def base_seq(line_cost):
+    """Vehicle at 0 serving rider X from 1 to 4 (generous deadlines)."""
+    rider = make_rider(10, source=1, destination=4, pickup_deadline=6.0,
+                       dropoff_deadline=30.0)
+    return make_sequence(
+        line_cost, origin=0, capacity=2,
+        stops=[Stop.pickup(rider), Stop.dropoff(rider)],
+    )
+
+
+class TestValidInsertions:
+    def test_on_route_location_zero_delta(self, base_seq):
+        # node 2 lies on the 1 -> 4 leg: delta cost 0
+        candidates = valid_insertions(base_seq, 2, deadline=20.0, count_capacity=True)
+        by_pos = {c.position: c.delta_cost for c in candidates}
+        assert by_pos[1] == pytest.approx(0.0)
+
+    def test_append_position_offered(self, base_seq):
+        candidates = valid_insertions(base_seq, 3, deadline=30.0, count_capacity=False)
+        assert any(c.position == len(base_seq) for c in candidates)
+
+    def test_append_delta_is_tail_cost(self, base_seq):
+        candidates = valid_insertions(base_seq, 2, deadline=30.0, count_capacity=False)
+        append = next(c for c in candidates if c.position == 2)
+        # last stop at 4; appending 2 costs cost(4, 2) = 2
+        assert append.delta_cost == pytest.approx(2.0)
+
+    def test_deadline_unreachable_excluded(self, base_seq):
+        # position 0 requires reaching node 4 from origin 0 by t=2: impossible
+        candidates = valid_insertions(base_seq, 4, deadline=2.0, count_capacity=False)
+        assert candidates == []
+
+    def test_lemma32_cutoff(self, line_cost):
+        """Positions after the earliest start passes the deadline are pruned."""
+        riders = [
+            make_rider(i, source=i + 1, destination=4, pickup_deadline=30.0,
+                       dropoff_deadline=60.0)
+            for i in range(3)
+        ]
+        stops = [Stop.pickup(r) for r in riders] + [Stop.dropoff(r) for r in riders]
+        seq = make_sequence(line_cost, origin=0, capacity=3, stops=stops)
+        # deadline 1.5: only the first event (earliest start 0) can qualify
+        candidates = valid_insertions(seq, 1, deadline=1.5, count_capacity=False)
+        assert all(c.position <= 1 for c in candidates)
+
+    def test_flexible_time_condition_c(self, line_cost):
+        """A detour larger than the event's flexible time is rejected."""
+        tight = make_rider(0, source=1, destination=2, pickup_deadline=1.2,
+                           dropoff_deadline=2.2)
+        seq = make_sequence(
+            line_cost, origin=0, capacity=2,
+            stops=[Stop.pickup(tight), Stop.dropoff(tight)],
+        )
+        # inserting node 3 before stop 1 (the drop-off at 2) would detour
+        # 1->3->2 = 3 vs direct 1; flexible time is ~0.2
+        candidates = valid_insertions(seq, 3, deadline=50.0, count_capacity=False)
+        assert all(c.position != 1 for c in candidates)
+
+    def test_capacity_condition_d(self, line_cost):
+        a = make_rider(0, source=1, destination=4, pickup_deadline=10.0,
+                       dropoff_deadline=30.0)
+        b = make_rider(1, source=2, destination=4, pickup_deadline=10.0,
+                       dropoff_deadline=30.0)
+        seq = make_sequence(
+            line_cost, origin=0, capacity=2,
+            stops=[Stop.pickup(a), Stop.pickup(b), Stop.dropoff(a), Stop.dropoff(b)],
+        )
+        # two riders aboard during event 2: a third pickup cannot split it
+        pickups = valid_insertions(seq, 3, deadline=50.0, count_capacity=True)
+        assert all(c.position != 2 for c in pickups)
+        # but a pure location visit (drop-off semantics) can
+        dropoffs = valid_insertions(seq, 3, deadline=50.0, count_capacity=False)
+        assert any(c.position == 2 for c in dropoffs)
+
+    def test_min_position_respected(self, base_seq):
+        candidates = valid_insertions(
+            base_seq, 2, deadline=30.0, count_capacity=False, min_position=2
+        )
+        assert all(c.position >= 2 for c in candidates)
+
+    def test_empty_sequence_offers_append(self, line_cost):
+        seq = make_sequence(line_cost, origin=0)
+        candidates = valid_insertions(seq, 3, deadline=5.0, count_capacity=True)
+        assert len(candidates) == 1
+        assert candidates[0].position == 0
+        assert candidates[0].delta_cost == pytest.approx(3.0)
+
+
+class TestArrangeSingleRider:
+    def test_empty_schedule(self, line_cost):
+        seq = make_sequence(line_cost, origin=0)
+        rider = make_rider(0, source=1, destination=3, pickup_deadline=5.0,
+                           dropoff_deadline=10.0)
+        result = arrange_single_rider(seq, rider)
+        assert result is not None
+        assert result.delta_cost == pytest.approx(3.0)  # 0->1 + 1->3
+        assert result.sequence.is_valid()
+
+    def test_input_not_mutated(self, base_seq):
+        rider = make_rider(0, source=2, destination=3, pickup_deadline=8.0,
+                           dropoff_deadline=20.0)
+        before = list(base_seq.stops)
+        arrange_single_rider(base_seq, rider)
+        assert base_seq.stops == before
+
+    def test_on_route_rider_free(self, base_seq):
+        """A rider exactly on the route inserts at zero extra cost."""
+        rider = make_rider(0, source=2, destination=3, pickup_deadline=8.0,
+                           dropoff_deadline=20.0)
+        result = arrange_single_rider(base_seq, rider)
+        assert result is not None
+        assert result.delta_cost == pytest.approx(0.0)
+        assert result.sequence.is_valid()
+
+    def test_result_sequence_valid(self, base_seq):
+        rider = make_rider(0, source=3, destination=0, pickup_deadline=20.0,
+                           dropoff_deadline=40.0)
+        result = arrange_single_rider(base_seq, rider)
+        assert result is not None
+        assert result.sequence.is_valid()
+
+    def test_infeasible_returns_none(self, base_seq):
+        rider = make_rider(0, source=4, destination=0, pickup_deadline=0.5,
+                           dropoff_deadline=1.0)
+        assert arrange_single_rider(base_seq, rider) is None
+
+    def test_pickup_always_before_dropoff(self, base_seq):
+        rider = make_rider(0, source=3, destination=1, pickup_deadline=20.0,
+                           dropoff_deadline=60.0)
+        result = arrange_single_rider(base_seq, rider)
+        assert result is not None
+        assert result.pickup_position < result.dropoff_position
+
+    def test_capacity_blocks_insertion(self, line_cost):
+        a = make_rider(0, source=1, destination=4, pickup_deadline=10.0,
+                       dropoff_deadline=30.0)
+        seq = make_sequence(
+            line_cost, origin=0, capacity=1,
+            stops=[Stop.pickup(a), Stop.dropoff(a)],
+        )
+        # a second rider overlapping the whole trip cannot fit capacity 1
+        rider = make_rider(1, source=1, destination=4, pickup_deadline=2.0,
+                           dropoff_deadline=8.0)
+        result = arrange_single_rider(seq, rider)
+        if result is not None:
+            # allowed only if scheduled without overlap (serial service)
+            assert result.sequence.is_valid()
+            loads = result.sequence.load_before
+            assert max(loads) <= 1
+
+    def test_can_serve(self, base_seq):
+        good = make_rider(0, source=2, destination=3, pickup_deadline=8.0,
+                          dropoff_deadline=20.0)
+        bad = make_rider(1, source=4, destination=0, pickup_deadline=0.1,
+                         dropoff_deadline=0.2)
+        assert can_serve(base_seq, good)
+        assert not can_serve(base_seq, bad)
+
+    def test_same_leg_pickup_and_dropoff(self, line_cost):
+        """Both stops inside one original event (the v == u case)."""
+        x = make_rider(10, source=0, destination=4, pickup_deadline=5.0,
+                       dropoff_deadline=30.0)
+        seq = make_sequence(
+            line_cost, origin=0, capacity=2,
+            stops=[Stop.pickup(x), Stop.dropoff(x)],
+        )
+        rider = make_rider(0, source=1, destination=3, pickup_deadline=8.0,
+                           dropoff_deadline=20.0)
+        result = arrange_single_rider(seq, rider)
+        assert result is not None
+        assert result.delta_cost == pytest.approx(0.0)
+        # both stops inserted inside the single 0 -> 4 leg
+        assert result.sequence.locations() == [0, 1, 3, 4]

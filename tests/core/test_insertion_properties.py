@@ -1,0 +1,114 @@
+"""Property-based tests: Algorithm 1 is exact among non-reordered insertions.
+
+For random schedules and random new riders, ArrangeSingleRider must return
+exactly the minimum-incremental-cost valid (pickup, drop-off) position pair
+— verified against brute force over all position pairs — and never return
+an invalid sequence.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.insertion import arrange_single_rider
+from repro.core.requests import Rider
+from repro.core.schedule import Stop, TransferSequence
+from repro.roadnet.generators import grid_city
+from repro.roadnet.oracle import DistanceOracle
+
+NET = grid_city(4, 4, seed=2, removal_fraction=0.0, arterial_every=None)
+COST = DistanceOracle(NET).fast_cost_fn()
+NODES = sorted(NET.nodes())
+
+
+def brute_force_best(sequence: TransferSequence, rider: Rider):
+    """Try every (pickup, drop-off) position pair; return the min delta."""
+    best = None
+    n = len(sequence)
+    base_cost = sequence.total_cost
+    for p in range(n + 1):
+        for d in range(p + 1, n + 2):
+            trial = sequence.copy()
+            trial.insert_stop(p, Stop.pickup(rider))
+            trial.insert_stop(d, Stop.dropoff(rider))
+            if not trial.is_valid():
+                continue
+            delta = trial.total_cost - base_cost
+            if best is None or delta < best - 1e-9:
+                best = delta
+    return best
+
+
+@st.composite
+def schedule_and_rider(draw):
+    """A random valid schedule (0-2 existing riders) plus a new rider."""
+    origin = draw(st.sampled_from(NODES))
+    capacity = draw(st.integers(1, 3))
+    num_existing = draw(st.integers(0, 2))
+    seq = TransferSequence(origin=origin, start_time=0.0, capacity=capacity, cost=COST)
+    for i in range(num_existing):
+        src = draw(st.sampled_from(NODES))
+        dst = draw(st.sampled_from([n for n in NODES if n != src]))
+        slack = draw(st.floats(0.0, 6.0))
+        rider = Rider(
+            rider_id=100 + i, source=src, destination=dst,
+            pickup_deadline=COST(origin, src) + slack + 0.5,
+            dropoff_deadline=COST(origin, src) + COST(src, dst) + 2 * slack + 1.0,
+        )
+        result = arrange_single_rider(seq, rider)
+        if result is not None:
+            seq = result.sequence
+    src = draw(st.sampled_from(NODES))
+    dst = draw(st.sampled_from([n for n in NODES if n != src]))
+    new_rider = Rider(
+        rider_id=0, source=src, destination=dst,
+        pickup_deadline=draw(st.floats(0.5, 12.0)),
+        dropoff_deadline=draw(st.floats(12.5, 30.0)),
+    )
+    return seq, new_rider
+
+
+class TestAlgorithm1Exactness:
+    @settings(max_examples=120, deadline=None)
+    @given(case=schedule_and_rider())
+    def test_matches_brute_force(self, case):
+        seq, rider = case
+        result = arrange_single_rider(seq, rider)
+        expected = brute_force_best(seq, rider)
+        if expected is None:
+            assert result is None
+        else:
+            assert result is not None, (
+                f"Algorithm 1 found nothing; brute force found delta {expected}"
+            )
+            assert result.delta_cost == pytest.approx(expected, abs=1e-6)
+
+    @settings(max_examples=120, deadline=None)
+    @given(case=schedule_and_rider())
+    def test_result_always_valid(self, case):
+        seq, rider = case
+        result = arrange_single_rider(seq, rider)
+        if result is not None:
+            assert result.sequence.is_valid(), result.sequence.validity_errors()
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=schedule_and_rider())
+    def test_delta_cost_consistent_with_totals(self, case):
+        seq, rider = case
+        result = arrange_single_rider(seq, rider)
+        if result is not None:
+            assert result.sequence.total_cost - seq.total_cost == pytest.approx(
+                result.delta_cost, abs=1e-6
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=schedule_and_rider())
+    def test_existing_stops_not_reordered(self, case):
+        seq, rider = case
+        result = arrange_single_rider(seq, rider)
+        if result is not None:
+            old = [s for s in seq.stops]
+            kept = [s for s in result.sequence.stops if s.rider.rider_id != 0]
+            assert kept == old

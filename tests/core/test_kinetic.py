@@ -1,0 +1,182 @@
+"""Unit + property tests for repro.core.kinetic (the [20] kinetic tree).
+
+The key correctness property: after any sequence of insertions, the tree's
+best schedule equals the brute-force optimal reordering
+(:mod:`repro.core.reorder`) over the same riders.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.kinetic import KineticTree
+from repro.core.reorder import arrange_single_rider_reordered
+from repro.core.requests import Rider
+from repro.core.schedule import TransferSequence
+from repro.roadnet.generators import grid_city
+from repro.roadnet.oracle import DistanceOracle
+from tests.conftest import make_rider
+
+NET = grid_city(4, 4, seed=9, removal_fraction=0.0, arterial_every=None)
+COST = DistanceOracle(NET).fast_cost_fn()
+NODES = sorted(NET.nodes())
+
+
+def make_tree(origin=0, capacity=2, cost=None):
+    return KineticTree(
+        origin=origin, start_time=0.0, capacity=capacity, cost=cost or COST
+    )
+
+
+class TestBasics:
+    def test_empty_tree(self, line_cost):
+        tree = make_tree(cost=line_cost)
+        assert tree.best_cost() == 0.0
+        assert tree.num_riders == 0
+        assert len(tree.best_schedule()) == 0
+
+    def test_single_rider(self, line_cost):
+        tree = make_tree(cost=line_cost)
+        rider = make_rider(0, source=1, destination=3, pickup_deadline=5.0,
+                           dropoff_deadline=10.0)
+        cost = tree.insert(rider)
+        assert cost == pytest.approx(3.0)
+        schedule = tree.best_schedule()
+        assert schedule.is_valid()
+        assert schedule.locations() == [1, 3]
+
+    def test_infeasible_rider_leaves_tree_unchanged(self, line_cost):
+        tree = make_tree(cost=line_cost)
+        ok = make_rider(0, source=1, destination=3, pickup_deadline=5.0,
+                        dropoff_deadline=10.0)
+        tree.insert(ok)
+        before = tree.best_cost()
+        impossible = make_rider(1, source=4, destination=0,
+                                pickup_deadline=0.1, dropoff_deadline=0.2)
+        assert tree.insert(impossible) is None
+        assert tree.best_cost() == pytest.approx(before)
+        assert tree.num_riders == 1
+
+    def test_try_insert_does_not_mutate(self, line_cost):
+        tree = make_tree(cost=line_cost)
+        rider = make_rider(0, source=1, destination=3, pickup_deadline=5.0,
+                           dropoff_deadline=10.0)
+        probe = tree.try_insert(rider)
+        assert probe == pytest.approx(3.0)
+        assert tree.num_riders == 0
+        assert tree.best_cost() == 0.0
+
+    def test_tree_enumerates_reorderings(self, line_cost):
+        """The tree finds the interleaving Algorithm 1 cannot."""
+        tree = make_tree(cost=line_cost)
+        outer = make_rider(0, source=3, destination=4, pickup_deadline=30.0,
+                           dropoff_deadline=60.0)
+        inner = make_rider(1, source=1, destination=2, pickup_deadline=30.0,
+                           dropoff_deadline=60.0)
+        tree.insert(outer)
+        cost = tree.insert(inner)
+        # optimal: 0 -> 1 -> 2 -> 3 -> 4 (cost 4), requires reordering
+        assert cost == pytest.approx(4.0)
+        assert tree.best_schedule().locations() == [1, 2, 3, 4]
+
+    def test_capacity_respected(self, line_cost):
+        tree = make_tree(capacity=1, cost=line_cost)
+        a = make_rider(0, source=1, destination=4, pickup_deadline=10.0,
+                       dropoff_deadline=30.0)
+        b = make_rider(1, source=1, destination=4, pickup_deadline=20.0,
+                       dropoff_deadline=60.0)
+        tree.insert(a)
+        result = tree.insert(b)
+        if result is not None:
+            schedule = tree.best_schedule()
+            assert schedule.is_valid()
+            assert max(schedule.load_before) <= 1
+
+    def test_remove_rider(self, line_cost):
+        tree = make_tree(cost=line_cost)
+        a = make_rider(0, source=1, destination=3, pickup_deadline=5.0,
+                       dropoff_deadline=20.0)
+        b = make_rider(1, source=2, destination=4, pickup_deadline=9.0,
+                       dropoff_deadline=30.0)
+        tree.insert(a)
+        tree.insert(b)
+        removed = tree.remove(0)
+        assert removed.rider_id == 0
+        assert tree.num_riders == 1
+        assert tree.best_schedule().locations() == [2, 4]
+
+    def test_remove_missing_raises(self, line_cost):
+        with pytest.raises(KeyError):
+            make_tree(cost=line_cost).remove(5)
+
+    def test_node_cap_collapses_but_stays_correct(self, line_cost):
+        tree = KineticTree(origin=0, start_time=0.0, capacity=3,
+                           cost=line_cost, max_nodes=3)
+        riders = [
+            make_rider(i, source=1 + (i % 3), destination=4 - (i % 2),
+                       pickup_deadline=40.0, dropoff_deadline=90.0)
+            for i in range(3)
+            if 1 + (i % 3) != 4 - (i % 2)
+        ]
+        for rider in riders:
+            tree.insert(rider)
+        schedule = tree.best_schedule()
+        assert schedule.is_valid()
+        assert tree.num_nodes <= 2 * len(riders)
+
+
+class TestEquivalenceWithBruteForce:
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data())
+    def test_matches_reordering_optimum(self, data):
+        """Insert 1-3 random riders; the tree's best cost must equal the
+        brute-force optimal-reordering cost at every step."""
+        origin = data.draw(st.sampled_from(NODES))
+        capacity = data.draw(st.integers(1, 3))
+        tree = KineticTree(origin=origin, start_time=0.0,
+                           capacity=capacity, cost=COST)
+        reference = TransferSequence(
+            origin=origin, start_time=0.0, capacity=capacity, cost=COST
+        )
+        for i in range(data.draw(st.integers(1, 3))):
+            src = data.draw(st.sampled_from(NODES))
+            dst = data.draw(st.sampled_from([n for n in NODES if n != src]))
+            rider = Rider(
+                rider_id=i, source=src, destination=dst,
+                pickup_deadline=data.draw(st.floats(2.0, 15.0)),
+                dropoff_deadline=data.draw(st.floats(15.5, 40.0)),
+            )
+            optimal = arrange_single_rider_reordered(reference, rider)
+            tree_cost = tree.insert(rider)
+            if optimal is None:
+                assert tree_cost is None
+            else:
+                assert tree_cost is not None
+                assert tree_cost == pytest.approx(
+                    optimal.total_cost, abs=1e-6
+                )
+                reference = optimal
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data())
+    def test_best_schedule_always_valid(self, data):
+        origin = data.draw(st.sampled_from(NODES))
+        tree = KineticTree(origin=origin, start_time=0.0, capacity=2, cost=COST)
+        for i in range(data.draw(st.integers(1, 3))):
+            src = data.draw(st.sampled_from(NODES))
+            dst = data.draw(st.sampled_from([n for n in NODES if n != src]))
+            rider = Rider(
+                rider_id=i, source=src, destination=dst,
+                pickup_deadline=data.draw(st.floats(2.0, 15.0)),
+                dropoff_deadline=data.draw(st.floats(15.5, 40.0)),
+            )
+            tree.insert(rider)
+        if tree.num_riders:
+            schedule = tree.best_schedule()
+            assert schedule.is_valid(), schedule.validity_errors()
+            assert {r.rider_id for r in schedule.assigned_riders()} == {
+                r.rider_id for r in tree.riders()
+            }

@@ -1,0 +1,66 @@
+"""Unit tests for repro.core.kinetic_solver."""
+
+import pytest
+
+from repro.core.kinetic_solver import run_kinetic_greedy
+from repro.core.solver import solve
+from repro.core.instance import URRInstance
+from repro.core.vehicles import Vehicle
+from repro.roadnet.generators import grid_city
+from repro.workload.instances import InstanceConfig, build_instance
+from tests.conftest import make_rider
+
+
+class TestKineticGreedy:
+    def test_valid_on_line_instance(self, line_instance):
+        assignment = run_kinetic_greedy(line_instance)
+        assert assignment.validity_errors() == []
+        assert assignment.solver_name == "kinetic+eg"
+        assert assignment.num_served == 2
+
+    def test_reordering_beats_fixed_order_when_it_matters(self, line_network):
+        """The fixed-order EG wraps around; the kinetic solver nests the
+        inner trip inside the outer one."""
+        outer = make_rider(0, source=3, destination=4, pickup_deadline=30.0,
+                           dropoff_deadline=60.0)
+        inner = make_rider(1, source=1, destination=2, pickup_deadline=30.0,
+                           dropoff_deadline=60.0)
+        instance = URRInstance(
+            network=line_network,
+            riders=[outer, inner],
+            vehicles=[Vehicle(vehicle_id=0, location=0, capacity=2)],
+            alpha=0.0, beta=0.0,  # pure trajectory utility
+        )
+        kinetic = run_kinetic_greedy(instance)
+        assert kinetic.is_valid()
+        assert kinetic.num_served == 2
+        # the optimal route 0-1-2-3-4 serves both with zero detour
+        assert kinetic.total_travel_cost() == pytest.approx(4.0)
+
+    def test_never_below_plain_eg_on_travel_cost(self):
+        """With identical served sets, reordering can only shorten routes."""
+        net = grid_city(6, 6, seed=3, removal_fraction=0.0, arterial_every=None)
+        config = InstanceConfig(
+            num_riders=10, num_vehicles=2, capacity=2,
+            pickup_deadline_range=(6.0, 14.0), seed=4,
+        )
+        instance = build_instance(net, config)
+        kinetic = run_kinetic_greedy(instance)
+        plain = solve(instance, method="eg")
+        assert kinetic.is_valid()
+        if kinetic.served_rider_ids() == plain.served_rider_ids():
+            assert (
+                kinetic.total_travel_cost()
+                <= plain.total_travel_cost() + 1e-6
+            )
+
+    def test_rider_subset(self, line_instance):
+        assignment = run_kinetic_greedy(
+            line_instance, riders=line_instance.riders[:1]
+        )
+        assert assignment.served_rider_ids() <= {0}
+
+    def test_empty_riders(self, line_instance):
+        assignment = run_kinetic_greedy(line_instance, riders=[])
+        assert assignment.num_served == 0
+        assert assignment.total_utility() == 0.0

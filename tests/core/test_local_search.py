@@ -1,0 +1,127 @@
+"""Unit + property tests for repro.core.local_search."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import URRInstance
+from repro.core.local_search import improve_assignment
+from repro.core.solver import solve
+from repro.core.vehicles import Vehicle
+from repro.roadnet.generators import grid_city
+from repro.roadnet.oracle import DistanceOracle
+from repro.workload.instances import InstanceConfig, build_instance
+from tests.conftest import make_rider
+
+
+@pytest.fixture(scope="module")
+def mid_instance():
+    net = grid_city(8, 8, seed=5, removal_fraction=0.0, arterial_every=None)
+    config = InstanceConfig(
+        num_riders=30, num_vehicles=4, capacity=2,
+        pickup_deadline_range=(5.0, 14.0), seed=6,
+    )
+    return build_instance(net, config)
+
+
+class TestImproveAssignment:
+    def test_never_decreases_utility(self, mid_instance):
+        for method in ("cf", "eg", "ba"):
+            before = solve(mid_instance, method=method)
+            after, stats = improve_assignment(before)
+            assert after.total_utility() >= before.total_utility() - 1e-9
+            assert stats.improvement >= -1e-9
+
+    def test_result_valid(self, mid_instance):
+        before = solve(mid_instance, method="cf")
+        after, _ = improve_assignment(before)
+        assert after.validity_errors() == []
+
+    def test_input_not_mutated(self, mid_instance):
+        before = solve(mid_instance, method="cf")
+        utility_before = before.total_utility()
+        improve_assignment(before)
+        assert before.total_utility() == pytest.approx(utility_before)
+
+    def test_improves_cf_markedly(self, mid_instance):
+        """CF ignores utility entirely, so local search must find gains."""
+        before = solve(mid_instance, method="cf")
+        after, stats = improve_assignment(before)
+        assert stats.moves > 0
+        assert after.total_utility() > before.total_utility()
+
+    def test_solver_name_suffixed(self, mid_instance):
+        after, _ = improve_assignment(solve(mid_instance, method="eg"))
+        assert after.solver_name == "eg+ls"
+
+    def test_injection_serves_stranded_rider(self, line_network):
+        """A rider left unserved by a bad constructive order gets injected."""
+        riders = [
+            make_rider(0, source=1, destination=3, pickup_deadline=6.0,
+                       dropoff_deadline=20.0),
+            make_rider(1, source=2, destination=4, pickup_deadline=9.0,
+                       dropoff_deadline=25.0),
+        ]
+        instance = URRInstance(
+            network=line_network, riders=riders,
+            vehicles=[Vehicle(0, 0, 2)],
+            vehicle_utilities={(0, 0): 0.5, (1, 0): 0.5},
+        )
+        from repro.core.assignment import Assignment
+
+        empty = Assignment.empty(instance, solver_name="none")
+        improved, stats = improve_assignment(empty)
+        assert stats.injections == 2
+        assert improved.num_served == 2
+
+    def test_move_budget_respected(self, mid_instance):
+        before = solve(mid_instance, method="cf")
+        _, stats = improve_assignment(before, max_moves=1)
+        assert stats.moves <= 1
+
+    def test_swaps_can_be_disabled(self, mid_instance):
+        before = solve(mid_instance, method="cf")
+        _, stats = improve_assignment(before, enable_swaps=False)
+        assert stats.swaps == 0
+
+    def test_relocation_fixes_obvious_mismatch(self, line_network):
+        """Rider parked on the low-preference vehicle gets relocated."""
+        rider = make_rider(0, source=1, destination=3, pickup_deadline=8.0,
+                           dropoff_deadline=25.0)
+        instance = URRInstance(
+            network=line_network,
+            riders=[rider],
+            vehicles=[Vehicle(0, 0, 2), Vehicle(1, 0, 2)],
+            alpha=1.0, beta=0.0,
+            vehicle_utilities={(0, 0): 0.1, (0, 1): 0.9},
+        )
+        from repro.core.assignment import Assignment
+        from repro.core.scoring import SolverState
+
+        state = SolverState(instance)
+        evaluation = state.evaluate(rider, instance.vehicle(0))
+        state.commit(evaluation)  # deliberately the bad vehicle
+        start = Assignment(instance=instance, schedules=state.schedules,
+                           solver_name="bad")
+        improved, stats = improve_assignment(start)
+        assert stats.relocations == 1
+        assert improved.vehicle_of(0) == 1
+        assert improved.total_utility() == pytest.approx(0.9)
+
+
+class TestHillClimbProperty:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 200), method=st.sampled_from(["cf", "eg"]))
+    def test_monotone_and_valid_on_random_instances(self, seed, method):
+        net = grid_city(6, 6, seed=3, removal_fraction=0.0, arterial_every=None)
+        config = InstanceConfig(
+            num_riders=12, num_vehicles=3, capacity=2,
+            pickup_deadline_range=(4.0, 10.0), seed=seed,
+        )
+        instance = build_instance(net, config)
+        before = solve(instance, method=method)
+        after, stats = improve_assignment(before)
+        assert after.validity_errors() == []
+        assert after.total_utility() >= before.total_utility() - 1e-9
+        assert stats.utility_after >= stats.utility_before - 1e-9

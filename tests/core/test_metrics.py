@@ -1,0 +1,75 @@
+"""Unit tests for repro.core.metrics."""
+
+import math
+
+import pytest
+
+from repro.core.metrics import compute_metrics, format_metrics
+from repro.core.solver import solve
+
+
+@pytest.fixture
+def solved(line_instance):
+    return solve(line_instance, method="eg")
+
+
+class TestComputeMetrics:
+    def test_counts(self, solved):
+        metrics = compute_metrics(solved)
+        assert metrics.num_served == solved.num_served
+        assert metrics.active_vehicles == 1
+
+    def test_rider_metrics_fields(self, solved, line_instance):
+        metrics = compute_metrics(solved)
+        by_id = {r.rider_id: r for r in metrics.riders}
+        r0 = by_id[0]
+        assert r0.vehicle_id == 0
+        assert r0.pickup_time < r0.dropoff_time
+        assert r0.shortest_cost == pytest.approx(2.0)  # 1 -> 3
+        assert r0.onboard_cost >= r0.shortest_cost - 1e-9
+
+    def test_detour_ratio_at_least_one(self, solved):
+        metrics = compute_metrics(solved)
+        assert all(r.detour_ratio >= 1.0 for r in metrics.riders)
+
+    def test_total_cost_matches_assignment(self, solved):
+        metrics = compute_metrics(solved)
+        assert metrics.total_travel_cost == pytest.approx(
+            solved.total_travel_cost()
+        )
+
+    def test_sharing_detected_on_line(self, solved):
+        # riders 0 (1->3) and 1 (2->4) overlap on leg 2->3
+        metrics = compute_metrics(solved)
+        by_id = {r.rider_id: r for r in metrics.riders}
+        if len(by_id) == 2 and by_id[0].vehicle_id == by_id[1].vehicle_id:
+            assert by_id[0].shared
+            assert 1 in by_id[0].co_rider_ids
+
+    def test_sharing_rate_range(self, solved):
+        metrics = compute_metrics(solved)
+        assert 0.0 <= metrics.sharing_rate <= 1.0
+
+    def test_detour_histogram_total(self, solved):
+        metrics = compute_metrics(solved)
+        histogram = metrics.detour_histogram()
+        assert sum(c for _, c in histogram) == metrics.num_served
+        assert histogram[-1][0] == math.inf
+
+    def test_empty_assignment(self, line_instance):
+        from repro.core.assignment import Assignment
+
+        metrics = compute_metrics(Assignment.empty(line_instance))
+        assert metrics.num_served == 0
+        assert metrics.mean_detour_ratio == 0.0
+        assert metrics.sharing_rate == 0.0
+        assert metrics.active_vehicles == 0
+
+
+class TestFormatMetrics:
+    def test_contains_headline_numbers(self, solved):
+        metrics = compute_metrics(solved)
+        text = format_metrics(metrics)
+        assert "served riders" in text
+        assert str(metrics.num_served) in text
+        assert "detour distribution" in text

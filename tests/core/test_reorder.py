@@ -1,0 +1,123 @@
+"""Unit tests for repro.core.reorder (reordering insertion extension)."""
+
+import pytest
+
+from repro.core.insertion import arrange_single_rider
+from repro.core.reorder import arrange_single_rider_reordered
+from repro.core.schedule import Stop
+from tests.conftest import make_rider, make_sequence
+
+
+class TestReorderedInsertion:
+    def test_empty_schedule_matches_algorithm1(self, line_cost):
+        seq = make_sequence(line_cost, origin=0)
+        rider = make_rider(0, source=1, destination=3, pickup_deadline=5.0,
+                           dropoff_deadline=10.0)
+        reordered = arrange_single_rider_reordered(seq, rider)
+        plain = arrange_single_rider(seq, rider)
+        assert reordered is not None
+        assert reordered.total_cost == pytest.approx(plain.sequence.total_cost)
+
+    def test_never_worse_than_algorithm1(self, line_cost):
+        existing = make_rider(10, source=1, destination=4, pickup_deadline=6.0,
+                              dropoff_deadline=30.0)
+        seq = make_sequence(
+            line_cost, origin=0, capacity=2,
+            stops=[Stop.pickup(existing), Stop.dropoff(existing)],
+        )
+        rider = make_rider(0, source=3, destination=1, pickup_deadline=20.0,
+                           dropoff_deadline=60.0)
+        reordered = arrange_single_rider_reordered(seq, rider)
+        plain = arrange_single_rider(seq, rider)
+        assert reordered is not None and plain is not None
+        assert reordered.total_cost <= plain.sequence.total_cost + 1e-9
+
+    def test_reordering_can_strictly_win(self, line_cost):
+        """A case where keeping the old stop order is suboptimal.
+
+        Existing: 0 -> pickup A at 3 -> drop A at 4.  New rider 1 -> 2.
+        Without reordering, stops 1 and 2 must wrap around the 3, 4 visits
+        or detour after them; with reordering the vehicle serves 1, 2 on
+        the way out.
+        """
+        existing = make_rider(10, source=3, destination=4, pickup_deadline=30.0,
+                              dropoff_deadline=60.0)
+        seq = make_sequence(
+            line_cost, origin=0, capacity=2,
+            stops=[Stop.pickup(existing), Stop.dropoff(existing)],
+        )
+        rider = make_rider(0, source=1, destination=2, pickup_deadline=30.0,
+                           dropoff_deadline=60.0)
+        reordered = arrange_single_rider_reordered(seq, rider)
+        plain = arrange_single_rider(seq, rider)
+        assert reordered.total_cost <= plain.sequence.total_cost + 1e-9
+        # here both should find the 0-1-2-3-4 route at cost 4
+        assert reordered.total_cost == pytest.approx(4.0)
+
+    def test_respects_deadlines(self, line_cost):
+        tight = make_rider(10, source=1, destination=2, pickup_deadline=1.1,
+                           dropoff_deadline=2.1)
+        seq = make_sequence(
+            line_cost, origin=0, capacity=2,
+            stops=[Stop.pickup(tight), Stop.dropoff(tight)],
+        )
+        rider = make_rider(0, source=4, destination=0, pickup_deadline=9.0,
+                           dropoff_deadline=30.0)
+        result = arrange_single_rider_reordered(seq, rider)
+        assert result is not None
+        assert result.is_valid()
+        # the tight rider must still come first
+        assert result.stops[0].rider.rider_id == 10
+
+    def test_respects_capacity(self, line_cost):
+        a = make_rider(10, source=1, destination=4, pickup_deadline=8.0,
+                       dropoff_deadline=30.0)
+        b = make_rider(11, source=1, destination=4, pickup_deadline=8.0,
+                       dropoff_deadline=30.0)
+        seq = make_sequence(
+            line_cost, origin=0, capacity=2,
+            stops=[Stop.pickup(a), Stop.pickup(b), Stop.dropoff(a), Stop.dropoff(b)],
+        )
+        rider = make_rider(0, source=1, destination=4, pickup_deadline=8.0,
+                           dropoff_deadline=60.0)
+        result = arrange_single_rider_reordered(seq, rider)
+        if result is not None:
+            assert result.is_valid()
+            assert max(result.load_before) <= 2
+
+    def test_infeasible_returns_none(self, line_cost):
+        seq = make_sequence(line_cost, origin=0)
+        rider = make_rider(0, source=4, destination=0, pickup_deadline=0.5,
+                           dropoff_deadline=1.0)
+        assert arrange_single_rider_reordered(seq, rider) is None
+
+    def test_max_stops_guard(self, line_cost):
+        riders = [
+            make_rider(10 + i, source=1, destination=2, pickup_deadline=50.0,
+                       dropoff_deadline=99.0)
+            for i in range(3)
+        ]
+        stops = []
+        for r in riders:
+            stops.extend([Stop.pickup(r), Stop.dropoff(r)])
+        seq = make_sequence(line_cost, origin=0, capacity=3, stops=stops)
+        rider = make_rider(0, source=2, destination=3, pickup_deadline=50.0,
+                           dropoff_deadline=99.0)
+        assert arrange_single_rider_reordered(seq, rider, max_stops=4) is None
+
+    def test_initial_onboard_dropoffs_kept(self, line_cost):
+        onboard = make_rider(9, source=0, destination=3, pickup_deadline=1.0,
+                             dropoff_deadline=30.0)
+        seq = make_sequence(
+            line_cost, origin=0, capacity=2,
+            stops=[Stop.dropoff(onboard)],
+            initial_onboard=[onboard],
+        )
+        rider = make_rider(0, source=1, destination=2, pickup_deadline=9.0,
+                           dropoff_deadline=30.0)
+        result = arrange_single_rider_reordered(seq, rider)
+        assert result is not None
+        assert result.is_valid()
+        assert any(
+            s.rider.rider_id == 9 for s in result.stops
+        ), "onboard rider's drop-off must be kept"

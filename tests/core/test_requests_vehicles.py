@@ -1,0 +1,54 @@
+"""Unit tests for repro.core.requests and repro.core.vehicles."""
+
+import pytest
+
+from repro.core.requests import Rider
+from repro.core.vehicles import Vehicle
+
+
+class TestRider:
+    def test_valid_rider(self):
+        r = Rider(rider_id=1, source=0, destination=5,
+                  pickup_deadline=3.0, dropoff_deadline=9.0)
+        assert r.rider_id == 1
+        assert r.social_id is None
+
+    def test_same_source_destination_rejected(self):
+        with pytest.raises(ValueError, match="must differ"):
+            Rider(rider_id=1, source=2, destination=2,
+                  pickup_deadline=1.0, dropoff_deadline=2.0)
+
+    def test_deadline_order_enforced(self):
+        with pytest.raises(ValueError, match="precede"):
+            Rider(rider_id=1, source=0, destination=1,
+                  pickup_deadline=5.0, dropoff_deadline=5.0)
+
+    def test_frozen(self):
+        r = Rider(rider_id=1, source=0, destination=1,
+                  pickup_deadline=1.0, dropoff_deadline=2.0)
+        with pytest.raises(AttributeError):
+            r.source = 9
+
+    def test_repr_mentions_route(self):
+        r = Rider(rider_id=7, source=0, destination=1,
+                  pickup_deadline=1.0, dropoff_deadline=2.0)
+        assert "0->1" in repr(r)
+
+
+class TestVehicle:
+    def test_valid_vehicle(self):
+        v = Vehicle(vehicle_id=3, location=10, capacity=4)
+        assert v.capacity == 4
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Vehicle(vehicle_id=1, location=0, capacity=0)
+
+    def test_frozen(self):
+        v = Vehicle(vehicle_id=1, location=0, capacity=2)
+        with pytest.raises(AttributeError):
+            v.location = 5
+
+    def test_hashable(self):
+        v = Vehicle(vehicle_id=1, location=0, capacity=2)
+        assert {v: "x"}[v] == "x"

@@ -1,0 +1,251 @@
+"""Unit tests for repro.core.schedule (Section 3.1 transfer events)."""
+
+import pytest
+
+from repro.core.requests import Rider
+from repro.core.schedule import Stop, StopKind, TransferSequence
+from tests.conftest import make_rider, make_sequence
+
+
+@pytest.fixture
+def rider_a():
+    # 1 -> 3 on the line network
+    return make_rider(0, source=1, destination=3, pickup_deadline=5.0, dropoff_deadline=10.0)
+
+
+@pytest.fixture
+def rider_b():
+    # 2 -> 4
+    return make_rider(1, source=2, destination=4, pickup_deadline=6.0, dropoff_deadline=12.0)
+
+
+@pytest.fixture
+def seq_ab(line_cost, rider_a, rider_b):
+    """origin 0 at t=0: pick A at 1, pick B at 2, drop A at 3, drop B at 4."""
+    stops = [
+        Stop.pickup(rider_a),
+        Stop.pickup(rider_b),
+        Stop.dropoff(rider_a),
+        Stop.dropoff(rider_b),
+    ]
+    return make_sequence(line_cost, origin=0, capacity=2, stops=stops)
+
+
+class TestStop:
+    def test_pickup_deadline(self, rider_a):
+        assert Stop.pickup(rider_a).deadline == 5.0
+
+    def test_dropoff_deadline(self, rider_a):
+        assert Stop.dropoff(rider_a).deadline == 10.0
+
+    def test_locations(self, rider_a):
+        assert Stop.pickup(rider_a).location == 1
+        assert Stop.dropoff(rider_a).location == 3
+
+
+class TestForwardFields:
+    def test_arrivals_eq6(self, seq_ab):
+        # legs: 0->1 (1), 1->2 (1), 2->3 (1), 3->4 (1)
+        assert seq_ab.arrive == pytest.approx([1.0, 2.0, 3.0, 4.0])
+
+    def test_earliest_start(self, seq_ab):
+        assert seq_ab.earliest_start(0) == 0.0
+        assert seq_ab.earliest_start(2) == pytest.approx(2.0)
+
+    def test_leg_costs_cached(self, seq_ab):
+        assert seq_ab.leg_costs == pytest.approx([1.0, 1.0, 1.0, 1.0])
+        assert seq_ab.leg_cost(2) == pytest.approx(1.0)
+
+    def test_total_cost(self, seq_ab):
+        assert seq_ab.total_cost == pytest.approx(4.0)
+
+    def test_completion_time(self, seq_ab):
+        assert seq_ab.completion_time == pytest.approx(4.0)
+
+    def test_nonzero_start_time_shifts_arrivals(self, line_cost, rider_a):
+        seq = make_sequence(
+            line_cost, origin=0, start_time=2.0,
+            stops=[Stop.pickup(rider_a), Stop.dropoff(rider_a)],
+        )
+        assert seq.arrive == pytest.approx([3.0, 5.0])
+        assert seq.total_cost == pytest.approx(3.0)
+
+    def test_empty_sequence(self, line_cost):
+        seq = make_sequence(line_cost)
+        assert seq.total_cost == 0.0
+        assert seq.completion_time == 0.0
+        assert len(seq) == 0
+
+
+class TestBackwardFields:
+    def test_latest_completion_eq7(self, seq_ab):
+        # stop deadlines: 5, 6, 10, 12; legs after each stop cost 1
+        # latest[3] = 12; latest[2] = min(10, 12-1) = 10;
+        # latest[1] = min(6, 10-1) = 6; latest[0] = min(5, 6-1) = 5
+        assert seq_ab.latest == pytest.approx([5.0, 6.0, 10.0, 12.0])
+
+    def test_flexible_time_eq8(self, seq_ab):
+        # slack = latest - arrive = [4, 4, 7, 8]; ft = suffix minima
+        assert seq_ab.flexible == pytest.approx([4.0, 4.0, 7.0, 8.0])
+
+    def test_flexible_nonincreasing_prefix(self, seq_ab):
+        for i in range(len(seq_ab) - 1):
+            assert seq_ab.flexible[i] <= seq_ab.flexible[i + 1] + 1e-9
+
+    def test_tight_deadline_shrinks_upstream_flexibility(self, line_cost, rider_a):
+        tight = Rider(
+            rider_id=9, source=2, destination=4,
+            pickup_deadline=2.0, dropoff_deadline=4.0,
+        )
+        seq = make_sequence(
+            line_cost, origin=0, capacity=2,
+            stops=[
+                Stop.pickup(rider_a),   # arrive 1, dl 5
+                Stop.pickup(tight),     # arrive 2, dl 2
+                Stop.dropoff(tight),    # arrive 4, dl 4
+                Stop.dropoff(rider_a),  # hmm rider_a dest 3... order: see below
+            ],
+        )
+        # flexible time of the first leg is capped by the tight stops: 0
+        assert seq.flexible[0] == pytest.approx(0.0)
+
+
+class TestLoadsAndOnboard:
+    def test_load_profile(self, seq_ab):
+        assert seq_ab.load_before == [0, 1, 2, 1]
+
+    def test_onboard_during(self, seq_ab):
+        assert seq_ab.onboard_during(0) == 0
+        assert seq_ab.onboard_during(2) == 2
+
+    def test_initial_onboard_counted(self, line_cost, rider_a):
+        onboard_rider = make_rider(5, source=0, destination=4, pickup_deadline=1.0,
+                                   dropoff_deadline=30.0)
+        seq = make_sequence(
+            line_cost, origin=0, capacity=2,
+            stops=[Stop.pickup(rider_a), Stop.dropoff(rider_a),
+                   Stop.dropoff(onboard_rider)],
+            initial_onboard=[onboard_rider],
+        )
+        assert seq.load_before == [1, 2, 1]
+
+    def test_onboard_legs_costs_and_coriders(self, seq_ab, rider_a, rider_b):
+        legs_a = seq_ab.onboard_legs(rider_a.rider_id)
+        # rider A rides events 1, 2 (after its pickup at stop 0, up to stop 2)
+        assert [leg.cost for leg in legs_a] == pytest.approx([1.0, 1.0])
+        assert legs_a[0].co_riders == frozenset()       # B not yet picked up
+        assert legs_a[1].co_riders == frozenset({1})    # shares with B
+
+    def test_onboard_legs_unknown_rider(self, seq_ab):
+        with pytest.raises(KeyError):
+            seq_ab.onboard_legs(42)
+
+    def test_onboard_legs_missing_dropoff(self, line_cost, rider_a):
+        seq = make_sequence(line_cost, stops=[Stop.pickup(rider_a)])
+        with pytest.raises(ValueError, match="no drop-off"):
+            seq.onboard_legs(rider_a.rider_id)
+
+    def test_event_endpoints(self, seq_ab):
+        assert seq_ab.event_endpoints(0) == (0, 1)
+        assert seq_ab.event_endpoints(3) == (3, 4)
+
+
+class TestValidity:
+    def test_valid_schedule(self, seq_ab):
+        assert seq_ab.is_valid()
+        assert seq_ab.validity_errors() == []
+
+    def test_missed_deadline_detected(self, line_cost):
+        late = make_rider(0, source=4, destination=0, pickup_deadline=1.0,
+                          dropoff_deadline=10.0)
+        seq = make_sequence(
+            line_cost, origin=0, stops=[Stop.pickup(late), Stop.dropoff(late)]
+        )
+        errors = seq.validity_errors()
+        assert any("after deadline" in e for e in errors)
+
+    def test_dropoff_before_pickup_detected(self, line_cost, rider_a):
+        seq = make_sequence(
+            line_cost, stops=[Stop.dropoff(rider_a), Stop.pickup(rider_a)]
+        )
+        assert any("before pickup" in e for e in seq.validity_errors())
+
+    def test_undelivered_rider_detected(self, line_cost, rider_a):
+        seq = make_sequence(line_cost, stops=[Stop.pickup(rider_a)])
+        assert any("never dropped off" in e for e in seq.validity_errors())
+
+    def test_capacity_violation_detected(self, line_cost, rider_a, rider_b):
+        seq = make_sequence(
+            line_cost, capacity=1,
+            stops=[Stop.pickup(rider_a), Stop.pickup(rider_b),
+                   Stop.dropoff(rider_a), Stop.dropoff(rider_b)],
+        )
+        assert any("capacity exceeded" in e for e in seq.validity_errors())
+
+    def test_double_pickup_detected(self, line_cost, rider_a):
+        seq = make_sequence(
+            line_cost,
+            stops=[Stop.pickup(rider_a), Stop.pickup(rider_a),
+                   Stop.dropoff(rider_a)],
+        )
+        assert any("picked up twice" in e for e in seq.validity_errors())
+
+
+class TestMutation:
+    def test_insert_stop_refreshes_fields(self, line_cost, rider_a, rider_b):
+        seq = make_sequence(
+            line_cost, stops=[Stop.pickup(rider_a), Stop.dropoff(rider_a)]
+        )
+        seq.insert_stop(1, Stop.pickup(rider_b))
+        assert seq.arrive == pytest.approx([1.0, 2.0, 3.0])
+        assert seq.load_before == [0, 1, 2]
+
+    def test_remove_rider(self, seq_ab, rider_b):
+        removed = seq_ab.remove_rider(rider_b.rider_id)
+        assert removed.rider_id == rider_b.rider_id
+        assert len(seq_ab) == 2
+        assert seq_ab.is_valid()
+
+    def test_remove_missing_rider_raises(self, seq_ab):
+        with pytest.raises(KeyError):
+            seq_ab.remove_rider(99)
+
+    def test_remove_initial_onboard_rejected(self, line_cost):
+        onboard = make_rider(5, source=0, destination=2, pickup_deadline=1.0,
+                             dropoff_deadline=30.0)
+        seq = make_sequence(
+            line_cost, stops=[Stop.dropoff(onboard)], initial_onboard=[onboard]
+        )
+        with pytest.raises(ValueError, match="onboard"):
+            seq.remove_rider(onboard.rider_id)
+
+    def test_copy_is_deep_enough(self, seq_ab, rider_b):
+        clone = seq_ab.copy()
+        clone.remove_rider(rider_b.rider_id)
+        assert len(seq_ab) == 4
+        assert len(clone) == 2
+
+    def test_copy_preserves_fields(self, seq_ab):
+        clone = seq_ab.copy()
+        assert clone.arrive == seq_ab.arrive
+        assert clone.flexible == seq_ab.flexible
+        assert clone.leg_costs == seq_ab.leg_costs
+
+
+class TestAccessors:
+    def test_rider_ids(self, seq_ab):
+        assert seq_ab.rider_ids() == {0, 1}
+
+    def test_assigned_riders_in_pickup_order(self, seq_ab):
+        assert [r.rider_id for r in seq_ab.assigned_riders()] == [0, 1]
+
+    def test_stop_indices(self, seq_ab):
+        assert seq_ab.stop_indices(0) == (0, 2)
+        assert seq_ab.stop_indices(1) == (1, 3)
+        assert seq_ab.stop_indices(42) == (None, None)
+
+    def test_locations(self, seq_ab):
+        assert seq_ab.locations() == [1, 2, 3, 4]
+
+    def test_rider_lookup(self, seq_ab, rider_a):
+        assert seq_ab.rider(0) == rider_a

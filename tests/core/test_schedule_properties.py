@@ -1,0 +1,129 @@
+"""Property-based tests of the transfer-event field semantics (Eq. 6-8).
+
+Beyond recomputing the recurrences, these tests pin down what the fields
+*mean*:
+
+- ``arrive`` is non-decreasing (costs are non-negative);
+- ``flexible[u]`` is exactly the largest delay the vehicle can absorb
+  during event ``u`` without violating any later deadline — delays up to
+  ``ft`` keep every stop on time, delays beyond it break one;
+- ``latest[u]`` is the latest arrival at stop ``u`` from which the rest
+  of the schedule remains feasible.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.insertion import arrange_single_rider
+from repro.core.requests import Rider
+from repro.core.schedule import TransferSequence
+from repro.roadnet.generators import grid_city
+from repro.roadnet.oracle import DistanceOracle
+
+NET = grid_city(4, 4, seed=21, removal_fraction=0.0, arterial_every=None)
+COST = DistanceOracle(NET).fast_cost_fn()
+NODES = sorted(NET.nodes())
+
+SETTINGS = dict(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def valid_schedules(draw):
+    """Random non-empty valid schedules built via Algorithm 1."""
+    origin = draw(st.sampled_from(NODES))
+    seq = TransferSequence(origin=origin, start_time=0.0, capacity=3, cost=COST)
+    for i in range(draw(st.integers(1, 3))):
+        src = draw(st.sampled_from(NODES))
+        dst = draw(st.sampled_from([n for n in NODES if n != src]))
+        pickup = draw(st.floats(2.0, 14.0))
+        rider = Rider(
+            rider_id=i, source=src, destination=dst,
+            pickup_deadline=pickup,
+            dropoff_deadline=pickup + draw(st.floats(3.0, 20.0)),
+        )
+        result = arrange_single_rider(seq, rider)
+        if result is not None:
+            seq = result.sequence
+    return seq
+
+
+def delayed_arrivals(seq: TransferSequence, event: int, delay: float):
+    """Arrival times if the vehicle loses ``delay`` during ``event``."""
+    return [
+        arrive + (delay if idx >= event else 0.0)
+        for idx, arrive in enumerate(seq.arrive)
+    ]
+
+
+class TestFieldSemantics:
+    @settings(**SETTINGS)
+    @given(seq=valid_schedules())
+    def test_arrivals_nondecreasing(self, seq):
+        for a, b in zip(seq.arrive, seq.arrive[1:]):
+            assert b >= a - 1e-12
+
+    @settings(**SETTINGS)
+    @given(seq=valid_schedules(), data=st.data())
+    def test_delay_within_flexible_time_is_safe(self, seq, data):
+        if not len(seq) or not seq.is_valid():
+            return
+        event = data.draw(st.integers(0, len(seq) - 1))
+        ft = seq.flexible[event]
+        if ft <= 0:
+            return
+        delay = data.draw(st.floats(0.0, ft))
+        arrivals = delayed_arrivals(seq, event, delay)
+        for idx, stop in enumerate(seq.stops):
+            assert arrivals[idx] <= stop.deadline + 1e-6, (
+                f"delay {delay} <= ft {ft} broke stop {idx}"
+            )
+
+    @settings(**SETTINGS)
+    @given(seq=valid_schedules(), data=st.data())
+    def test_delay_beyond_flexible_time_breaks_something(self, seq, data):
+        if not len(seq) or not seq.is_valid():
+            return
+        event = data.draw(st.integers(0, len(seq) - 1))
+        ft = seq.flexible[event]
+        delay = ft + data.draw(st.floats(0.01, 5.0))
+        arrivals = delayed_arrivals(seq, event, delay)
+        violated = any(
+            arrivals[idx] > stop.deadline + 1e-9
+            for idx, stop in enumerate(seq.stops)
+        )
+        assert violated, (
+            f"delay {delay} > ft {ft} at event {event} should break a deadline"
+        )
+
+    @settings(**SETTINGS)
+    @given(seq=valid_schedules())
+    def test_latest_is_feasibility_frontier(self, seq):
+        """From latest[u] at stop u, all later deadlines remain reachable;
+        any later arrival breaks one."""
+        if not len(seq):
+            return
+        for u in range(len(seq)):
+            t = seq.latest[u]
+            # simulate the remainder departing stop u at time t
+            loc = seq.stops[u].location
+            ok = t <= seq.stops[u].deadline + 1e-9
+            current = t
+            for v in range(u + 1, len(seq)):
+                current += COST(loc, seq.stops[v].location)
+                loc = seq.stops[v].location
+                ok = ok and current <= seq.stops[v].deadline + 1e-9
+            assert ok, f"latest[{u}] = {t} is not feasible"
+
+    @settings(**SETTINGS)
+    @given(seq=valid_schedules())
+    def test_flexible_equals_suffix_min_slack(self, seq):
+        if not len(seq):
+            return
+        slacks = [l - a for l, a in zip(seq.latest, seq.arrive)]
+        for u in range(len(seq)):
+            assert seq.flexible[u] == pytest.approx(min(slacks[u:]))

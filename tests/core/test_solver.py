@@ -1,0 +1,50 @@
+"""Unit tests for the unified solve() front-end."""
+
+import pytest
+
+from repro.core.grouping import prepare_grouping
+from repro.core.solver import METHODS, solve
+
+
+class TestSolve:
+    def test_unknown_method_rejected(self, line_instance):
+        with pytest.raises(ValueError, match="unknown method"):
+            solve(line_instance, method="magic")
+
+    def test_all_methods_listed(self):
+        assert set(METHODS) == {"cf", "eg", "ba", "gbs+eg", "gbs+ba", "opt"}
+
+    @pytest.mark.parametrize("method", ["cf", "eg", "ba", "opt"])
+    def test_each_method_returns_valid_assignment(self, line_instance, method):
+        assignment = solve(line_instance, method=method)
+        assert assignment.is_valid()
+        assert assignment.solver_name == method
+        assert assignment.elapsed_seconds >= 0.0
+
+    def test_gbs_builds_plan_on_demand(self, line_instance):
+        assignment = solve(line_instance, method="gbs+eg", k=2)
+        assert assignment.is_valid()
+
+    def test_gbs_accepts_prepared_plan(self, line_instance):
+        plan = prepare_grouping(line_instance.network, k=2)
+        for method in ("gbs+eg", "gbs+ba"):
+            assignment = solve(line_instance, method=method, plan=plan)
+            assert assignment.is_valid()
+
+    def test_both_riders_served_on_line(self, line_instance):
+        assignment = solve(line_instance, method="eg")
+        assert assignment.num_served == 2
+
+    def test_opt_at_least_heuristics(self, line_instance):
+        opt = solve(line_instance, method="opt").total_utility()
+        for method in ("cf", "eg", "ba"):
+            assert opt >= solve(line_instance, method=method).total_utility() - 1e-9
+
+    def test_opt_size_guard_forwarded(self, line_instance):
+        with pytest.raises(ValueError, match="exponential"):
+            solve(line_instance, method="opt", opt_max_riders=1)
+
+    def test_deterministic_across_calls(self, line_instance):
+        a = solve(line_instance, method="ba").total_utility()
+        b = solve(line_instance, method="ba").total_utility()
+        assert a == pytest.approx(b)

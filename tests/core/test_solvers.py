@@ -1,0 +1,158 @@
+"""Unit tests for the CF, EG and BA solvers on controlled instances."""
+
+import pytest
+
+from repro.core.bilateral import run_bilateral
+from repro.core.cost_first import run_cost_first
+from repro.core.greedy import run_efficient_greedy
+from repro.core.instance import URRInstance
+from repro.core.requests import Rider
+from repro.core.scoring import SolverState
+from repro.core.vehicles import Vehicle
+from tests.conftest import make_rider
+
+
+@pytest.fixture
+def preference_instance(line_network):
+    """Two vehicles, one rider who strongly prefers the farther vehicle.
+
+    Vehicle 0 sits at the rider's source (cheap, mu_v = 0.1); vehicle 1 is
+    one hop away (slightly costlier, mu_v = 0.9).
+    """
+    riders = [make_rider(0, source=1, destination=3, pickup_deadline=6.0,
+                         dropoff_deadline=20.0)]
+    vehicles = [
+        Vehicle(vehicle_id=0, location=1, capacity=2),
+        Vehicle(vehicle_id=1, location=0, capacity=2),
+    ]
+    return URRInstance(
+        network=line_network,
+        riders=riders,
+        vehicles=vehicles,
+        alpha=1.0,
+        beta=0.0,
+        vehicle_utilities={(0, 0): 0.1, (0, 1): 0.9},
+    )
+
+
+class TestCostFirst:
+    def test_picks_cheapest_vehicle(self, preference_instance):
+        state = SolverState(preference_instance)
+        committed = run_cost_first(state, preference_instance.riders)
+        assert len(committed) == 1
+        assert committed[0].vehicle.vehicle_id == 0  # ignores preference
+
+    def test_all_schedules_valid(self, line_instance):
+        state = SolverState(line_instance)
+        run_cost_first(state, line_instance.riders)
+        for seq in state.schedules.values():
+            assert seq.is_valid()
+
+
+class TestEfficientGreedy:
+    def test_prefers_efficient_vehicle(self, preference_instance):
+        state = SolverState(preference_instance)
+        committed = run_efficient_greedy(state, preference_instance.riders)
+        # vehicle 0: delta mu 0.1 / cost 2; vehicle 1: 0.9 / 3 -> higher
+        assert committed[0].vehicle.vehicle_id == 1
+
+    def test_zero_cost_pair_wins(self, line_network):
+        """A rider already on a route has infinite efficiency."""
+        riders = [
+            make_rider(0, source=0, destination=4, pickup_deadline=2.0,
+                       dropoff_deadline=20.0),
+            make_rider(1, source=1, destination=3, pickup_deadline=9.0,
+                       dropoff_deadline=25.0),
+        ]
+        vehicles = [Vehicle(vehicle_id=0, location=0, capacity=2)]
+        instance = URRInstance(
+            network=line_network, riders=riders, vehicles=vehicles,
+            alpha=0.5, beta=0.0,
+            vehicle_utilities={(0, 0): 0.5, (1, 0): 0.5},
+        )
+        state = SolverState(instance)
+        committed = run_efficient_greedy(state, instance.riders, update="eager")
+        assert len(committed) == 2
+        # once rider 0 is aboard (0 -> 4), rider 1 rides for free
+        assert state.schedule(0).total_cost == pytest.approx(4.0)
+
+    def test_updates_policies_same_validity(self, line_instance):
+        for policy in ("stale", "lazy", "eager"):
+            state = SolverState(line_instance)
+            run_efficient_greedy(state, line_instance.riders, update=policy)
+            assert state.schedule(0).is_valid()
+
+
+class TestBilateral:
+    def test_picks_preferred_vehicle(self, preference_instance):
+        state = SolverState(preference_instance)
+        run_bilateral(state, preference_instance.riders)
+        # BA ranks by utility increase: vehicle 1 (mu_v 0.9) wins
+        assert len(state.schedule(1)) == 2
+        assert len(state.schedule(0)) == 0
+
+    def test_replacement_fires(self, line_network):
+        """A full vehicle swaps a costly rider for a cheaper, better one.
+
+        Vehicle (capacity 1) at node 0.  First rider goes 2 -> 0 (forces a
+        long backtrack); the replacement rider goes 1 -> 2 (on the way,
+        cheaper) with a higher vehicle utility.  The second rider cannot be
+        inserted (capacity), but replacing reduces cost and raises utility.
+        """
+        costly = make_rider(0, source=2, destination=0, pickup_deadline=8.0,
+                            dropoff_deadline=20.0)
+        better = make_rider(1, source=1, destination=2, pickup_deadline=1.2,
+                            dropoff_deadline=20.0)
+        vehicles = [Vehicle(vehicle_id=0, location=0, capacity=1)]
+        instance = URRInstance(
+            network=line_network,
+            riders=[costly, better],
+            vehicles=vehicles,
+            alpha=1.0, beta=0.0,
+            vehicle_utilities={(0, 0): 0.2, (1, 0): 0.9},
+            seed=3,
+        )
+        state = SolverState(instance)
+        # force the costly rider in first
+        ev = state.evaluate(costly, vehicles[0])
+        state.commit(ev)
+        bumped = None
+        from repro.core.bilateral import _try_replace
+
+        bumped = _try_replace(state, better, vehicles[0])
+        assert bumped is not None
+        assert bumped.rider_id == 0
+        assert [r.rider_id for r in state.schedule(0).assigned_riders()] == [1]
+
+    def test_replacement_requires_cost_reduction(self, line_network):
+        """No swap when the newcomer would increase the travel cost."""
+        cheap = make_rider(0, source=1, destination=2, pickup_deadline=8.0,
+                           dropoff_deadline=20.0)
+        costly = make_rider(1, source=4, destination=0, pickup_deadline=8.0,
+                            dropoff_deadline=30.0)
+        vehicles = [Vehicle(vehicle_id=0, location=0, capacity=1)]
+        instance = URRInstance(
+            network=line_network,
+            riders=[cheap, costly],
+            vehicles=vehicles,
+            alpha=1.0, beta=0.0,
+            vehicle_utilities={(0, 0): 0.2, (1, 0): 0.9},
+        )
+        state = SolverState(instance)
+        state.commit(state.evaluate(cheap, vehicles[0]))
+        from repro.core.bilateral import _try_replace
+
+        assert _try_replace(state, costly, vehicles[0]) is None
+
+    def test_terminates_and_valid(self, line_instance):
+        state = SolverState(line_instance)
+        run_bilateral(state, line_instance.riders)
+        assert state.schedule(0).is_valid()
+
+    def test_deterministic_given_seed(self, line_instance):
+        utilities = set()
+        for _ in range(3):
+            state = SolverState(line_instance)
+            run_bilateral(state, line_instance.riders)
+            utilities.add(round(state.total_utility(), 9))
+        assert len(utilities) == 1

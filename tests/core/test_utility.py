@@ -1,0 +1,226 @@
+"""Unit tests for repro.core.utility (Eq. 1-5)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import Stop
+from repro.core.utility import UtilityModel, trajectory_utility
+from repro.core.vehicles import Vehicle
+from tests.conftest import make_rider, make_sequence
+
+
+@pytest.fixture
+def vehicle():
+    return Vehicle(vehicle_id=0, location=0, capacity=2)
+
+
+def model(cost, alpha=1 / 3, beta=1 / 3, mu_v=0.6, sim=0.5):
+    return UtilityModel(
+        alpha=alpha,
+        beta=beta,
+        vehicle_utility=lambda rider, veh: mu_v,
+        similarity=lambda a, b: sim,
+        cost=cost,
+    )
+
+
+class TestTrajectoryUtility:
+    def test_no_detour_is_one(self):
+        assert trajectory_utility(1.0) == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        values = [trajectory_utility(s) for s in (1.0, 1.2, 1.5, 2.0, 3.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_matches_eq5(self):
+        sigma = 1.7
+        assert trajectory_utility(sigma) == pytest.approx(
+            2.0 / (1.0 + math.exp(sigma - 1.0))
+        )
+
+    def test_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            trajectory_utility(0.5)
+
+    def test_huge_detour_no_overflow(self):
+        assert trajectory_utility(1e6) == pytest.approx(0.0, abs=1e-12)
+
+    @settings(max_examples=50)
+    @given(sigma=st.floats(1.0, 50.0))
+    def test_range(self, sigma):
+        assert 0.0 < trajectory_utility(sigma) <= 1.0
+
+
+class TestModelValidation:
+    def test_negative_alpha_rejected(self, line_cost):
+        with pytest.raises(ValueError):
+            model(line_cost, alpha=-0.1)
+
+    def test_sum_above_one_rejected(self, line_cost):
+        with pytest.raises(ValueError):
+            model(line_cost, alpha=0.7, beta=0.7)
+
+    def test_boundary_sum_allowed(self, line_cost):
+        model(line_cost, alpha=0.5, beta=0.5)
+
+
+class TestRiderUtility:
+    def test_direct_solo_trip(self, line_cost, vehicle):
+        rider = make_rider(0, source=1, destination=3)
+        seq = make_sequence(
+            line_cost, stops=[Stop.pickup(rider), Stop.dropoff(rider)]
+        )
+        m = model(line_cost)
+        # mu_v = 0.6; mu_r = 0 (solo); mu_t = 1 (no detour)
+        expected = (0.6 + 0.0 + 1.0) / 3
+        assert m.rider_utility(rider, vehicle, seq) == pytest.approx(expected)
+
+    def test_detour_reduces_trajectory_component(self, line_cost, vehicle):
+        rider = make_rider(0, source=1, destination=3, dropoff_deadline=30.0)
+        other = make_rider(1, source=2, destination=4, pickup_deadline=10.0,
+                           dropoff_deadline=30.0)
+        # detour: pick rider, ride to 4 (dropping other later), back to 3
+        seq = make_sequence(
+            line_cost, capacity=2,
+            stops=[
+                Stop.pickup(rider),      # 1
+                Stop.pickup(other),      # 2
+                Stop.dropoff(other),     # 4
+                Stop.dropoff(rider),     # 3 (backtrack!)
+            ],
+        )
+        m = model(line_cost, alpha=0.0, beta=0.0)
+        # onboard cost for rider: 1 + 2 + 1 = 4; shortest 2 -> sigma 2
+        assert m.rider_utility(rider, vehicle, seq) == pytest.approx(
+            trajectory_utility(2.0)
+        )
+
+    def test_rider_related_weighting_eq2(self, line_cost, vehicle):
+        rider = make_rider(0, source=1, destination=3)
+        other = make_rider(1, source=2, destination=4, pickup_deadline=10.0,
+                           dropoff_deadline=30.0)
+        seq = make_sequence(
+            line_cost, capacity=2,
+            stops=[
+                Stop.pickup(rider), Stop.pickup(other),
+                Stop.dropoff(rider), Stop.dropoff(other),
+            ],
+        )
+        m = model(line_cost, sim=0.8)
+        # rider onboard legs: 1->2 (alone, cost 1), 2->3 (with other, cost 1)
+        # mu_r = (1/2)*0 + (1/2)*0.8 = 0.4
+        assert m.rider_related(rider, seq) == pytest.approx(0.4)
+
+    def test_rider_related_zero_when_alone(self, line_cost):
+        rider = make_rider(0, source=1, destination=3)
+        seq = make_sequence(
+            line_cost, stops=[Stop.pickup(rider), Stop.dropoff(rider)]
+        )
+        assert model(line_cost).rider_related(rider, seq) == 0.0
+
+    def test_trajectory_related_uses_shortest_denominator(self, line_cost):
+        rider = make_rider(0, source=1, destination=4, dropoff_deadline=30.0)
+        seq = make_sequence(
+            line_cost, stops=[Stop.pickup(rider), Stop.dropoff(rider)]
+        )
+        assert model(line_cost).trajectory_related(rider, seq) == pytest.approx(1.0)
+
+    def test_zero_shortest_cost_raises(self, vehicle):
+        flat_cost = lambda u, v: 0.0
+        rider = make_rider(0, source=1, destination=3)
+        seq = make_sequence(
+            flat_cost, stops=[Stop.pickup(rider), Stop.dropoff(rider)]
+        )
+        m = model(flat_cost)
+        with pytest.raises(ValueError):
+            m.rider_utility(rider, vehicle, seq)
+
+
+class TestScheduleUtility:
+    def make_shared(self, line_cost):
+        a = make_rider(0, source=1, destination=3)
+        b = make_rider(1, source=2, destination=4, pickup_deadline=10.0,
+                       dropoff_deadline=30.0)
+        seq = make_sequence(
+            line_cost, capacity=2,
+            stops=[Stop.pickup(a), Stop.pickup(b), Stop.dropoff(a), Stop.dropoff(b)],
+        )
+        return a, b, seq
+
+    def test_fast_path_matches_per_rider(self, line_cost, vehicle):
+        """The single-pass schedule_utility must equal the per-rider sum."""
+        a, b, seq = self.make_shared(line_cost)
+        m = model(line_cost, alpha=0.25, beta=0.35, sim=0.7)
+        slow = m.rider_utility(a, vehicle, seq) + m.rider_utility(b, vehicle, seq)
+        assert m.schedule_utility(vehicle, seq) == pytest.approx(slow)
+
+    def test_fast_path_matches_pure_alpha(self, line_cost, vehicle):
+        a, b, seq = self.make_shared(line_cost)
+        m = model(line_cost, alpha=1.0, beta=0.0)
+        assert m.schedule_utility(vehicle, seq) == pytest.approx(1.2)  # 2 x 0.6
+
+    def test_fast_path_matches_pure_beta(self, line_cost, vehicle):
+        a, b, seq = self.make_shared(line_cost)
+        m = model(line_cost, alpha=0.0, beta=1.0, sim=0.5)
+        slow = m.rider_utility(a, vehicle, seq) + m.rider_utility(b, vehicle, seq)
+        assert m.schedule_utility(vehicle, seq) == pytest.approx(slow)
+
+    def test_empty_schedule_zero(self, line_cost, vehicle):
+        seq = make_sequence(line_cost)
+        assert model(line_cost).schedule_utility(vehicle, seq) == 0.0
+
+    def test_breakdown_sums_to_total(self, line_cost, vehicle):
+        a, b, seq = self.make_shared(line_cost)
+        m = model(line_cost)
+        breakdown = m.schedule_utility_breakdown(vehicle, seq)
+        assert set(breakdown) == {0, 1}
+        assert sum(breakdown.values()) == pytest.approx(
+            m.schedule_utility(vehicle, seq)
+        )
+
+    def test_initial_onboard_rider_affects_coriders_not_total(
+        self, line_cost, vehicle
+    ):
+        """An initial-onboard rider is not summed (not newly assigned) but
+        does raise co-rider similarity terms for assigned riders."""
+        onboard = make_rider(9, source=0, destination=4, pickup_deadline=1.0,
+                             dropoff_deadline=30.0)
+        a = make_rider(0, source=1, destination=3)
+        seq = make_sequence(
+            line_cost, capacity=2,
+            stops=[Stop.pickup(a), Stop.dropoff(a), Stop.dropoff(onboard)],
+            initial_onboard=[onboard],
+        )
+        m = model(line_cost, alpha=0.0, beta=1.0, sim=0.9)
+        # rider a shares both its legs with the onboard rider
+        assert m.schedule_utility(vehicle, seq) == pytest.approx(0.9)
+
+
+class TestEquivalencePaperExample:
+    def test_worked_utility_structure(self, example_network):
+        """mu = (mu_v + w * s + mu_t) / 3 with w the shared-trajectory share
+        (the Example 1 calculation: 1/3 (0.2 + 0.25 * 0.25 + 1))."""
+        from repro.roadnet.oracle import DistanceOracle
+
+        cost = DistanceOracle(example_network).fast_cost_fn()
+        m = UtilityModel(
+            alpha=1 / 3,
+            beta=1 / 3,
+            vehicle_utility=lambda r, v: 0.2,
+            similarity=lambda a, b: 0.25,
+            cost=cost,
+        )
+        # construct a schedule whose shared share is deterministic and
+        # verify the three components combine per Eq. 1
+        rider = make_rider(0, source=0, destination=7, pickup_deadline=10.0,
+                           dropoff_deadline=40.0)
+        vehicle = Vehicle(vehicle_id=0, location=1, capacity=2)
+        seq = make_sequence(
+            cost, origin=1, capacity=2,
+            stops=[Stop.pickup(rider), Stop.dropoff(rider)],
+        )
+        mu = m.rider_utility(rider, vehicle, seq)
+        assert mu == pytest.approx((0.2 + 0.0 + 1.0) / 3)

@@ -1,0 +1,134 @@
+"""Unit tests for repro.core.utility_ext (extensible Eq. 1 components)."""
+
+import pytest
+
+from repro.core.schedule import Stop
+from repro.core.utility import UtilityModel
+from repro.core.utility_ext import (
+    ExtendedUtilityModel,
+    UtilityComponent,
+    empty_distance_component,
+    punctuality_component,
+)
+from repro.core.vehicles import Vehicle
+from tests.conftest import make_rider, make_sequence
+
+
+@pytest.fixture
+def vehicle():
+    return Vehicle(vehicle_id=0, location=0, capacity=2)
+
+
+def base_kwargs(cost):
+    return dict(
+        vehicle_utility=lambda r, v: 0.6,
+        similarity=lambda a, b: 0.5,
+        cost=cost,
+    )
+
+
+def solo_sequence(cost):
+    rider = make_rider(0, source=1, destination=3)
+    seq = make_sequence(cost, stops=[Stop.pickup(rider), Stop.dropoff(rider)])
+    return rider, seq
+
+
+class TestValidation:
+    def test_weights_must_fit(self, line_cost):
+        component = UtilityComponent("x", 0.5, lambda r, v, s: 1.0)
+        with pytest.raises(ValueError, match="<= 1"):
+            ExtendedUtilityModel(
+                0.4, 0.4, components=[component], **base_kwargs(line_cost)
+            )
+
+    def test_negative_component_weight_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            UtilityComponent("x", -0.1, lambda r, v, s: 1.0)
+
+    def test_component_range_enforced(self, line_cost, vehicle):
+        bad = UtilityComponent("bad", 0.2, lambda r, v, s: 2.0)
+        model = ExtendedUtilityModel(
+            0.3, 0.3, components=[bad], **base_kwargs(line_cost)
+        )
+        rider, seq = solo_sequence(line_cost)
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            model.rider_utility(rider, vehicle, seq)
+
+
+class TestEquivalence:
+    def test_no_components_matches_base_model(self, line_cost, vehicle):
+        rider, seq = solo_sequence(line_cost)
+        base = UtilityModel(0.33, 0.33, **base_kwargs(line_cost))
+        extended = ExtendedUtilityModel(0.33, 0.33, **base_kwargs(line_cost))
+        assert extended.rider_utility(rider, vehicle, seq) == pytest.approx(
+            base.rider_utility(rider, vehicle, seq)
+        )
+        assert extended.schedule_utility(vehicle, seq) == pytest.approx(
+            base.schedule_utility(vehicle, seq)
+        )
+
+    def test_component_weight_reduces_trajectory_share(self, line_cost, vehicle):
+        rider, seq = solo_sequence(line_cost)
+        zero = UtilityComponent("zero", 0.3, lambda r, v, s: 0.0)
+        model = ExtendedUtilityModel(
+            0.2, 0.2, components=[zero], **base_kwargs(line_cost)
+        )
+        # mu = 0.2*0.6 + 0.2*0 + 0.3*0 + 0.3*mu_t(=1) = 0.42
+        assert model.rider_utility(rider, vehicle, seq) == pytest.approx(0.42)
+
+    def test_full_value_component_adds_weight(self, line_cost, vehicle):
+        rider, seq = solo_sequence(line_cost)
+        one = UtilityComponent("one", 0.3, lambda r, v, s: 1.0)
+        model = ExtendedUtilityModel(
+            0.2, 0.2, components=[one], **base_kwargs(line_cost)
+        )
+        assert model.rider_utility(rider, vehicle, seq) == pytest.approx(0.72)
+
+
+class TestReadyMadeComponents:
+    def test_empty_distance_full_when_already_there(self, line_cost, vehicle):
+        rider, seq = solo_sequence(line_cost)
+        component = empty_distance_component(line_cost, scale=10.0)
+        # vehicle approaches from origin 0 -> pickup at 1: approach = 1
+        value = component(rider, vehicle, seq)
+        assert 0.0 < value < 1.0
+        # a rider picked up at the origin itself scores 1.0
+        at_origin = make_rider(1, source=0, destination=2)
+        seq0 = make_sequence(
+            line_cost, stops=[Stop.pickup(at_origin), Stop.dropoff(at_origin)]
+        )
+        assert component(at_origin, vehicle, seq0) == pytest.approx(1.0)
+
+    def test_empty_distance_decreases_with_approach(self, line_cost, vehicle):
+        component = empty_distance_component(line_cost, scale=10.0)
+        near = make_rider(0, source=1, destination=3)
+        far = make_rider(1, source=3, destination=4, pickup_deadline=10.0,
+                         dropoff_deadline=30.0)
+        seq_near = make_sequence(
+            line_cost, stops=[Stop.pickup(near), Stop.dropoff(near)]
+        )
+        seq_far = make_sequence(
+            line_cost, stops=[Stop.pickup(far), Stop.dropoff(far)]
+        )
+        assert component(near, vehicle, seq_near) > component(far, vehicle, seq_far)
+
+    def test_punctuality_rewards_slack(self, line_cost, vehicle):
+        component = punctuality_component(scale=10.0)
+        relaxed = make_rider(0, source=1, destination=3, dropoff_deadline=30.0)
+        tight = make_rider(1, source=1, destination=3, pickup_deadline=2.0,
+                           dropoff_deadline=3.0)
+        seq_relaxed = make_sequence(
+            line_cost, stops=[Stop.pickup(relaxed), Stop.dropoff(relaxed)]
+        )
+        seq_tight = make_sequence(
+            line_cost, stops=[Stop.pickup(tight), Stop.dropoff(tight)]
+        )
+        assert component(relaxed, vehicle, seq_relaxed) > component(
+            tight, vehicle, seq_tight
+        )
+
+    def test_components_missing_rider_zero(self, line_cost, vehicle):
+        rider, seq = solo_sequence(line_cost)
+        ghost = make_rider(42, source=2, destination=4)
+        assert empty_distance_component(line_cost)(ghost, vehicle, seq) == 0.0
+        assert punctuality_component()(ghost, vehicle, seq) == 0.0

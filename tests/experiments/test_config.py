@@ -1,0 +1,96 @@
+"""Unit tests for the experiment configuration and workbenches."""
+
+import pytest
+
+from repro.experiments.config import (
+    BALANCING,
+    BENCH_SCALE,
+    CAPACITIES,
+    DEADLINE_RANGES,
+    FLEXIBLE_FACTORS,
+    PAPER_SCALE,
+    ExperimentScale,
+    make_workbench,
+)
+
+
+#: a deliberately tiny scale so workbench tests stay fast
+TINY = ExperimentScale(
+    name="tiny",
+    riders_values=(10, 20),
+    vehicles_values=(2, 4),
+    default_riders=15,
+    default_vehicles=3,
+    social_users=60,
+)
+
+
+class TestScales:
+    def test_paper_scale_matches_table3(self):
+        assert PAPER_SCALE.riders_values == (1000, 3000, 5000, 8000, 10000)
+        assert PAPER_SCALE.vehicles_values == (100, 200, 300, 400, 500)
+        assert PAPER_SCALE.default_riders == 5000
+        assert PAPER_SCALE.default_vehicles == 200
+
+    def test_bench_scale_is_tenth_riders(self):
+        assert BENCH_SCALE.riders_values == tuple(
+            v // 10 for v in PAPER_SCALE.riders_values
+        )
+
+    def test_table3_sweeps(self):
+        assert DEADLINE_RANGES == ((1, 10), (10, 30), (30, 60))
+        assert CAPACITIES == (2, 3, 4, 5)
+        assert (0.33, 0.33) in BALANCING
+        assert FLEXIBLE_FACTORS == (1.2, 1.5, 1.7, 2.0)
+
+    def test_ratio(self):
+        assert PAPER_SCALE.rider_vehicle_ratio == 25.0
+
+
+class TestWorkbench:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return make_workbench(city="chicago", scale=TINY, use_cache=False)
+
+    def test_config_defaults(self, bench):
+        config = bench.config()
+        assert config.num_riders == 15
+        assert config.num_vehicles == 3
+        assert config.pickup_deadline_range == (10, 30)
+
+    def test_config_overrides(self, bench):
+        config = bench.config(capacity=5, num_riders=7)
+        assert config.capacity == 5
+        assert config.num_riders == 7
+        # untouched defaults survive
+        assert config.flexible_factor == 1.5
+
+    def test_instance_real_path(self, bench):
+        instance = bench.instance()
+        assert instance.num_riders == 15
+        assert instance.num_vehicles == 3
+        assert instance.social is bench.geo_social.social
+
+    def test_instance_synthetic_path(self):
+        bench = make_workbench(
+            city="chicago", scale=TINY, synthetic=True, use_cache=False
+        )
+        instance = bench.instance()
+        assert instance.num_riders == 15
+        # synthetic riders come from the fitted Poisson model but still obey
+        # the deadline construction
+        for rider in instance.riders:
+            assert rider.pickup_deadline < rider.dropoff_deadline
+
+    def test_unknown_city_rejected(self):
+        with pytest.raises(ValueError, match="unknown city"):
+            make_workbench(city="gotham", scale=TINY, use_cache=False)
+
+    def test_cache_returns_same_object(self):
+        a = make_workbench(city="chicago", scale=TINY, seed=3)
+        b = make_workbench(city="chicago", scale=TINY, seed=3)
+        assert a is b
+
+    def test_plan_prepared(self, bench):
+        assert bench.plan.num_areas >= 1
+        assert bench.plan.d_max > 0

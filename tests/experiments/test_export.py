@@ -1,0 +1,82 @@
+"""Unit tests for repro.experiments.export."""
+
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    read_result_csv,
+    write_aggregated_json,
+    write_result_csv,
+    write_result_json,
+)
+from repro.experiments.runner import ExperimentResult, ResultRow
+from repro.experiments.variance import run_with_seeds
+from tests.experiments.test_variance import fake_experiment
+
+
+@pytest.fixture
+def sample_result():
+    result = ExperimentResult(experiment="demo", description="a demo sweep")
+    result.notes.append("one note")
+    for x in ((1, 10), (10, 30)):
+        for method in ("cf", "ba"):
+            result.rows.append(
+                ResultRow(
+                    x_label="range", x_value=x, method=method,
+                    utility=3.14 if method == "ba" else 2.0,
+                    runtime_seconds=0.5, served=7,
+                    num_riders=10, num_vehicles=2,
+                )
+            )
+    return result
+
+
+class TestCsv:
+    def test_roundtrip_values(self, sample_result, tmp_path):
+        path = tmp_path / "r.csv"
+        write_result_csv(sample_result, path)
+        loaded = read_result_csv(path)
+        assert loaded.experiment == "demo"
+        assert len(loaded.rows) == 4
+        assert loaded.rows[0].utility == pytest.approx(2.0)
+        assert loaded.rows[0].served == 7
+        # tuple x-values come back as their repr string
+        assert loaded.rows[0].x_value == "(1, 10)"
+
+    def test_bad_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="unexpected columns"):
+            read_result_csv(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text(
+            "experiment,x_label,x_value,method,utility,runtime_seconds,"
+            "served,num_riders,num_vehicles\n"
+        )
+        with pytest.raises(ValueError, match="no data"):
+            read_result_csv(path)
+
+
+class TestJson:
+    def test_structure(self, sample_result, tmp_path):
+        path = tmp_path / "r.json"
+        write_result_json(sample_result, path)
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "demo"
+        assert payload["notes"] == ["one note"]
+        assert len(payload["rows"]) == 4
+        # tuples serialised as lists
+        assert payload["rows"][0]["x_value"] == [1, 10]
+
+    def test_aggregated_export(self, tmp_path):
+        aggregated = run_with_seeds(fake_experiment, seeds=(0, 1))
+        path = tmp_path / "agg.json"
+        write_aggregated_json(aggregated, path)
+        payload = json.loads(path.read_text())
+        assert payload["seeds"] == [0, 1]
+        cells = payload["cells"]
+        assert any(c["which"] == "utility" and c["n"] == 2 for c in cells)
+        assert any(c["which"] == "runtime" for c in cells)

@@ -1,0 +1,157 @@
+"""Tiny-scale smoke + shape tests for every figure reproduction.
+
+Each experiment runs at a deliberately tiny scale so this suite stays fast;
+the full bench scale lives in ``benchmarks/``.  The assertions check the
+result *structure* plus a couple of robust qualitative properties (CF never
+beats the best URR approach; utilities grow with looser constraints).
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figures import (
+    EXPERIMENTS,
+    fig7_trip_distribution,
+    fig8_deadline_range,
+    fig9_capacity,
+    fig10_balancing,
+    fig11_flexible_factor,
+    fig12_num_riders,
+    fig13_num_vehicles,
+    fig15_deadline_range_chicago,
+    fig16_capacity_chicago,
+    table4_small_instance,
+)
+
+TINY = ExperimentScale(
+    name="tiny",
+    riders_values=(20, 40),
+    vehicles_values=(3, 6),
+    default_riders=30,
+    default_vehicles=5,
+    social_users=80,
+)
+
+METHODS = ("cf", "eg", "ba")
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table4", "fig7", "fig8", "fig9", "fig10",
+            "fig11", "fig12", "fig13", "fig15", "fig16",
+        }
+
+    def test_every_entry_documented(self):
+        for fn in EXPERIMENTS.values():
+            assert fn.__doc__
+
+
+class TestTable4:
+    def test_rows_and_dominance(self):
+        result = table4_small_instance(seed=4)
+        methods = {r.method for r in result.rows}
+        assert methods == {"ba", "eg", "cf", "opt"}
+        opt = result.row("opt", "3v/8r")
+        for method in ("ba", "eg", "cf"):
+            assert opt.utility >= result.row(method, "3v/8r").utility - 1e-9
+        # OPT is orders of magnitude slower than the heuristics
+        assert opt.runtime_seconds > 10 * result.row("cf", "3v/8r").runtime_seconds
+
+
+class TestFig7:
+    def test_histogram_counts(self):
+        result = fig7_trip_distribution(num_trips=200)
+        nyc = [r for r in result.rows if r.method == "nyc"]
+        assert sum(r.served for r in nyc) == 200
+
+    def test_short_trip_majority_noted(self):
+        result = fig7_trip_distribution(num_trips=200)
+        assert len(result.notes) == 2
+        assert all("1,000 seconds" in n for n in result.notes)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8_deadline_range(scale=TINY, methods=METHODS)
+
+    def test_structure(self, result):
+        assert result.x_values() == [(1, 10), (10, 30), (30, 60)]
+        assert result.methods() == list(METHODS)
+
+    def test_utilities_grow_with_deadline_range(self, result):
+        for method in METHODS:
+            series = result.series(method)
+            assert series[0] < series[-1]
+
+    def test_cf_never_best(self, result):
+        for x in result.x_values():
+            cf = result.row("cf", x).utility
+            best = max(result.row(m, x).utility for m in METHODS)
+            assert cf <= best + 1e-9
+
+
+class TestFig9:
+    def test_capacity_sweep_structure(self):
+        result = fig9_capacity(scale=TINY, methods=("cf", "eg"))
+        assert result.x_values() == [2, 3, 4, 5]
+        # capacity helps (weakly): highest capacity >= lowest
+        for method in ("cf", "eg"):
+            series = result.series(method)
+            assert series[-1] >= series[0] - 1.0
+
+
+class TestFig10:
+    def test_balancing_sweep(self):
+        result = fig10_balancing(scale=TINY, methods=("cf", "eg"))
+        assert len(result.x_values()) == 4
+        # (0, 1): only sparse social similarity counts -> lowest utilities
+        for method in ("cf", "eg"):
+            zero_one = result.row(method, (0, 1)).utility
+            others = [
+                result.row(method, x).utility
+                for x in result.x_values() if x != (0, 1)
+            ]
+            assert zero_one <= min(others)
+
+
+class TestFig12:
+    def test_rider_sweep_monotone(self):
+        result = fig12_num_riders(scale=TINY, methods=("eg",))
+        series = result.series("eg")
+        # at the tiny scale the 5 vehicles saturate quickly; more riders
+        # must not *hurt* beyond sampling noise
+        assert series[-1] >= series[0] * 0.85
+
+
+class TestFig11:
+    def test_flexible_factor_sweep(self):
+        result = fig11_flexible_factor(scale=TINY, methods=("cf", "eg"))
+        assert result.x_values() == [1.2, 1.5, 1.7, 2.0]
+        for method in ("cf", "eg"):
+            series = result.series(method)
+            # looser detour budgets cannot hurt much
+            assert series[-1] >= series[0] * 0.8
+
+
+class TestFig13:
+    def test_vehicle_sweep_monotone(self):
+        result = fig13_num_vehicles(scale=TINY, methods=("eg",))
+        series = result.series("eg")
+        # doubling the fleet must help at the saturated tiny scale
+        assert series[-1] >= series[0]
+
+
+class TestChicagoVariants:
+    def test_fig15_structure_and_trend(self):
+        result = fig15_deadline_range_chicago(scale=TINY, methods=("cf", "ba"))
+        assert result.x_values() == [(1, 10), (10, 30), (30, 60)]
+        for method in ("cf", "ba"):
+            series = result.series(method)
+            assert series[0] < series[-1]
+
+    def test_fig16_structure(self):
+        result = fig16_capacity_chicago(scale=TINY, methods=("cf",))
+        assert result.x_values() == [2, 3, 4, 5]
+        assert all(u >= 0 for u in result.series("cf"))

@@ -1,0 +1,74 @@
+"""Unit tests for the ASCII plotting and the experiments CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments.plotting import render_experiment, render_series
+from repro.experiments.runner import ExperimentResult, ResultRow
+
+
+def make_result():
+    result = ExperimentResult(experiment="demo", description="d")
+    for x, (cf, ba) in enumerate([(1.0, 2.0), (2.0, 4.0), (3.0, 5.0)]):
+        for method, value in (("cf", cf), ("ba", ba)):
+            result.rows.append(
+                ResultRow(
+                    x_label="x", x_value=x, method=method, utility=value,
+                    runtime_seconds=value / 10, served=1, num_riders=2,
+                    num_vehicles=1,
+                )
+            )
+    return result
+
+
+class TestRenderSeries:
+    def test_contains_markers_and_legend(self):
+        text = render_series(make_result())
+        assert "c=cf" in text
+        assert "b=ba" in text
+        assert "c" in text and "b" in text
+
+    def test_y_range_labels(self):
+        text = render_series(make_result())
+        assert "5.000" in text  # max
+        assert "1.000" in text  # min
+
+    def test_flat_series_does_not_crash(self):
+        result = make_result()
+        for row in result.rows:
+            row.utility = 2.0
+        assert "demo" in render_series(result)
+
+    def test_empty_result(self):
+        assert render_series(ExperimentResult("e", "d")) == "(empty result)"
+
+    def test_render_experiment_two_panels(self):
+        text = render_experiment(make_result())
+        assert text.count("demo:") == 2
+        assert "runtime_seconds" in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out and "table4" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig12" in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_runs_table4(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "overall utility" in out
+        assert "opt" in out
+
+    def test_plot_flag(self, capsys):
+        assert main(["table4", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "+--" in out or "+-" in out  # chart frame rendered

@@ -1,0 +1,76 @@
+"""Unit tests for the experiment runner and result containers."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentResult, ResultRow, run_methods
+
+
+def row(x, method, utility=1.0, runtime=0.1, served=3):
+    return ResultRow(
+        x_label="x", x_value=x, method=method, utility=utility,
+        runtime_seconds=runtime, served=served, num_riders=10, num_vehicles=2,
+    )
+
+
+class TestResultRow:
+    def test_service_rate(self):
+        assert row(1, "eg", served=5).service_rate == 0.5
+
+    def test_service_rate_zero_riders(self):
+        r = ResultRow("x", 1, "eg", 0.0, 0.0, 0, 0, 0)
+        assert r.service_rate == 0.0
+
+
+class TestExperimentResult:
+    def make(self):
+        result = ExperimentResult(experiment="t", description="d")
+        result.rows = [
+            row(1, "cf", utility=1.0), row(1, "eg", utility=2.0),
+            row(2, "cf", utility=3.0), row(2, "eg", utility=4.0),
+        ]
+        return result
+
+    def test_methods_order(self):
+        assert self.make().methods() == ["cf", "eg"]
+
+    def test_x_values_order(self):
+        assert self.make().x_values() == [1, 2]
+
+    def test_series(self):
+        assert self.make().series("cf") == [1.0, 3.0]
+        assert self.make().series("eg", "runtime_seconds") == [0.1, 0.1]
+
+    def test_row_lookup(self):
+        assert self.make().row("eg", 2).utility == 4.0
+        with pytest.raises(KeyError):
+            self.make().row("zz", 1)
+
+    def test_format_table_contains_panels(self):
+        text = self.make().format_table()
+        assert "overall utility" in text
+        assert "running time" in text
+        assert "cf" in text and "eg" in text
+
+    def test_format_table_missing_cell_dash(self):
+        result = self.make()
+        result.rows.pop()  # drop (2, eg)
+        assert "-" in result.format_table()
+
+    def test_notes_rendered(self):
+        result = self.make()
+        result.notes.append("hello note")
+        assert "note: hello note" in result.format_table()
+
+
+class TestRunMethods:
+    def test_rows_per_method(self, line_instance):
+        rows = run_methods(line_instance, "x", 1, methods=("cf", "eg"))
+        assert [r.method for r in rows] == ["cf", "eg"]
+        assert all(r.x_value == 1 for r in rows)
+
+    def test_rows_record_instance_size(self, line_instance):
+        (r,) = run_methods(line_instance, "x", 1, methods=("eg",))
+        assert r.num_riders == 2
+        assert r.num_vehicles == 1
+        assert r.served == 2
+        assert r.utility > 0

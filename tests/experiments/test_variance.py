@@ -1,0 +1,90 @@
+"""Unit tests for repro.experiments.variance (multi-seed aggregation)."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentResult, ResultRow
+from repro.experiments.variance import AggregatedCell, run_with_seeds
+
+
+def fake_experiment(seed: int = 0) -> ExperimentResult:
+    """Deterministic toy sweep: utility = x * 10 + seed."""
+    result = ExperimentResult(experiment="toy", description="toy sweep")
+    for x in (1, 2):
+        for method in ("cf", "ba"):
+            base = 10.0 * x + seed + (5.0 if method == "ba" else 0.0)
+            result.rows.append(
+                ResultRow(
+                    x_label="x", x_value=x, method=method, utility=base,
+                    runtime_seconds=0.1 * seed + x, served=1,
+                    num_riders=2, num_vehicles=1,
+                )
+            )
+    return result
+
+
+class TestAggregatedCell:
+    def test_stats(self):
+        cell = AggregatedCell()
+        for v in (1.0, 2.0, 3.0):
+            cell.add(v)
+        assert cell.n == 3
+        assert cell.mean == pytest.approx(2.0)
+        assert cell.std == pytest.approx(1.0)
+        assert cell.min == 1.0
+        assert cell.max == 3.0
+
+    def test_single_value_std_zero(self):
+        cell = AggregatedCell()
+        cell.add(5.0)
+        assert cell.std == 0.0
+
+    def test_empty(self):
+        cell = AggregatedCell()
+        assert cell.mean == 0.0
+        assert cell.min == 0.0
+
+
+class TestRunWithSeeds:
+    def test_aggregates_cells(self):
+        aggregated = run_with_seeds(fake_experiment, seeds=(0, 1, 2))
+        cell = aggregated.cell("cf", 1)
+        assert cell.n == 3
+        assert cell.mean == pytest.approx(11.0)  # 10 + mean(0, 1, 2)
+
+    def test_methods_and_xs_preserved(self):
+        aggregated = run_with_seeds(fake_experiment, seeds=(0, 1))
+        assert aggregated.methods == ["cf", "ba"]
+        assert aggregated.x_values == [1, 2]
+
+    def test_mean_series(self):
+        aggregated = run_with_seeds(fake_experiment, seeds=(0, 2))
+        assert aggregated.mean_series("ba") == pytest.approx([16.0, 26.0])
+
+    def test_runtime_aggregated_separately(self):
+        aggregated = run_with_seeds(fake_experiment, seeds=(0, 2))
+        assert aggregated.cell("cf", 2, "runtime").mean == pytest.approx(2.1)
+
+    def test_format_table(self):
+        aggregated = run_with_seeds(fake_experiment, seeds=(0, 1))
+        text = aggregated.format_table()
+        assert "mean ± std" in text
+        assert "toy sweep" in text
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            run_with_seeds(fake_experiment, seeds=())
+
+    def test_on_real_figure_tiny(self):
+        """End to end over a real figure at a tiny scale."""
+        from repro.experiments.config import ExperimentScale
+        from repro.experiments.figures import fig9_capacity
+
+        tiny = ExperimentScale(
+            name="tiny2", riders_values=(10,), vehicles_values=(2,),
+            default_riders=12, default_vehicles=3, social_users=40,
+        )
+        aggregated = run_with_seeds(
+            fig9_capacity, seeds=(0, 1), scale=tiny, methods=("cf", "eg")
+        )
+        assert aggregated.cell("eg", 3).n == 2
+        assert all(v >= 0 for v in aggregated.mean_series("cf"))

@@ -1,0 +1,124 @@
+"""Unit + property tests for repro.roadnet.contraction."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roadnet.contraction import ContractionHierarchy
+from repro.roadnet.generators import grid_city, ring_radial_city
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.shortest_path import dijkstra
+
+
+@pytest.fixture(scope="module")
+def grid_ch(small_grid):
+    return ContractionHierarchy(small_grid)
+
+
+class TestConstruction:
+    def test_all_nodes_ranked(self, small_grid, grid_ch):
+        assert set(grid_ch.rank) == set(small_grid.nodes())
+        ranks = sorted(grid_ch.rank.values())
+        assert ranks == list(range(small_grid.num_nodes))
+
+    def test_directed_rejected(self):
+        net = RoadNetwork(undirected=False)
+        net.add_edge(0, 1, 1.0)
+        with pytest.raises(ValueError, match="undirected"):
+            ContractionHierarchy(net)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ContractionHierarchy(RoadNetwork())
+
+    def test_shortcut_count_reasonable(self, small_grid, grid_ch):
+        # grids should not explode; a few times the edge count at most
+        assert grid_ch.num_shortcuts <= small_grid.num_edges
+
+    def test_upward_graph_only_ascends(self, grid_ch):
+        for u, edges in grid_ch._upward.items():
+            for v, _ in edges:
+                assert grid_ch.rank[v] > grid_ch.rank[u]
+
+
+class TestQueries:
+    def test_same_node(self, grid_ch):
+        assert grid_ch.cost(7, 7) == 0.0
+
+    def test_exact_on_grid(self, small_grid, grid_ch):
+        nodes = sorted(small_grid.nodes())
+        for src in nodes[::5]:
+            truth = dijkstra(small_grid, src)
+            for dst in nodes:
+                assert grid_ch.cost(src, dst) == pytest.approx(truth[dst]), (
+                    f"{src} -> {dst}"
+                )
+
+    def test_exact_on_line(self, line_network):
+        ch = ContractionHierarchy(line_network)
+        for src in range(5):
+            for dst in range(5):
+                assert ch.cost(src, dst) == pytest.approx(abs(src - dst))
+
+    def test_exact_on_ring_radial(self):
+        net = ring_radial_city(rings=3, spokes=8, seed=4)
+        ch = ContractionHierarchy(net)
+        nodes = sorted(net.nodes())
+        for src in nodes[::7]:
+            truth = dijkstra(net, src)
+            for dst in nodes[::5]:
+                assert ch.cost(src, dst) == pytest.approx(truth[dst])
+
+    def test_unreachable_inf(self):
+        net = RoadNetwork()
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(8, 9, 1.0)
+        ch = ContractionHierarchy(net)
+        assert math.isinf(ch.cost(0, 9))
+
+    def test_callable(self, grid_ch):
+        assert grid_ch(0, 24) == grid_ch.cost(0, 24)
+
+    def test_symmetric(self, small_grid, grid_ch):
+        nodes = sorted(small_grid.nodes())
+        for src, dst in [(0, 24), (3, 21), (10, 14)]:
+            assert grid_ch.cost(src, dst) == pytest.approx(grid_ch.cost(dst, src))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 300), data=st.data())
+    def test_exact_on_random_grids(self, seed, data):
+        net = grid_city(4, 5, seed=seed, removal_fraction=0.15, arterial_every=None)
+        ch = ContractionHierarchy(net)
+        nodes = sorted(net.nodes())
+        src = data.draw(st.sampled_from(nodes))
+        dst = data.draw(st.sampled_from(nodes))
+        assert ch.cost(src, dst) == pytest.approx(
+            dijkstra(net, src).get(dst, math.inf)
+        )
+
+    def test_tiny_witness_budget_still_exact(self, small_grid):
+        """A starved witness search adds extra shortcuts but must never
+        change query results."""
+        ch = ContractionHierarchy(small_grid, witness_hop_limit=2)
+        nodes = sorted(small_grid.nodes())
+        truth = dijkstra(small_grid, nodes[0])
+        for dst in nodes[::4]:
+            assert ch.cost(nodes[0], dst) == pytest.approx(truth[dst])
+
+
+class TestUsableAsCostOracle:
+    def test_solver_accepts_ch_costs(self, small_grid):
+        """A TransferSequence can run on CH-backed costs directly."""
+        from repro.core.insertion import arrange_single_rider
+        from repro.core.schedule import TransferSequence
+        from tests.conftest import make_rider
+
+        ch = ContractionHierarchy(small_grid)
+        seq = TransferSequence(origin=0, start_time=0.0, capacity=2, cost=ch.cost)
+        rider = make_rider(0, source=6, destination=18,
+                           pickup_deadline=20.0, dropoff_deadline=60.0)
+        result = arrange_single_rider(seq, rider)
+        assert result is not None
+        assert result.sequence.is_valid()

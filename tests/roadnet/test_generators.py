@@ -1,0 +1,108 @@
+"""Unit tests for repro.roadnet.generators."""
+
+import pytest
+
+from repro.roadnet.generators import (
+    chicago_like,
+    grid_city,
+    nyc_like,
+    paper_example_network,
+    ring_radial_city,
+)
+from repro.roadnet.shortest_path import dijkstra
+
+
+class TestGridCity:
+    def test_deterministic(self):
+        a = grid_city(6, 6, seed=42)
+        b = grid_city(6, 6, seed=42)
+        assert set(a.nodes()) == set(b.nodes())
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = grid_city(6, 6, seed=1)
+        b = grid_city(6, 6, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_connected(self):
+        net = grid_city(8, 8, seed=5, removal_fraction=0.2)
+        dist = dijkstra(net, next(iter(net.nodes())))
+        assert len(dist) == net.num_nodes
+
+    def test_all_costs_positive(self):
+        net = grid_city(5, 5, seed=0)
+        assert all(cost > 0 for _, _, cost in net.edges())
+
+    def test_no_removal_keeps_full_grid(self):
+        net = grid_city(4, 4, seed=0, removal_fraction=0.0, arterial_every=None)
+        assert net.num_nodes == 16
+        assert net.num_edges == 2 * (2 * 4 * 3)  # 24 undirected edges
+
+    def test_arterials_faster(self):
+        net = grid_city(
+            10, 10, seed=0, removal_fraction=0.0, arterial_every=3,
+            arterial_speedup=4.0, cost_jitter=0.0,
+        )
+        # an arterial segment (row 0) should be 4x cheaper than a normal one
+        arterial = net.edge_cost(0, 1)
+        normal = net.edge_cost(10, 11)  # row 1, non-arterial
+        assert arterial == pytest.approx(normal / 4.0)
+
+    def test_coordinates_assigned(self):
+        net = grid_city(3, 4, seed=0, removal_fraction=0.0, arterial_every=None)
+        assert net.position(0) == (0.0, 0.0)
+        assert net.position(5) == (1.0, 1.0)  # row 1, col 1 of 4-wide grid
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            grid_city(1, 5)
+
+    def test_bad_removal_fraction(self):
+        with pytest.raises(ValueError):
+            grid_city(4, 4, removal_fraction=0.9)
+
+
+class TestRingRadial:
+    def test_structure(self):
+        net = ring_radial_city(rings=2, spokes=6, seed=0)
+        assert net.num_nodes == 1 + 2 * 6
+        # centre connects to all first-ring nodes
+        assert len(net.neighbors(0)) == 6
+
+    def test_connected(self):
+        net = ring_radial_city(rings=3, spokes=8, seed=1)
+        assert len(dijkstra(net, 0)) == net.num_nodes
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ring_radial_city(rings=0, spokes=5)
+        with pytest.raises(ValueError):
+            ring_radial_city(rings=2, spokes=2)
+
+
+class TestCityPresets:
+    def test_nyc_larger_than_chicago(self):
+        nyc = nyc_like(seed=0)
+        chi = chicago_like(seed=0)
+        assert nyc.num_nodes > chi.num_nodes * 2
+
+    def test_scale_parameter(self):
+        small = nyc_like(seed=0, scale=0.25)
+        full = nyc_like(seed=0, scale=1.0)
+        assert small.num_nodes < full.num_nodes
+
+    def test_presets_connected(self):
+        for net in (nyc_like(seed=3, scale=0.3), chicago_like(seed=3, scale=0.5)):
+            assert len(dijkstra(net, next(iter(net.nodes())))) == net.num_nodes
+
+
+class TestPaperExample:
+    def test_eight_nodes(self, example_network):
+        assert example_network.num_nodes == 8
+
+    def test_b_to_a_cost_one(self, example_network):
+        # vehicle c1 at B must reach A (rider r1) at cost 1 like Example 2
+        assert example_network.edge_cost(1, 0) == pytest.approx(1.0)
+
+    def test_connected(self, example_network):
+        assert len(dijkstra(example_network, 0)) == 8

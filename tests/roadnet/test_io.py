@@ -1,0 +1,106 @@
+"""Unit tests for repro.roadnet.io (DIMACS format)."""
+
+import math
+
+import pytest
+
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.io import read_dimacs, write_dimacs
+from repro.roadnet.oracle import DistanceOracle
+
+
+@pytest.fixture
+def sample_gr(tmp_path):
+    path = tmp_path / "net.gr"
+    path.write_text(
+        "c sample network\n"
+        "p sp 3 4\n"
+        "a 1 2 100\n"
+        "a 2 1 100\n"
+        "a 2 3 250\n"
+        "a 3 2 250\n"
+    )
+    return path
+
+
+@pytest.fixture
+def sample_co(tmp_path):
+    path = tmp_path / "net.co"
+    path.write_text(
+        "c coordinates\n"
+        "p aux sp co 3\n"
+        "v 1 -74.0 40.7\n"
+        "v 2 -74.1 40.8\n"
+        "v 3 -74.2 40.9\n"
+    )
+    return path
+
+
+class TestRead:
+    def test_reads_arcs(self, sample_gr):
+        net = read_dimacs(sample_gr)
+        assert net.num_nodes == 3
+        assert net.edge_cost(1, 2) == pytest.approx(100.0)
+        assert net.edge_cost(2, 3) == pytest.approx(250.0)
+
+    def test_reads_coordinates(self, sample_gr, sample_co):
+        net = read_dimacs(sample_gr, sample_co)
+        assert net.position(1) == (-74.0, 40.7)
+
+    def test_skips_comments_and_problem_lines(self, sample_gr):
+        net = read_dimacs(sample_gr)
+        assert 0 not in net  # nothing spurious from 'p sp 3 4'
+
+    def test_self_loops_skipped(self, tmp_path):
+        path = tmp_path / "loop.gr"
+        path.write_text("a 1 1 5\na 1 2 7\n")
+        net = read_dimacs(path)
+        assert not net.has_edge(1, 1)
+        assert net.has_edge(1, 2)
+
+    def test_malformed_arc_raises(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("a 1 2\n")
+        with pytest.raises(ValueError, match="malformed arc"):
+            read_dimacs(path)
+
+    def test_malformed_coordinate_raises(self, sample_gr, tmp_path):
+        co = tmp_path / "bad.co"
+        co.write_text("v 1 2\n")
+        with pytest.raises(ValueError, match="malformed coordinate"):
+            read_dimacs(sample_gr, co)
+
+    def test_undirected_option_mirrors(self, tmp_path):
+        path = tmp_path / "oneway.gr"
+        path.write_text("a 1 2 10\n")
+        net = read_dimacs(path, undirected=True)
+        assert net.has_edge(2, 1)
+
+
+class TestRoundTrip:
+    def test_write_read_preserves_topology(self, small_grid, tmp_path):
+        gr = tmp_path / "grid.gr"
+        co = tmp_path / "grid.co"
+        write_dimacs(small_grid, gr, co)
+        loaded = read_dimacs(gr, co)
+        assert loaded.num_nodes == small_grid.num_nodes
+        assert loaded.num_edges == small_grid.num_edges
+
+    def test_write_read_preserves_distances_scaled(self, small_grid, tmp_path):
+        """Costs are written x1000; shortest paths scale linearly."""
+        gr = tmp_path / "grid.gr"
+        write_dimacs(small_grid, gr)
+        loaded = read_dimacs(gr)
+        orig = DistanceOracle(small_grid)
+        new = DistanceOracle(loaded, apsp_threshold=0)
+        nodes = sorted(small_grid.nodes())
+        for u, v in [(nodes[0], nodes[-1]), (nodes[2], nodes[5])]:
+            assert new.cost(u, v) == pytest.approx(orig.cost(u, v) * 1000, rel=2e-3)
+
+    def test_coordinates_roundtrip(self, small_grid, tmp_path):
+        gr = tmp_path / "g.gr"
+        co = tmp_path / "g.co"
+        write_dimacs(small_grid, gr, co)
+        loaded = read_dimacs(gr, co)
+        node = next(iter(small_grid.nodes()))
+        assert loaded.position(node) == pytest.approx(small_grid.position(node))

@@ -1,0 +1,105 @@
+"""Unit + property tests for repro.roadnet.landmarks (ALT queries)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roadnet.generators import grid_city
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.landmarks import LandmarkIndex
+from repro.roadnet.shortest_path import dijkstra
+
+
+@pytest.fixture(scope="module")
+def grid_index(small_grid):
+    return LandmarkIndex(small_grid, num_landmarks=4)
+
+
+class TestConstruction:
+    def test_landmark_count(self, grid_index):
+        assert len(grid_index.landmarks) == 4
+
+    def test_landmarks_distinct(self, grid_index):
+        assert len(set(grid_index.landmarks)) == 4
+
+    def test_landmarks_spread_out(self, small_grid, grid_index):
+        """Farthest-point sampling keeps landmarks pairwise distant."""
+        dist = {l: dijkstra(small_grid, l) for l in grid_index.landmarks}
+        pairs = [
+            dist[a][b]
+            for a in grid_index.landmarks
+            for b in grid_index.landmarks
+            if a != b
+        ]
+        assert min(pairs) > 1.0  # never adjacent on a 5x5 grid
+
+    def test_directed_network_rejected(self):
+        net = RoadNetwork(undirected=False)
+        net.add_edge(0, 1, 1.0)
+        with pytest.raises(ValueError, match="undirected"):
+            LandmarkIndex(net)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            LandmarkIndex(RoadNetwork())
+
+    def test_invalid_landmark_count(self, small_grid):
+        with pytest.raises(ValueError):
+            LandmarkIndex(small_grid, num_landmarks=0)
+
+    def test_more_landmarks_than_nodes(self, line_network):
+        index = LandmarkIndex(line_network, num_landmarks=50)
+        assert len(index.landmarks) <= len(line_network)
+
+
+class TestQueries:
+    def test_same_node(self, grid_index):
+        assert grid_index.cost(3, 3) == 0.0
+
+    def test_exactness_vs_dijkstra(self, small_grid, grid_index):
+        nodes = sorted(small_grid.nodes())
+        for src in nodes[::6]:
+            truth = dijkstra(small_grid, src)
+            for dst in nodes[::7]:
+                assert grid_index.cost(src, dst) == pytest.approx(truth[dst])
+
+    def test_heuristic_admissible(self, small_grid, grid_index):
+        nodes = sorted(small_grid.nodes())
+        target = nodes[-1]
+        truth = {n: dijkstra(small_grid, n).get(target, math.inf) for n in nodes}
+        for node in nodes:
+            assert grid_index.heuristic(node, target) <= truth[node] + 1e-9
+
+    def test_unreachable_inf(self):
+        net = RoadNetwork()
+        net.add_edge(0, 1, 1.0)
+        net.add_node(9)
+        index = LandmarkIndex(net, num_landmarks=1)
+        assert math.isinf(index.cost(0, 9))
+
+    def test_callable_interface(self, grid_index):
+        assert grid_index(0, 24) == grid_index.cost(0, 24)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 200), data=st.data())
+    def test_exact_on_random_grids(self, seed, data):
+        net = grid_city(4, 5, seed=seed, removal_fraction=0.1, arterial_every=None)
+        index = LandmarkIndex(net, num_landmarks=3)
+        nodes = sorted(net.nodes())
+        src = data.draw(st.sampled_from(nodes))
+        dst = data.draw(st.sampled_from(nodes))
+        assert index.cost(src, dst) == pytest.approx(
+            dijkstra(net, src).get(dst, math.inf)
+        )
+
+    def test_explores_fewer_nodes_than_dijkstra(self):
+        """ALT's point: long queries settle far fewer nodes."""
+        net = grid_city(15, 15, seed=0, removal_fraction=0.0, arterial_every=None)
+        index = LandmarkIndex(net, num_landmarks=8)
+        nodes = sorted(net.nodes())
+        index.settled_count = 0
+        index.cost(nodes[0], nodes[16])  # short query near a corner
+        short_settled = index.settled_count
+        assert short_settled < net.num_nodes / 2

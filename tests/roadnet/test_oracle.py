@@ -1,0 +1,123 @@
+"""Unit tests for repro.roadnet.oracle."""
+
+import math
+
+import pytest
+
+from repro.roadnet.generators import grid_city
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.oracle import DistanceOracle
+from repro.roadnet.shortest_path import dijkstra
+
+
+class TestCost:
+    def test_same_node_zero(self, line_network):
+        oracle = DistanceOracle(line_network)
+        assert oracle.cost(2, 2) == 0.0
+
+    def test_matches_dijkstra(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        nodes = sorted(small_grid.nodes())
+        expected = dijkstra(small_grid, nodes[0])
+        for node in nodes[:10]:
+            assert oracle.cost(nodes[0], node) == pytest.approx(expected[node])
+
+    def test_unreachable_is_inf(self):
+        net = RoadNetwork()
+        net.add_edge(0, 1, 1.0)
+        net.add_node(9)
+        oracle = DistanceOracle(net, apsp_threshold=0)
+        assert math.isinf(oracle.cost(0, 9))
+
+    def test_callable_interface(self, line_network):
+        oracle = DistanceOracle(line_network)
+        assert oracle(0, 3) == pytest.approx(3.0)
+
+
+class TestApspMode:
+    def test_apsp_built_for_small_networks(self, line_network):
+        oracle = DistanceOracle(line_network, apsp_threshold=10)
+        oracle.cost(0, 4)
+        assert oracle._apsp is not None
+
+    def test_apsp_disabled_when_threshold_zero(self, line_network):
+        oracle = DistanceOracle(line_network, apsp_threshold=0)
+        oracle.cost(0, 4)
+        assert oracle._apsp is None
+
+    def test_apsp_unreachable_inf(self):
+        net = RoadNetwork()
+        net.add_edge(0, 1, 1.0)
+        net.add_node(9)
+        oracle = DistanceOracle(net, apsp_threshold=100)
+        assert math.isinf(oracle.cost(0, 9))
+
+    def test_fast_cost_fn_matches_cost(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        fast = oracle.fast_cost_fn()
+        nodes = sorted(small_grid.nodes())
+        for u in nodes[:5]:
+            for v in nodes[-5:]:
+                assert fast(u, v) == pytest.approx(oracle.cost(u, v))
+
+    def test_fast_cost_fn_same_node(self, small_grid):
+        fast = DistanceOracle(small_grid).fast_cost_fn()
+        assert fast(3, 3) == 0.0
+
+    def test_fast_cost_fn_falls_back_above_threshold(self, small_grid):
+        oracle = DistanceOracle(small_grid, apsp_threshold=0)
+        fast = oracle.fast_cost_fn()
+        assert fast == oracle.cost
+
+
+class TestLruMode:
+    def test_costs_from_cached(self, small_grid):
+        oracle = DistanceOracle(small_grid, apsp_threshold=0)
+        first = oracle.costs_from(0)
+        before = oracle.dijkstra_count
+        second = oracle.costs_from(0)
+        assert first is second
+        assert oracle.dijkstra_count == before
+
+    def test_lru_eviction(self, small_grid):
+        oracle = DistanceOracle(small_grid, cache_sources=2, apsp_threshold=0)
+        nodes = sorted(small_grid.nodes())
+        oracle.costs_from(nodes[0])
+        oracle.costs_from(nodes[1])
+        oracle.costs_from(nodes[2])  # evicts nodes[0]
+        assert len(oracle._source_cache) == 2
+        assert nodes[0] not in oracle._source_cache
+
+    def test_warm_pins_sources(self, small_grid):
+        oracle = DistanceOracle(small_grid, apsp_threshold=0)
+        oracle.warm([0, 1])
+        assert 0 in oracle._source_cache
+        assert 1 in oracle._source_cache
+
+    def test_invalidate_clears_caches(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        oracle.cost(0, 1)
+        oracle.invalidate()
+        assert oracle._apsp is None
+        assert not oracle._source_cache
+
+    def test_invalidate_reflects_network_change(self):
+        net = RoadNetwork()
+        net.add_edge(0, 1, 10.0)
+        oracle = DistanceOracle(net)
+        assert oracle.cost(0, 1) == pytest.approx(10.0)
+        net.adjacency[0][1] = 2.0
+        net.adjacency[1][0] = 2.0
+        oracle.invalidate()
+        assert oracle.cost(0, 1) == pytest.approx(2.0)
+
+
+class TestConsistency:
+    def test_lru_and_apsp_agree(self):
+        net = grid_city(4, 4, seed=11, removal_fraction=0.1, arterial_every=None)
+        apsp = DistanceOracle(net, apsp_threshold=1000)
+        lru = DistanceOracle(net, apsp_threshold=0)
+        nodes = sorted(net.nodes())
+        for u in nodes[:4]:
+            for v in nodes[-4:]:
+                assert apsp.cost(u, v) == pytest.approx(lru.cost(u, v))

@@ -1,0 +1,107 @@
+"""Unit tests for repro.roadnet.preprocess (Eq. 10 edge splitting)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.oracle import DistanceOracle
+from repro.roadnet.preprocess import split_long_edges
+
+
+def simple_net(cost: float) -> RoadNetwork:
+    net = RoadNetwork()
+    net.add_node(0, x=0.0, y=0.0)
+    net.add_node(1, x=cost, y=0.0)
+    net.add_edge(0, 1, cost)
+    return net
+
+
+class TestSplitting:
+    def test_short_edge_untouched(self):
+        result = split_long_edges(simple_net(1.0), d_max=2.0)
+        assert result.pseudo_nodes == []
+        assert result.network.edge_cost(0, 1) == pytest.approx(1.0)
+
+    def test_edge_exactly_d_max_untouched(self):
+        result = split_long_edges(simple_net(2.0), d_max=2.0)
+        assert result.pseudo_nodes == []
+
+    def test_long_edge_split_evenly(self):
+        result = split_long_edges(simple_net(5.0), d_max=2.0)
+        # n_e = floor(5/2) = 2 pseudo nodes -> 3 segments of 5/3
+        assert len(result.pseudo_nodes) == 2
+        net = result.network
+        assert all(
+            cost == pytest.approx(5.0 / 3.0) for _, _, cost in net.edges()
+        )
+
+    def test_no_segment_exceeds_d_max(self):
+        for cost in (2.5, 3.0, 7.7, 10.0, 19.9):
+            result = split_long_edges(simple_net(cost), d_max=2.0)
+            assert all(c <= 2.0 + 1e-9 for _, _, c in result.network.edges())
+
+    def test_origin_recorded(self):
+        result = split_long_edges(simple_net(5.0), d_max=2.0)
+        for pseudo in result.pseudo_nodes:
+            assert result.origin[pseudo] in {(0, 1), (1, 0)}
+
+    def test_pseudo_nodes_shared_between_directions(self):
+        result = split_long_edges(simple_net(5.0), d_max=2.0)
+        # undirected edge: 2 pseudo nodes total, not 4
+        assert len(result.pseudo_nodes) == 2
+        # and both directions traverse them
+        net = result.network
+        assert net.num_edges == 6  # 3 segments x 2 directions
+
+    def test_pseudo_node_coordinates_interpolated(self):
+        # cost 3, d_max 2 -> one pseudo node at the midpoint
+        result = split_long_edges(simple_net(3.0), d_max=2.0)
+        (pseudo,) = result.pseudo_nodes
+        x, y = result.network.coordinates[pseudo]
+        assert x == pytest.approx(1.5)
+        assert y == pytest.approx(0.0)
+
+    def test_input_not_mutated(self):
+        net = simple_net(5.0)
+        split_long_edges(net, d_max=2.0)
+        assert net.num_nodes == 2
+        assert net.edge_cost(0, 1) == pytest.approx(5.0)
+
+    def test_invalid_d_max(self):
+        with pytest.raises(ValueError, match="positive"):
+            split_long_edges(simple_net(1.0), d_max=0.0)
+
+    def test_isolated_nodes_preserved(self):
+        net = RoadNetwork()
+        net.add_node(7)
+        result = split_long_edges(net, d_max=1.0)
+        assert 7 in result.network
+
+
+class TestDistancePreservation:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        costs=st.lists(st.floats(0.2, 12.0), min_size=2, max_size=6),
+        d_max=st.floats(0.5, 3.0),
+    )
+    def test_shortest_distances_preserved(self, costs, d_max):
+        """Subdividing edges must not change any shortest distance."""
+        net = RoadNetwork()
+        for i, cost in enumerate(costs):
+            net.add_edge(i, i + 1, cost)
+        split = split_long_edges(net, d_max).network
+        orig = DistanceOracle(net, apsp_threshold=0)
+        new = DistanceOracle(split, apsp_threshold=0)
+        for u in range(len(costs) + 1):
+            for v in range(len(costs) + 1):
+                assert new.cost(u, v) == pytest.approx(orig.cost(u, v), rel=1e-9)
+
+    def test_grid_distances_preserved(self, small_grid):
+        split = split_long_edges(small_grid, d_max=0.7).network
+        orig = DistanceOracle(small_grid)
+        new = DistanceOracle(split, apsp_threshold=0)
+        nodes = sorted(small_grid.nodes())
+        for u in nodes[:3]:
+            for v in nodes[-3:]:
+                assert new.cost(u, v) == pytest.approx(orig.cost(u, v), rel=1e-9)

@@ -1,0 +1,158 @@
+"""Unit + property tests for repro.roadnet.shortest_path."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roadnet.generators import grid_city
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.shortest_path import (
+    bidirectional_dijkstra,
+    dijkstra,
+    dijkstra_to_target,
+    eccentricity,
+    multi_source_dijkstra,
+    shortest_path,
+)
+
+
+class TestDijkstra:
+    def test_distances_on_line(self, line_network):
+        dist = dijkstra(line_network, 0)
+        assert dist == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0}
+
+    def test_source_distance_zero(self, square_network):
+        assert dijkstra(square_network, 2)[2] == 0.0
+
+    def test_prefers_cheaper_path(self, square_network):
+        # 0 -> 2 direct costs 1.5; via 1 costs 2.0
+        assert dijkstra(square_network, 0)[2] == pytest.approx(1.5)
+
+    def test_unreachable_absent(self):
+        net = RoadNetwork()
+        net.add_edge(0, 1, 1.0)
+        net.add_node(9)
+        dist = dijkstra(net, 0)
+        assert 9 not in dist
+
+    def test_directed_respects_orientation(self):
+        net = RoadNetwork(undirected=False)
+        net.add_edge(0, 1, 1.0)
+        assert dijkstra(net, 1) == {1: 0.0}
+
+
+class TestPointToPoint:
+    def test_early_exit_matches_full(self, square_network):
+        for target in range(4):
+            assert dijkstra_to_target(square_network, 0, target) == pytest.approx(
+                dijkstra(square_network, 0)[target]
+            )
+
+    def test_same_node(self, square_network):
+        assert dijkstra_to_target(square_network, 1, 1) == 0.0
+
+    def test_unreachable_is_inf(self):
+        net = RoadNetwork()
+        net.add_edge(0, 1, 1.0)
+        net.add_node(9)
+        assert math.isinf(dijkstra_to_target(net, 0, 9))
+
+    def test_bidirectional_same_node(self, square_network):
+        assert bidirectional_dijkstra(square_network, 3, 3) == 0.0
+
+    def test_bidirectional_unreachable(self):
+        net = RoadNetwork()
+        net.add_edge(0, 1, 1.0)
+        net.add_node(9)
+        assert math.isinf(bidirectional_dijkstra(net, 0, 9))
+
+    def test_bidirectional_on_directed_graph(self):
+        net = RoadNetwork(undirected=False)
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(1, 2, 2.0)
+        net.add_edge(2, 0, 4.0)
+        assert bidirectional_dijkstra(net, 0, 2) == pytest.approx(3.0)
+        assert bidirectional_dijkstra(net, 2, 1) == pytest.approx(5.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_bidirectional_matches_dijkstra_on_grids(self, seed):
+        net = grid_city(4, 4, seed=seed, removal_fraction=0.1, arterial_every=None)
+        nodes = sorted(net.nodes())
+        src, dst = nodes[0], nodes[-1]
+        assert bidirectional_dijkstra(net, src, dst) == pytest.approx(
+            dijkstra(net, src).get(dst, math.inf)
+        )
+
+
+class TestMultiSource:
+    def test_owner_is_nearest(self, line_network):
+        dist, owner = multi_source_dijkstra(line_network, [0, 4])
+        assert owner[1] == 0
+        assert owner[3] == 4
+        assert dist[2] == pytest.approx(2.0)
+
+    def test_sources_own_themselves(self, line_network):
+        _, owner = multi_source_dijkstra(line_network, [0, 4])
+        assert owner[0] == 0
+        assert owner[4] == 4
+
+    def test_single_source_equals_dijkstra(self, square_network):
+        dist, _ = multi_source_dijkstra(square_network, [0])
+        assert dist == dijkstra(square_network, 0)
+
+
+class TestShortestPath:
+    def test_path_reconstruction_on_line(self, line_network):
+        cost, path = shortest_path(line_network, 0, 3)
+        assert cost == pytest.approx(3.0)
+        assert path == [0, 1, 2, 3]
+
+    def test_path_same_node(self, line_network):
+        cost, path = shortest_path(line_network, 2, 2)
+        assert cost == 0.0
+        assert path == [2]
+
+    def test_path_unreachable(self):
+        net = RoadNetwork()
+        net.add_edge(0, 1, 1.0)
+        net.add_node(9)
+        cost, path = shortest_path(net, 0, 9)
+        assert math.isinf(cost)
+        assert path is None
+
+    def test_path_cost_consistent(self, small_grid):
+        nodes = sorted(small_grid.nodes())
+        cost, path = shortest_path(small_grid, nodes[0], nodes[-1])
+        total = sum(
+            small_grid.edge_cost(a, b) for a, b in zip(path, path[1:])
+        )
+        assert total == pytest.approx(cost)
+
+    def test_eccentricity_line(self, line_network):
+        assert eccentricity(line_network, 0) == pytest.approx(4.0)
+        assert eccentricity(line_network, 2) == pytest.approx(2.0)
+
+
+class TestTriangleInequality:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500), data=st.data())
+    def test_triangle_inequality_holds(self, seed, data):
+        net = grid_city(4, 5, seed=seed, removal_fraction=0.0, arterial_every=None)
+        nodes = sorted(net.nodes())
+        a = data.draw(st.sampled_from(nodes))
+        b = data.draw(st.sampled_from(nodes))
+        c = data.draw(st.sampled_from(nodes))
+        dist_a = dijkstra(net, a)
+        dist_b = dijkstra(net, b)
+        assert dist_a[c] <= dist_a[b] + dist_b[c] + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_symmetry_on_undirected(self, seed):
+        net = grid_city(4, 4, seed=seed, removal_fraction=0.05, arterial_every=None)
+        nodes = sorted(net.nodes())
+        a, b = nodes[1], nodes[-2]
+        assert dijkstra(net, a).get(b) == pytest.approx(dijkstra(net, b).get(a))

@@ -1,0 +1,125 @@
+"""Unit tests for repro.roadnet.spatial (grid index, the [29] hook)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roadnet.spatial import SpatialGrid, vehicle_prefilter
+
+
+@pytest.fixture
+def grid(small_grid):
+    return SpatialGrid(small_grid, cell_size=2.0)
+
+
+class TestBasics:
+    def test_insert_and_len(self, grid):
+        grid.insert("v1", 0)
+        grid.insert("v2", 24)
+        assert len(grid) == 2
+        assert "v1" in grid
+        assert grid.location_of("v1") == 0
+
+    def test_reinsert_moves(self, grid):
+        grid.insert("v1", 0)
+        grid.insert("v1", 24)
+        assert len(grid) == 1
+        assert grid.location_of("v1") == 24
+
+    def test_remove(self, grid):
+        grid.insert("v1", 0)
+        grid.remove("v1")
+        assert len(grid) == 0
+        assert "v1" not in grid
+
+    def test_remove_missing_raises(self, grid):
+        with pytest.raises(KeyError):
+            grid.remove("ghost")
+
+    def test_node_without_coordinates_rejected(self, small_grid):
+        from repro.roadnet.graph import RoadNetwork
+
+        net = RoadNetwork()
+        net.add_node(0)  # no coordinates
+        index = SpatialGrid(net, cell_size=1.0)
+        with pytest.raises(KeyError):
+            index.insert("v", 0)
+
+    def test_invalid_cell_size(self, small_grid):
+        with pytest.raises(ValueError):
+            SpatialGrid(small_grid, cell_size=0.0)
+
+
+class TestRadiusQueries:
+    def test_exact_matches_bruteforce(self, small_grid, grid):
+        nodes = sorted(small_grid.nodes())
+        for i, node in enumerate(nodes):
+            grid.insert(f"v{i}", node)
+        center = 12  # middle of the 5x5 grid
+        for radius in (0.0, 1.0, 1.5, 2.9, 10.0):
+            hits = set(grid.within_radius(center, radius))
+            expected = {
+                f"v{i}"
+                for i, node in enumerate(nodes)
+                if small_grid.euclidean(center, node) <= radius + 1e-12
+            }
+            assert hits == expected, f"radius {radius}"
+
+    def test_negative_radius_empty(self, grid):
+        grid.insert("v", 0)
+        assert grid.within_radius(0, -1.0) == []
+
+    def test_nearest(self, small_grid, grid):
+        grid.insert("far", 24)
+        grid.insert("near", 6)
+        assert grid.nearest(0) == "near"
+
+    def test_nearest_empty(self, grid):
+        assert grid.nearest(0) is None
+
+    def test_nearest_respects_max_radius(self, grid):
+        grid.insert("far", 24)   # corner (4, 4): distance ~5.66 from 0
+        assert grid.nearest(0, max_radius=2.0) is None
+        assert grid.nearest(0, max_radius=10.0) == "far"
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        placements=st.lists(st.integers(0, 24), min_size=1, max_size=15),
+        center=st.integers(0, 24),
+        radius=st.floats(0.0, 8.0),
+    )
+    def test_radius_property(self, small_grid, placements, center, radius):
+        index = SpatialGrid(small_grid, cell_size=1.7)
+        for i, node in enumerate(placements):
+            index.insert(i, node)
+        hits = set(index.within_radius(center, radius))
+        for i, node in enumerate(placements):
+            inside = small_grid.euclidean(center, node) <= radius + 1e-12
+            assert (i in hits) == inside
+
+
+class TestVehiclePrefilter:
+    def test_superset_of_truly_reachable(self, small_grid):
+        """Anything reachable by road within the budget must survive the
+        prefilter (conservativeness)."""
+        from repro.roadnet.oracle import DistanceOracle
+
+        oracle = DistanceOracle(small_grid)
+        index = SpatialGrid(small_grid, cell_size=2.0)
+        nodes = sorted(small_grid.nodes())
+        for i, node in enumerate(nodes):
+            index.insert(i, node)
+        # min block cost on this grid
+        min_cost = min(cost for _, _, cost in small_grid.edges())
+        budget = 3.0
+        kept = set(vehicle_prefilter(index, 12, budget, min_speed=1.0 / min_cost))
+        for i, node in enumerate(nodes):
+            if oracle.cost(node, 12) <= budget:
+                assert i in kept, f"prefilter dropped reachable vehicle at {node}"
+
+    def test_zero_budget(self, small_grid):
+        index = SpatialGrid(small_grid, cell_size=2.0)
+        index.insert("v", 0)
+        assert vehicle_prefilter(index, 0, 0.0, 1.0) == []

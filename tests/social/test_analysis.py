@@ -1,0 +1,115 @@
+"""Unit tests for repro.social.analysis."""
+
+import numpy as np
+import pytest
+
+from repro.social.analysis import (
+    clustering_coefficient,
+    connected_components,
+    degree_stats,
+    similarity_sample,
+    summarize,
+)
+from repro.social.graph import SocialNetwork
+
+
+def triangle_graph():
+    return SocialNetwork.from_edges([(0, 1), (1, 2), (0, 2)])
+
+
+def star_graph(leaves=5):
+    return SocialNetwork.from_edges([(0, i) for i in range(1, leaves + 1)])
+
+
+class TestDegreeStats:
+    def test_triangle(self):
+        stats = degree_stats(triangle_graph())
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.maximum == 2
+        assert stats.gini == pytest.approx(0.0)  # perfectly equal
+
+    def test_star_concentrated(self):
+        stats = degree_stats(star_graph(8))
+        assert stats.maximum == 8
+        assert stats.gini > 0.3
+
+    def test_empty(self):
+        stats = degree_stats(SocialNetwork())
+        assert stats.mean == 0.0
+        assert not stats.heavy_tailed
+
+    def test_heavy_tail_flag(self):
+        assert star_graph(12).num_friendships == 12
+        assert degree_stats(star_graph(12)).heavy_tailed
+
+
+class TestClustering:
+    def test_triangle_is_one(self):
+        assert clustering_coefficient(triangle_graph()) == pytest.approx(1.0)
+
+    def test_star_is_zero(self):
+        assert clustering_coefficient(star_graph()) == 0.0
+
+    def test_square_no_diagonal(self):
+        net = SocialNetwork.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert clustering_coefficient(net) == 0.0
+
+    def test_square_with_diagonal(self):
+        net = SocialNetwork.from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+        )
+        # 2 triangles x 3 corners = 6 closed; triples: deg 3,2,3,2 ->
+        # 3 + 1 + 3 + 1 = 8 triples
+        assert clustering_coefficient(net) == pytest.approx(6 / 8)
+
+    def test_empty(self):
+        assert clustering_coefficient(SocialNetwork()) == 0.0
+
+
+class TestComponents:
+    def test_connected(self):
+        assert connected_components(triangle_graph()) == [3]
+
+    def test_two_components(self):
+        net = SocialNetwork.from_edges([(0, 1), (2, 3), (3, 4)])
+        assert connected_components(net) == [3, 2]
+
+    def test_isolated_user(self):
+        net = triangle_graph()
+        net.add_user(9)
+        assert connected_components(net) == [3, 1]
+
+
+class TestSimilaritySample:
+    def test_range(self):
+        net = SocialNetwork.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+        sims = similarity_sample(net, num_pairs=100, seed=1)
+        assert sims.shape == (100,)
+        assert np.all((0.0 <= sims) & (sims <= 1.0))
+
+    def test_too_few_users(self):
+        net = SocialNetwork()
+        net.add_user(0)
+        assert similarity_sample(net).size == 0
+
+    def test_deterministic(self):
+        net = SocialNetwork.from_edges([(0, 1), (1, 2), (0, 3)])
+        a = similarity_sample(net, num_pairs=50, seed=7)
+        b = similarity_sample(net, num_pairs=50, seed=7)
+        assert np.array_equal(a, b)
+
+
+class TestSummarize:
+    def test_on_generated_network(self, small_grid):
+        from repro.social.generators import generate_geo_social
+
+        geo = generate_geo_social(small_grid, num_users=150, seed=4)
+        summary = summarize(geo.social)
+        assert summary["users"] == 150
+        assert summary["mean_degree"] > 0
+        assert 0 <= summary["clustering"] <= 1
+        assert summary["largest_component"] > 75  # mostly connected
+        # the Gowalla signature Figure 10 relies on: similarities are sparse
+        # (mostly exactly zero, and tiny on average)
+        assert summary["zero_similarity_share"] > 0.4
+        assert summary["mean_similarity"] < 0.1

@@ -1,0 +1,123 @@
+"""Unit tests for repro.social.generators."""
+
+import pytest
+
+from repro.social.generators import CheckIn, GeoSocialNetwork, generate_geo_social
+from repro.social.graph import SocialNetwork
+
+
+@pytest.fixture(scope="module")
+def geo(small_grid):
+    return generate_geo_social(small_grid, num_users=60, seed=5)
+
+
+class TestGeneration:
+    def test_user_count(self, geo):
+        assert len(geo.social) == 60
+        assert len(geo.home_node) == 60
+
+    def test_deterministic(self, small_grid):
+        a = generate_geo_social(small_grid, num_users=30, seed=9)
+        b = generate_geo_social(small_grid, num_users=30, seed=9)
+        assert a.home_node == b.home_node
+        assert [
+            (c.user, c.node, c.timestamp) for c in a.check_ins
+        ] == [(c.user, c.node, c.timestamp) for c in b.check_ins]
+
+    def test_homes_are_network_nodes(self, geo, small_grid):
+        assert all(node in small_grid for node in geo.home_node.values())
+
+    def test_mean_degree_near_target(self, small_grid):
+        geo = generate_geo_social(small_grid, num_users=100, seed=2, mean_friends=6.0)
+        mean_degree = 2 * geo.social.num_friendships / 100
+        assert 3.0 <= mean_degree <= 6.5
+
+    def test_every_user_has_check_ins(self, geo):
+        users_with = {c.user for c in geo.check_ins}
+        assert users_with == set(range(60))
+
+    def test_check_ins_sorted_by_time(self, geo):
+        times = [c.timestamp for c in geo.check_ins]
+        assert times == sorted(times)
+
+    def test_check_in_counts_in_range(self, small_grid):
+        geo = generate_geo_social(
+            small_grid, num_users=40, seed=1, check_ins_per_user=(2, 4)
+        )
+        counts = {}
+        for c in geo.check_ins:
+            counts[c.user] = counts.get(c.user, 0) + 1
+        assert all(2 <= n <= 4 for n in counts.values())
+
+    def test_check_ins_cluster_at_home(self, geo):
+        at_home = sum(1 for c in geo.check_ins if c.node == geo.home_node[c.user])
+        assert at_home / len(geo.check_ins) > 0.6
+
+    def test_invalid_inputs(self, small_grid):
+        with pytest.raises(ValueError):
+            generate_geo_social(small_grid, num_users=0)
+        with pytest.raises(ValueError):
+            generate_geo_social(small_grid, num_users=5, check_ins_per_user=(0, 2))
+        with pytest.raises(ValueError):
+            generate_geo_social(small_grid, num_users=5, check_ins_per_user=(3, 2))
+
+
+class TestNearestUser:
+    def test_exact_node_match_preferred(self, small_grid):
+        geo = GeoSocialNetwork(social=SocialNetwork())
+        geo.check_ins = [
+            CheckIn(user=1, node=0, timestamp=0.0),
+            CheckIn(user=2, node=24, timestamp=0.0),
+        ]
+        assert geo.nearest_user(small_grid, 0) == 1
+
+    def test_euclidean_fallback(self, small_grid):
+        geo = GeoSocialNetwork(social=SocialNetwork())
+        geo.check_ins = [
+            CheckIn(user=1, node=0, timestamp=0.0),     # corner (0, 0)
+            CheckIn(user=2, node=24, timestamp=0.0),    # corner (4, 4)
+        ]
+        # node 23 is adjacent to 24: user 2 is nearer
+        assert geo.nearest_user(small_grid, 23) == 2
+
+    def test_no_check_ins_returns_none(self, small_grid):
+        geo = GeoSocialNetwork(social=SocialNetwork())
+        assert geo.nearest_user(small_grid, 0) is None
+
+    def test_exclude_forces_next_nearest(self, small_grid):
+        geo = GeoSocialNetwork(social=SocialNetwork())
+        geo.check_ins = [
+            CheckIn(user=1, node=0, timestamp=0.0),
+            CheckIn(user=2, node=1, timestamp=0.0),
+        ]
+        assert geo.nearest_user(small_grid, 0) == 1
+        assert geo.nearest_user(small_grid, 0, exclude={1}) == 2
+
+    def test_exclude_exhausted_returns_none(self, small_grid):
+        geo = GeoSocialNetwork(social=SocialNetwork())
+        geo.check_ins = [CheckIn(user=1, node=0, timestamp=0.0)]
+        assert geo.nearest_user(small_grid, 0, exclude={1}) is None
+
+    def test_time_window_filters(self, small_grid):
+        geo = GeoSocialNetwork(social=SocialNetwork())
+        geo.check_ins = [
+            CheckIn(user=1, node=0, timestamp=0.0),
+            CheckIn(user=2, node=0, timestamp=100.0),
+        ]
+        assert geo.nearest_user(small_grid, 0, timestamp=99.0, time_window=5.0) == 2
+
+    def test_time_window_degrades_gracefully(self, small_grid):
+        geo = GeoSocialNetwork(social=SocialNetwork())
+        geo.check_ins = [CheckIn(user=1, node=0, timestamp=0.0)]
+        # nothing within the window -> fall back to all check-ins
+        assert geo.nearest_user(small_grid, 0, timestamp=500.0, time_window=1.0) == 1
+
+    def test_check_ins_at_index(self, small_grid):
+        geo = GeoSocialNetwork(social=SocialNetwork())
+        geo.check_ins = [
+            CheckIn(user=1, node=3, timestamp=0.0),
+            CheckIn(user=2, node=3, timestamp=1.0),
+            CheckIn(user=3, node=4, timestamp=2.0),
+        ]
+        assert len(geo.check_ins_at(3)) == 2
+        assert geo.check_ins_at(99) == []

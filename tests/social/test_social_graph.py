@@ -1,0 +1,134 @@
+"""Unit + property tests for repro.social.graph (Eq. 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.social.graph import SocialNetwork, jaccard_similarity
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard_similarity({1, 2, 3}, {1, 2, 3}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_similarity({1, 2}, {3, 4}) == 0.0
+
+    def test_partial_overlap(self):
+        # |{2}| / |{1,2,3}| = 1/3
+        assert jaccard_similarity({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+
+    def test_both_empty_is_zero(self):
+        assert jaccard_similarity(set(), set()) == 0.0
+
+    def test_one_empty_is_zero(self):
+        assert jaccard_similarity({1}, set()) == 0.0
+
+    @settings(max_examples=50)
+    @given(
+        a=st.sets(st.integers(0, 30), max_size=10),
+        b=st.sets(st.integers(0, 30), max_size=10),
+    )
+    def test_range_and_symmetry(self, a, b):
+        s = jaccard_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == jaccard_similarity(b, a)
+
+    @settings(max_examples=50)
+    @given(a=st.sets(st.integers(0, 30), min_size=1, max_size=10))
+    def test_self_similarity_is_one(self, a):
+        assert jaccard_similarity(a, a) == 1.0
+
+
+class TestSocialNetwork:
+    def test_add_friendship_symmetric(self):
+        net = SocialNetwork()
+        net.add_friendship(1, 2)
+        assert 2 in net.friends(1)
+        assert 1 in net.friends(2)
+
+    def test_self_friendship_rejected(self):
+        net = SocialNetwork()
+        with pytest.raises(ValueError):
+            net.add_friendship(1, 1)
+
+    def test_unknown_user_has_empty_friends(self):
+        net = SocialNetwork()
+        assert net.friends(99) == set()
+
+    def test_degree(self):
+        net = SocialNetwork.from_edges([(1, 2), (1, 3)])
+        assert net.degree(1) == 2
+        assert net.degree(2) == 1
+        assert net.degree(42) == 0
+
+    def test_num_friendships(self):
+        net = SocialNetwork.from_edges([(1, 2), (1, 3), (2, 3)])
+        assert net.num_friendships == 3
+
+    def test_duplicate_friendship_counted_once(self):
+        net = SocialNetwork()
+        net.add_friendship(1, 2)
+        net.add_friendship(2, 1)
+        assert net.num_friendships == 1
+
+    def test_len_and_users(self):
+        net = SocialNetwork.from_edges([(1, 2)])
+        net.add_user(5)
+        assert len(net) == 3
+        assert set(net.users()) == {1, 2, 5}
+
+
+class TestSimilarity:
+    def test_same_user_similarity_one(self):
+        net = SocialNetwork()
+        net.add_user(1)
+        assert net.similarity(1, 1) == 1.0
+
+    def test_matches_eq3(self):
+        # Γ(1) = {2, 3}, Γ(4) = {2, 5}: |∩|=1, |∪|=3
+        net = SocialNetwork.from_edges([(1, 2), (1, 3), (4, 2), (4, 5)])
+        assert net.similarity(1, 4) == pytest.approx(1 / 3)
+
+    def test_symmetric(self):
+        net = SocialNetwork.from_edges([(1, 2), (2, 3), (3, 4)])
+        assert net.similarity(1, 3) == net.similarity(3, 1)
+
+    def test_no_common_friends(self):
+        net = SocialNetwork.from_edges([(1, 2), (3, 4)])
+        assert net.similarity(1, 3) == 0.0
+
+    def test_cached_value_returned(self):
+        net = SocialNetwork.from_edges([(1, 2), (3, 2)])
+        first = net.similarity(1, 3)
+        assert net.similarity(1, 3) == first
+        assert (1, 3) in net._similarity_cache
+
+    def test_cache_invalidated_on_new_friendship(self):
+        net = SocialNetwork.from_edges([(1, 2), (3, 2)])
+        before = net.similarity(1, 3)  # Γ(1)={2}, Γ(3)={2} -> 1.0
+        net.add_friendship(1, 4)
+        after = net.similarity(1, 3)  # Γ(1)={2,4} -> 1/2
+        assert before == 1.0
+        assert after == pytest.approx(0.5)
+
+    def test_unknown_users_zero(self):
+        net = SocialNetwork()
+        assert net.similarity(7, 8) == 0.0
+
+    @settings(max_examples=30)
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=25,
+        ),
+        data=st.data(),
+    )
+    def test_similarity_in_unit_range(self, edges, data):
+        net = SocialNetwork.from_edges(edges)
+        users = list(net.users()) or [0]
+        u = data.draw(st.sampled_from(users))
+        v = data.draw(st.sampled_from(users))
+        assert 0.0 <= net.similarity(u, v) <= 1.0

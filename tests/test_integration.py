@@ -1,0 +1,109 @@
+"""End-to-end integration tests: all solvers on generated instances.
+
+These exercise the full stack (network generation -> workload -> solver ->
+assignment audit) and pin down the paper's qualitative findings at a small
+scale.
+"""
+
+import pytest
+
+from repro.core.grouping import prepare_grouping
+from repro.core.solver import METHODS, solve
+from repro.roadnet.generators import grid_city
+from repro.roadnet.oracle import DistanceOracle
+from repro.workload.instances import InstanceConfig, build_instance
+
+HEURISTICS = ("cf", "eg", "ba", "gbs+eg", "gbs+ba")
+
+
+@pytest.fixture(scope="module")
+def city():
+    return grid_city(12, 12, seed=1, block_minutes=2.0)
+
+
+@pytest.fixture(scope="module")
+def plan(city):
+    return prepare_grouping(city, k=4)
+
+
+@pytest.fixture(scope="module")
+def instance(city):
+    config = InstanceConfig(
+        num_riders=60, num_vehicles=8, capacity=3,
+        pickup_deadline_range=(5.0, 15.0), seed=2,
+    )
+    return build_instance(city, config)
+
+
+@pytest.fixture(scope="module")
+def assignments(instance, plan):
+    return {m: solve(instance, method=m, plan=plan) for m in HEURISTICS}
+
+
+class TestAllSolversEndToEnd:
+    @pytest.mark.parametrize("method", HEURISTICS)
+    def test_assignment_fully_valid(self, assignments, method):
+        assignment = assignments[method]
+        assert assignment.validity_errors() == []
+
+    @pytest.mark.parametrize("method", HEURISTICS)
+    def test_serves_a_reasonable_share(self, assignments, method):
+        assignment = assignments[method]
+        assert assignment.num_served >= 10
+
+    @pytest.mark.parametrize("method", HEURISTICS)
+    def test_utility_positive(self, assignments, method):
+        assert assignments[method].total_utility() > 0
+
+    def test_cf_is_not_the_best(self, assignments):
+        """The paper's headline: the URR approaches beat the CF baseline."""
+        cf = assignments["cf"].total_utility()
+        best = max(a.total_utility() for a in assignments.values())
+        assert best > cf
+
+    def test_every_served_rider_meets_deadlines(self, assignments, instance):
+        for method, assignment in assignments.items():
+            for vid, seq in assignment.schedules.items():
+                for idx, stop in enumerate(seq.stops):
+                    assert seq.arrive[idx] <= stop.deadline + 1e-9, (
+                        f"{method}: vehicle {vid} misses a deadline"
+                    )
+
+    def test_total_cost_consistent(self, assignments, instance):
+        cost = instance.cost
+        for assignment in assignments.values():
+            for seq in assignment.schedules.values():
+                recomputed = 0.0
+                prev = seq.origin
+                for stop in seq.stops:
+                    recomputed += cost(prev, stop.location)
+                    prev = stop.location
+                assert recomputed == pytest.approx(seq.total_cost)
+
+
+class TestCrossSeedStability:
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_quality_ordering_holds_broadly(self, city, plan, seed):
+        """BA-family >= CF across seeds (the paper's robust finding)."""
+        config = InstanceConfig(
+            num_riders=50, num_vehicles=8, capacity=3,
+            pickup_deadline_range=(5.0, 15.0), seed=seed,
+        )
+        instance = build_instance(city, config)
+        cf = solve(instance, method="cf", plan=plan).total_utility()
+        ba = solve(instance, method="ba", plan=plan).total_utility()
+        gba = solve(instance, method="gbs+ba", plan=plan).total_utility()
+        assert max(ba, gba) >= cf
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("method", HEURISTICS)
+    def test_same_seed_same_result(self, city, plan, method):
+        config = InstanceConfig(
+            num_riders=30, num_vehicles=5, capacity=2, seed=9,
+            pickup_deadline_range=(5.0, 15.0),
+        )
+        a = solve(build_instance(city, config), method=method, plan=plan)
+        b = solve(build_instance(city, config), method=method, plan=plan)
+        assert a.total_utility() == pytest.approx(b.total_utility())
+        assert a.served_rider_ids() == b.served_rider_ids()

@@ -1,0 +1,143 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants that must hold for *any* generated instance:
+
+- every solver's output passes the full validity audit;
+- total utility is bounded by (number of riders) since each mu <= 1;
+- removing a rider from a valid schedule keeps it valid (deadline slack and
+  loads only improve);
+- schedule utility equals the sum of per-rider utilities.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import URRInstance
+from repro.core.requests import Rider
+from repro.core.scoring import SolverState
+from repro.core.solver import solve
+from repro.core.vehicles import Vehicle
+from repro.roadnet.generators import grid_city
+from repro.roadnet.oracle import DistanceOracle
+
+NET = grid_city(5, 5, seed=8, removal_fraction=0.0, arterial_every=None)
+ORACLE = DistanceOracle(NET)
+NODES = sorted(NET.nodes())
+
+SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def instances(draw):
+    num_riders = draw(st.integers(1, 8))
+    num_vehicles = draw(st.integers(1, 3))
+    riders = []
+    for i in range(num_riders):
+        src = draw(st.sampled_from(NODES))
+        dst = draw(st.sampled_from([n for n in NODES if n != src]))
+        pickup = draw(st.floats(1.0, 15.0))
+        flex = draw(st.floats(1.0, 2.5))
+        riders.append(
+            Rider(
+                rider_id=i, source=src, destination=dst,
+                pickup_deadline=pickup,
+                dropoff_deadline=pickup + flex * ORACLE.cost(src, dst) + 0.1,
+            )
+        )
+    vehicles = [
+        Vehicle(
+            vehicle_id=j,
+            location=draw(st.sampled_from(NODES)),
+            capacity=draw(st.integers(1, 3)),
+        )
+        for j in range(num_vehicles)
+    ]
+    alpha = draw(st.sampled_from([0.0, 0.33, 1.0]))
+    beta = draw(st.sampled_from([0.0, 0.33]))
+    if alpha + beta > 1.0:
+        beta = 0.0
+    utilities = {
+        (r.rider_id, v.vehicle_id): draw(st.floats(0.0, 1.0))
+        for r in riders for v in vehicles
+    }
+    sims = {}
+    for i in range(num_riders):
+        for j in range(i + 1, num_riders):
+            sims[(i, j)] = draw(st.floats(0.0, 1.0))
+    return URRInstance(
+        network=NET, riders=riders, vehicles=vehicles,
+        alpha=alpha, beta=beta,
+        vehicle_utilities=utilities, similarity_overrides=sims,
+        oracle=ORACLE, seed=draw(st.integers(0, 99)),
+    )
+
+
+class TestSolverInvariants:
+    @settings(**SETTINGS)
+    @given(instance=instances(), method=st.sampled_from(["cf", "eg", "ba"]))
+    def test_always_valid(self, instance, method):
+        assignment = solve(instance, method=method)
+        assert assignment.validity_errors() == []
+
+    @settings(**SETTINGS)
+    @given(instance=instances(), method=st.sampled_from(["cf", "eg", "ba"]))
+    def test_utility_bounded_by_rider_count(self, instance, method):
+        assignment = solve(instance, method=method)
+        assert assignment.total_utility() <= instance.num_riders + 1e-6
+
+    @settings(**SETTINGS)
+    @given(instance=instances())
+    def test_served_subset_of_riders(self, instance):
+        assignment = solve(instance, method="eg")
+        all_ids = {r.rider_id for r in instance.riders}
+        assert assignment.served_rider_ids() <= all_ids
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(instance=instances())
+    def test_opt_dominates_heuristics(self, instance):
+        opt = solve(instance, method="opt").total_utility()
+        for method in ("cf", "eg", "ba"):
+            heuristic = solve(instance, method=method).total_utility()
+            assert opt >= heuristic - 1e-6
+
+
+class TestScheduleInvariants:
+    @settings(**SETTINGS)
+    @given(instance=instances())
+    def test_removing_a_rider_keeps_validity(self, instance):
+        assignment = solve(instance, method="eg")
+        for seq in assignment.schedules.values():
+            riders = seq.assigned_riders()
+            if not riders:
+                continue
+            reduced = seq.copy()
+            reduced.remove_rider(riders[0].rider_id)
+            assert reduced.is_valid(), reduced.validity_errors()
+
+    @settings(**SETTINGS)
+    @given(instance=instances())
+    def test_schedule_utility_is_per_rider_sum(self, instance):
+        assignment = solve(instance, method="eg")
+        model = instance.utility_model()
+        for vid, seq in assignment.schedules.items():
+            vehicle = instance.vehicle(vid)
+            fast = model.schedule_utility(vehicle, seq)
+            slow = sum(
+                model.rider_utility(r, vehicle, seq)
+                for r in seq.assigned_riders()
+            )
+            assert fast == pytest.approx(slow, abs=1e-9)
+
+    @settings(**SETTINGS)
+    @given(instance=instances())
+    def test_flexible_time_nonnegative_on_valid_schedules(self, instance):
+        assignment = solve(instance, method="cf")
+        for seq in assignment.schedules.values():
+            if seq.is_valid() and len(seq):
+                assert all(ft >= -1e-9 for ft in seq.flexible)

@@ -1,0 +1,72 @@
+"""Public-API hygiene tests.
+
+Guards the documented surface: everything `__all__` promises must import,
+docstrings must exist on every public callable, and the README quickstart
+snippet must actually run.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.roadnet",
+    "repro.social",
+    "repro.workload",
+    "repro.experiments",
+]
+
+
+class TestAllExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), f"{package} has no __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_sorted_unique(self, package):
+        module = importlib.import_module(package)
+        names = list(module.__all__)
+        assert len(names) == len(set(names)), f"{package}: duplicate exports"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_public_callables_documented(self, package):
+        module = importlib.import_module(package)
+        undocumented = []
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if callable(obj) and not inspect.getdoc(obj):
+                undocumented.append(name)
+        assert not undocumented, f"{package}: missing docstrings: {undocumented}"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_module_docstring(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__, f"{package} lacks a module docstring"
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_runs(self):
+        """The exact code shown in README's Quickstart (smaller counts)."""
+        from repro import InstanceConfig, build_instance, nyc_like, solve
+
+        network = nyc_like(seed=0, scale=0.2)
+        config = InstanceConfig(
+            num_riders=30, num_vehicles=5, capacity=3,
+            pickup_deadline_range=(10, 30), alpha=0.33, beta=0.33,
+        )
+        instance = build_instance(network, config)
+        assignment = solve(instance, method="ba")
+        assert assignment.total_utility() > 0
+        assert assignment.num_served > 0
+        assert assignment.is_valid()
+
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

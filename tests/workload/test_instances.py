@@ -1,0 +1,166 @@
+"""Unit tests for repro.workload.instances (Section 7.1.2 builders)."""
+
+import numpy as np
+import pytest
+
+from repro.core.vehicles import Vehicle
+from repro.roadnet.oracle import DistanceOracle
+from repro.social.generators import generate_geo_social
+from repro.workload.instances import (
+    InstanceConfig,
+    build_instance,
+    build_instance_from_trips,
+    synthetic_vehicle_utilities,
+)
+from repro.workload.taxi import TaxiTripSimulator, TripRecord
+from tests.conftest import make_rider
+
+
+class TestInstanceConfig:
+    def test_defaults_are_table3_bold(self):
+        config = InstanceConfig()
+        assert config.num_vehicles == 200
+        assert config.pickup_deadline_range == (10.0, 30.0)
+        assert config.capacity == 3
+        assert (config.alpha, config.beta) == (0.33, 0.33)
+        assert config.flexible_factor == 1.5
+        assert config.frame_length == 30.0
+
+    def test_invalid_deadline_range(self):
+        with pytest.raises(ValueError):
+            InstanceConfig(pickup_deadline_range=(5.0, 2.0))
+        with pytest.raises(ValueError):
+            InstanceConfig(pickup_deadline_range=(0.0, 2.0))
+
+    def test_invalid_flexible_factor(self):
+        with pytest.raises(ValueError):
+            InstanceConfig(flexible_factor=0.8)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            InstanceConfig(capacity=0)
+
+
+class TestVehicleUtilities:
+    def test_matrix_covers_all_pairs(self):
+        riders = [make_rider(i, source=0, destination=1) for i in range(4)]
+        vehicles = [Vehicle(j, 0, 2) for j in range(3)]
+        matrix = synthetic_vehicle_utilities(
+            riders, vehicles, np.random.default_rng(0)
+        )
+        assert len(matrix) == 12
+
+    def test_values_in_unit_interval(self):
+        riders = [make_rider(i, source=0, destination=1) for i in range(10)]
+        vehicles = [Vehicle(j, 0, 2) for j in range(5)]
+        matrix = synthetic_vehicle_utilities(
+            riders, vehicles, np.random.default_rng(1)
+        )
+        assert all(0.0 <= v <= 1.0 for v in matrix.values())
+
+    def test_quality_signal_present(self):
+        """With full quality weight, all riders agree on vehicle ranking."""
+        riders = [make_rider(i, source=0, destination=1) for i in range(6)]
+        vehicles = [Vehicle(j, 0, 2) for j in range(4)]
+        matrix = synthetic_vehicle_utilities(
+            riders, vehicles, np.random.default_rng(2), quality_weight=1.0
+        )
+        rankings = {
+            r.rider_id: tuple(
+                sorted(range(4), key=lambda j: matrix[(r.rider_id, j)])
+            )
+            for r in riders
+        }
+        assert len(set(rankings.values())) == 1
+
+
+class TestBuildFromTrips:
+    def make_trips(self, small_grid, count=30, seed=0):
+        sim = TaxiTripSimulator(small_grid, seed=seed)
+        return sim.generate_trips(count, 0.0, 30.0)
+
+    def test_counts_respected(self, small_grid):
+        trips = self.make_trips(small_grid, 40)
+        config = InstanceConfig(num_riders=10, num_vehicles=5, seed=1)
+        instance = build_instance_from_trips(
+            small_grid, trips, trips, config
+        )
+        assert instance.num_riders == 10
+        assert instance.num_vehicles == 5
+
+    def test_rider_fields_follow_section_712(self, small_grid):
+        trips = self.make_trips(small_grid, 40)
+        config = InstanceConfig(
+            num_riders=15, num_vehicles=5,
+            pickup_deadline_range=(4.0, 9.0), flexible_factor=1.5, seed=2,
+        )
+        oracle = DistanceOracle(small_grid)
+        instance = build_instance_from_trips(
+            small_grid, trips, trips, config, oracle=oracle
+        )
+        for rider in instance.riders:
+            assert 4.0 <= rider.pickup_deadline <= 9.0
+            shortest = oracle.cost(rider.source, rider.destination)
+            assert rider.dropoff_deadline == pytest.approx(
+                rider.pickup_deadline + 1.5 * shortest
+            )
+
+    def test_vehicles_at_dropoff_locations(self, small_grid):
+        trips = self.make_trips(small_grid, 20)
+        config = InstanceConfig(num_riders=5, num_vehicles=8, capacity=4, seed=0)
+        instance = build_instance_from_trips(small_grid, [], trips, config)
+        dropoffs = [t.dropoff_node for t in trips[:8]]
+        assert [v.location for v in instance.vehicles] == dropoffs
+        assert all(v.capacity == 4 for v in instance.vehicles)
+
+    def test_social_mapping_without_replacement(self, small_grid):
+        geo = generate_geo_social(small_grid, num_users=80, seed=7)
+        trips = self.make_trips(small_grid, 40)
+        config = InstanceConfig(num_riders=20, num_vehicles=3, seed=3)
+        instance = build_instance_from_trips(
+            small_grid, trips, trips, config, geo_social=geo
+        )
+        social_ids = [r.social_id for r in instance.riders if r.social_id is not None]
+        assert len(social_ids) == len(set(social_ids)), "social ids must be unique"
+        assert instance.social is geo.social
+
+    def test_degenerate_trips_skipped(self, small_grid):
+        trips = [TripRecord(0, 0.0, 0, 0.0)] * 5 + self.make_trips(small_grid, 10)
+        config = InstanceConfig(num_riders=5, num_vehicles=2, seed=0)
+        instance = build_instance_from_trips(small_grid, trips, trips, config)
+        assert all(r.source != r.destination for r in instance.riders)
+
+    def test_utility_matrix_attached(self, small_grid):
+        trips = self.make_trips(small_grid, 20)
+        config = InstanceConfig(num_riders=6, num_vehicles=3, seed=0)
+        instance = build_instance_from_trips(small_grid, trips, trips, config)
+        assert len(instance.vehicle_utilities) == 6 * 3
+
+
+class TestBuildInstance:
+    def test_end_to_end(self, small_grid):
+        config = InstanceConfig(num_riders=12, num_vehicles=4, seed=5)
+        instance = build_instance(small_grid, config)
+        assert instance.num_riders == 12
+        assert instance.num_vehicles == 4
+        assert instance.alpha == config.alpha
+
+    def test_deterministic(self, small_grid):
+        config = InstanceConfig(num_riders=10, num_vehicles=3, seed=8)
+        a = build_instance(small_grid, config)
+        b = build_instance(small_grid, config)
+        assert [(r.source, r.destination, r.pickup_deadline) for r in a.riders] == [
+            (r.source, r.destination, r.pickup_deadline) for r in b.riders
+        ]
+
+    def test_solvable(self, small_grid):
+        from repro.core.solver import solve
+
+        config = InstanceConfig(
+            num_riders=10, num_vehicles=3, seed=5,
+            pickup_deadline_range=(5.0, 15.0),
+        )
+        instance = build_instance(small_grid, config)
+        assignment = solve(instance, method="eg")
+        assert assignment.is_valid()
+        assert assignment.num_served > 0

@@ -1,0 +1,140 @@
+"""Unit tests for repro.workload.io (trip CSV reading/writing)."""
+
+import pytest
+
+from repro.workload.io import _NodeSnapper, read_trips_csv, write_trips_csv
+from repro.workload.taxi import TaxiTripSimulator, TripRecord
+
+
+class TestNodeFormRoundTrip:
+    def test_roundtrip(self, small_grid, tmp_path):
+        sim = TaxiTripSimulator(small_grid, seed=1)
+        trips = sim.generate_trips(25, 0.0, 30.0)
+        path = tmp_path / "trips.csv"
+        write_trips_csv(trips, path)
+        loaded, skipped = read_trips_csv(path)
+        assert skipped == 0
+        assert len(loaded) == 25
+        for a, b in zip(trips, loaded):
+            assert a.pickup_node == b.pickup_node
+            assert a.pickup_time == pytest.approx(b.pickup_time)
+            assert a.dropoff_node == b.dropoff_node
+
+    def test_malformed_rows_skipped(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "pickup_node,pickup_time,dropoff_node,dropoff_time\n"
+            "0,1.0,3,4.0\n"
+            "oops,not,a,row\n"
+            "1,2.0,4,5.0\n"
+        )
+        trips, skipped = read_trips_csv(path)
+        assert len(trips) == 2
+        assert skipped == 1
+
+    def test_time_travel_rows_skipped(self, tmp_path):
+        path = tmp_path / "warp.csv"
+        path.write_text(
+            "pickup_node,pickup_time,dropoff_node,dropoff_time\n"
+            "0,10.0,3,4.0\n"  # arrives before departing
+        )
+        trips, skipped = read_trips_csv(path)
+        assert trips == []
+        assert skipped == 1
+
+    def test_unknown_columns_rejected(self, tmp_path):
+        path = tmp_path / "weird.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="unrecognised columns"):
+            read_trips_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_trips_csv(path)
+
+
+class TestCoordinateForm:
+    def make_csv(self, tmp_path, rows):
+        path = tmp_path / "tlc.csv"
+        header = (
+            "pickup_datetime,dropoff_datetime,pickup_longitude,"
+            "pickup_latitude,dropoff_longitude,dropoff_latitude\n"
+        )
+        path.write_text(header + "".join(rows))
+        return path
+
+    def test_requires_network(self, tmp_path):
+        path = self.make_csv(tmp_path, ["10.0,20.0,0.0,0.0,4.0,4.0\n"])
+        with pytest.raises(ValueError, match="need a network"):
+            read_trips_csv(path)
+
+    def test_snaps_to_nearest_node(self, small_grid, tmp_path):
+        # (0.1, 0.2) is closest to node at (0, 0); (3.9, 3.8) to (4, 4)
+        path = self.make_csv(tmp_path, ["10.0,25.0,0.1,0.2,3.9,3.8\n"])
+        trips, skipped = read_trips_csv(path, network=small_grid)
+        assert skipped == 0
+        (trip,) = trips
+        px, py = small_grid.coordinates[trip.pickup_node]
+        dx, dy = small_grid.coordinates[trip.dropoff_node]
+        assert (px, py) == (0.0, 0.0)
+        assert (dx, dy) == (4.0, 4.0)
+        assert trip.pickup_time == pytest.approx(10.0)
+
+    def test_iso_datetimes_become_minutes(self, small_grid, tmp_path):
+        path = self.make_csv(
+            tmp_path,
+            ["2013-02-01T08:30:00,2013-02-01T08:45:30,0.0,0.0,4.0,4.0\n"],
+        )
+        trips, _ = read_trips_csv(path, network=small_grid)
+        (trip,) = trips
+        assert trip.pickup_time == pytest.approx(8 * 60 + 30)
+        assert trip.dropoff_time == pytest.approx(8 * 60 + 45.5)
+
+    def test_same_node_trips_skipped(self, small_grid, tmp_path):
+        path = self.make_csv(tmp_path, ["1.0,2.0,0.0,0.0,0.1,0.1\n"])
+        trips, skipped = read_trips_csv(path, network=small_grid)
+        assert trips == []
+        assert skipped == 1
+
+
+class TestNodeSnapper:
+    def test_exact_nearest(self, small_grid):
+        snapper = _NodeSnapper(small_grid, cell=1.3)
+        import math
+
+        for x, y in [(0.0, 0.0), (2.4, 2.6), (3.9, 0.1), (10.0, 10.0)]:
+            got = snapper.nearest(x, y)
+            best = min(
+                small_grid.coordinates,
+                key=lambda n: (small_grid.coordinates[n][0] - x) ** 2
+                + (small_grid.coordinates[n][1] - y) ** 2,
+            )
+            gd = math.dist(small_grid.coordinates[got], (x, y))
+            bd = math.dist(small_grid.coordinates[best], (x, y))
+            assert gd == pytest.approx(bd)
+
+    def test_empty_network_rejected(self):
+        from repro.roadnet.graph import RoadNetwork
+
+        with pytest.raises(ValueError, match="no coordinates"):
+            _NodeSnapper(RoadNetwork())
+
+
+class TestEndToEnd:
+    def test_csv_feeds_instance_builder(self, small_grid, tmp_path):
+        from repro.core.solver import solve
+        from repro.workload.instances import InstanceConfig, build_instance_from_trips
+
+        sim = TaxiTripSimulator(small_grid, seed=3)
+        path = tmp_path / "trips.csv"
+        write_trips_csv(sim.generate_trips(40, 0.0, 30.0), path)
+        trips, _ = read_trips_csv(path)
+        config = InstanceConfig(
+            num_riders=15, num_vehicles=4, capacity=2,
+            pickup_deadline_range=(5.0, 12.0), seed=3,
+        )
+        instance = build_instance_from_trips(small_grid, trips, trips, config)
+        assignment = solve(instance, method="eg")
+        assert assignment.is_valid()

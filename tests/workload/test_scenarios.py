@@ -1,0 +1,125 @@
+"""Unit tests for repro.workload.scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.roadnet.generators import grid_city
+from repro.workload.scenarios import (
+    SCENARIOS,
+    airport_run,
+    commuter_corridor,
+    stadium_event,
+    uniform_city,
+)
+
+
+@pytest.fixture(scope="module")
+def city():
+    return grid_city(10, 10, seed=6, removal_fraction=0.0, arterial_every=None)
+
+
+def pickups_per_node(sim, count=400):
+    trips = sim.generate_trips(count, 0.0, 30.0)
+    counts = {}
+    for t in trips:
+        counts[t.pickup_node] = counts.get(t.pickup_node, 0) + 1
+    return trips, counts
+
+
+class TestRegistry:
+    def test_all_scenarios_registered(self):
+        assert set(SCENARIOS) == {"uniform", "airport", "stadium", "commuter"}
+
+    def test_all_scenarios_generate(self, city):
+        for name, factory in SCENARIOS.items():
+            sim = factory(city, seed=1)
+            trips = sim.generate_trips(20, 0.0, 30.0)
+            assert len(trips) == 20, name
+            assert all(t.pickup_node != t.dropoff_node for t in trips), name
+
+
+class TestUniform:
+    def test_popularity_flat(self, city):
+        sim = uniform_city(city, seed=0)
+        assert np.allclose(sim.popularity, sim.popularity[0])
+
+    def test_pickups_spread_widely(self, city):
+        _, counts = pickups_per_node(uniform_city(city, seed=0))
+        # with 400 trips over 100 nodes, a large share of nodes appear
+        assert len(counts) > 60
+
+
+class TestAirport:
+    def test_airport_dominates_traffic(self, city):
+        sim = airport_run(city, seed=0)
+        airport = max(
+            sim.nodes, key=lambda n: sum(city.coordinates.get(n, (0, 0)))
+        )
+        trips, counts = pickups_per_node(sim)
+        touching = sum(
+            1 for t in trips if airport in (t.pickup_node, t.dropoff_node)
+        )
+        assert touching / len(trips) > 0.25
+
+    def test_explicit_airport_node(self, city):
+        sim = airport_run(city, seed=0, airport_node=0)
+        trips, _ = pickups_per_node(sim)
+        touching = sum(1 for t in trips if 0 in (t.pickup_node, t.dropoff_node))
+        assert touching / len(trips) > 0.2
+
+    def test_airport_trips_long(self, city):
+        airport_trips = airport_run(city, seed=0).generate_trips(300, 0, 30)
+        uniform_trips = uniform_city(city, seed=0).generate_trips(300, 0, 30)
+        mean_a = np.mean([t.duration for t in airport_trips])
+        mean_u = np.mean([t.duration for t in uniform_trips])
+        assert mean_a > mean_u
+
+
+class TestStadium:
+    def test_pickups_cluster_near_stadium(self, city):
+        sim = stadium_event(city, seed=0, stadium_node=55, crowd_radius=2.0)
+        trips, _ = pickups_per_node(sim)
+        sx, sy = city.coordinates[55]
+        dists = [
+            np.hypot(*(np.array(city.coordinates[t.pickup_node]) - (sx, sy)))
+            for t in trips
+        ]
+        assert np.median(dists) < 3.0
+
+    def test_trips_short(self, city):
+        trips = stadium_event(city, seed=0).generate_trips(300, 0, 30)
+        assert np.median([t.duration for t in trips]) < 8.0
+
+
+class TestCommuter:
+    def test_pickups_in_residential_pole(self, city):
+        sim = commuter_corridor(city, seed=0, pole_fraction=0.15)
+        trips, _ = pickups_per_node(sim)
+        order = sorted(
+            sim.nodes, key=lambda n: sum(city.coordinates.get(n, (0, 0)))
+        )
+        residential = set(order[: len(order) * 15 // 100])
+        share = sum(1 for t in trips if t.pickup_node in residential) / len(trips)
+        assert share > 0.5
+
+    def test_invalid_pole_fraction(self, city):
+        with pytest.raises(ValueError):
+            commuter_corridor(city, pole_fraction=0.9)
+
+
+class TestEndToEnd:
+    def test_scenario_solves(self, city):
+        """Scenario trips feed the standard instance builder and solver."""
+        from repro.core.solver import solve
+        from repro.workload.instances import InstanceConfig, build_instance_from_trips
+
+        sim = stadium_event(city, seed=2)
+        trips = sim.generate_trips(60, 0.0, 30.0)
+        config = InstanceConfig(
+            num_riders=30, num_vehicles=6, capacity=3,
+            pickup_deadline_range=(5.0, 15.0), seed=2,
+        )
+        instance = build_instance_from_trips(city, trips, trips, config)
+        assignment = solve(instance, method="gbs+eg")
+        assert assignment.is_valid()
+        assert assignment.num_served > 0

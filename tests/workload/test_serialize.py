@@ -1,0 +1,89 @@
+"""Unit tests for repro.workload.serialize (instance JSON round trip)."""
+
+import pytest
+
+from repro.core.solver import solve
+from repro.workload.serialize import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
+)
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, line_instance, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(line_instance, path)
+        loaded = load_instance(path)
+        assert loaded.num_riders == line_instance.num_riders
+        assert loaded.num_vehicles == line_instance.num_vehicles
+        assert loaded.alpha == line_instance.alpha
+        assert loaded.network.num_nodes == line_instance.network.num_nodes
+        assert loaded.network.num_edges == line_instance.network.num_edges
+
+    def test_costs_preserved(self, line_instance, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(line_instance, path)
+        loaded = load_instance(path)
+        for u in range(5):
+            for v in range(5):
+                assert loaded.cost(u, v) == pytest.approx(
+                    line_instance.cost(u, v)
+                )
+
+    def test_utilities_and_similarities_preserved(self, line_instance, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(line_instance, path)
+        loaded = load_instance(path)
+        r0 = loaded.rider(0)
+        assert loaded.vehicle_utility(r0, loaded.vehicle(0)) == 0.8
+        assert loaded.similarity(0, 1) == 0.5
+
+    def test_solver_results_identical(self, line_instance, tmp_path):
+        """The round-tripped instance replays every solver exactly."""
+        path = tmp_path / "instance.json"
+        save_instance(line_instance, path)
+        loaded = load_instance(path)
+        for method in ("cf", "eg", "ba", "opt"):
+            original = solve(line_instance, method=method)
+            replayed = solve(loaded, method=method)
+            assert replayed.total_utility() == pytest.approx(
+                original.total_utility()
+            )
+            assert replayed.served_rider_ids() == original.served_rider_ids()
+
+    def test_social_network_flattened(self, small_grid, tmp_path):
+        """Instances backed by a live social graph serialise to overrides."""
+        from repro.workload.instances import InstanceConfig, build_instance
+        from repro.social.generators import generate_geo_social
+
+        geo = generate_geo_social(small_grid, num_users=60, seed=2)
+        config = InstanceConfig(num_riders=10, num_vehicles=3, seed=2)
+        instance = build_instance(small_grid, config, geo_social=geo)
+        path = tmp_path / "social.json"
+        save_instance(instance, path)
+        loaded = load_instance(path)
+        for a in instance.riders[:5]:
+            for b in instance.riders[5:]:
+                assert loaded.similarity(a.rider_id, b.rider_id) == pytest.approx(
+                    instance.similarity(a.rider_id, b.rider_id)
+                )
+
+    def test_version_guard(self, line_instance):
+        payload = instance_to_dict(line_instance)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            instance_from_dict(payload)
+
+    def test_generated_instance_roundtrip(self, small_grid, tmp_path):
+        from repro.workload.instances import InstanceConfig, build_instance
+
+        config = InstanceConfig(num_riders=12, num_vehicles=4, seed=9)
+        instance = build_instance(small_grid, config)
+        path = tmp_path / "gen.json"
+        save_instance(instance, path)
+        loaded = load_instance(path)
+        a = solve(instance, method="eg").total_utility()
+        b = solve(loaded, method="eg").total_utility()
+        assert a == pytest.approx(b)

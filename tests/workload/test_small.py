@@ -1,0 +1,82 @@
+"""Unit tests for repro.workload.small (Example 1 + Table 4 instances)."""
+
+import pytest
+
+from repro.core.solver import solve
+from repro.workload.small import (
+    EXAMPLE1_SIMILARITIES,
+    EXAMPLE1_VEHICLE_UTILITIES,
+    example1_instance,
+    small_instance,
+)
+
+
+class TestExample1:
+    def test_structure(self):
+        instance = example1_instance()
+        assert instance.num_riders == 4
+        assert instance.num_vehicles == 2
+        assert all(v.capacity == 2 for v in instance.vehicles)
+
+    def test_table1_utilities(self):
+        instance = example1_instance()
+        # Table 1: r4 strongly prefers c2 (1.0) over c1 (0.2)
+        r4 = instance.rider(3)
+        assert instance.vehicle_utility(r4, instance.vehicle(1)) == 1.0
+        assert instance.vehicle_utility(r4, instance.vehicle(0)) == 0.2
+
+    def test_similarities_symmetric_lookup(self):
+        instance = example1_instance()
+        assert instance.similarity(0, 2) == EXAMPLE1_SIMILARITIES[(0, 2)]
+        assert instance.similarity(2, 0) == EXAMPLE1_SIMILARITIES[(0, 2)]
+
+    def test_every_solver_valid(self):
+        instance = example1_instance()
+        for method in ("cf", "eg", "ba", "opt"):
+            assignment = solve(instance, method=method)
+            assert assignment.is_valid(), method
+
+    def test_opt_serves_all_four(self):
+        assignment = solve(example1_instance(), method="opt")
+        assert assignment.num_served == 4
+
+    def test_opt_dominates(self):
+        instance = example1_instance()
+        opt = solve(instance, method="opt").total_utility()
+        for method in ("cf", "eg", "ba"):
+            assert opt >= solve(instance, method=method).total_utility() - 1e-9
+
+    def test_preference_structure_rewards_pairing(self):
+        """In the optimum, r4 (who loves c2) must ride c2 (Table 1)."""
+        assignment = solve(example1_instance(alpha=1.0, beta=0.0), method="opt")
+        assert assignment.vehicle_of(3) == 1
+
+
+class TestSmallInstance:
+    def test_table4_shape(self):
+        instance = small_instance()
+        assert instance.num_riders == 8
+        assert instance.num_vehicles == 3
+        assert all(v.capacity == 2 for v in instance.vehicles)
+
+    def test_deterministic(self):
+        a = small_instance(seed=11)
+        b = small_instance(seed=11)
+        assert [(r.source, r.destination) for r in a.riders] == [
+            (r.source, r.destination) for r in b.riders
+        ]
+
+    def test_opt_tractable_and_dominant(self):
+        instance = small_instance()
+        opt = solve(instance, method="opt")
+        assert opt.is_valid()
+        assert opt.elapsed_seconds < 60.0
+        for method in ("cf", "eg", "ba"):
+            heuristic = solve(instance, method=method)
+            assert opt.total_utility() >= heuristic.total_utility() - 1e-9
+
+    def test_heuristics_orders_of_magnitude_faster(self):
+        instance = small_instance()
+        opt = solve(instance, method="opt")
+        ba = solve(instance, method="ba")
+        assert ba.elapsed_seconds * 10 < opt.elapsed_seconds

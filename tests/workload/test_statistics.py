@@ -1,0 +1,100 @@
+"""Statistical validation of the Section 7.1.2 generative model.
+
+The paper's synthetic workload rests on two distributional claims: frame
+arrivals are Poisson (Eq. 11) and destinations follow the empirical
+transition matrix (Eq. 12).  These tests check the *generators actually
+produce those distributions* with standard goodness-of-fit machinery
+(scipy), not just point estimates.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.workload.taxi import TaxiTripSimulator, fit_trip_model
+
+
+@pytest.fixture(scope="module")
+def sim(small_grid):
+    return TaxiTripSimulator(small_grid, seed=17, trips_per_minute=3.0)
+
+
+class TestPoissonArrivals:
+    def test_frame_counts_match_poisson_dispersion(self, small_grid):
+        """Poisson counts have variance ~= mean (dispersion test)."""
+        sim = TaxiTripSimulator(small_grid, seed=23, trips_per_minute=2.0)
+        counts = np.array(
+            [len(sim.generate_frame(0.0, 10.0)) for _ in range(200)]
+        )
+        mean = counts.mean()
+        # index of dispersion: Var/mean ~ chi2(n-1)/(n-1) under Poisson
+        dispersion = counts.var(ddof=1) / mean
+        n = len(counts)
+        lo = stats.chi2.ppf(0.001, n - 1) / (n - 1)
+        hi = stats.chi2.ppf(0.999, n - 1) / (n - 1)
+        assert lo <= dispersion <= hi, (
+            f"dispersion {dispersion:.2f} outside Poisson band [{lo:.2f}, {hi:.2f}]"
+        )
+
+    def test_fitted_model_regenerates_rates(self, small_grid):
+        """Fit Eq. 11 on one big sample; regenerate; rates agree."""
+        sim = TaxiTripSimulator(small_grid, seed=29, trips_per_minute=8.0)
+        records = sim.generate_trips(4000, 0.0, 30.0)
+        model = fit_trip_model(records, 0.0, 30.0)
+        rng = np.random.default_rng(5)
+        regenerated = model.generate(0.0, rng)
+        # total arrival intensity preserved within sampling error
+        expected = 4000
+        assert abs(len(regenerated) - expected) < 4 * np.sqrt(expected)
+
+    def test_pickup_times_uniform_within_frame(self, sim):
+        trips = sim.generate_trips(600, 10.0, 30.0)
+        times = np.array([t.pickup_time for t in trips])
+        statistic, p_value = stats.kstest(
+            (times - 10.0) / 30.0, "uniform"
+        )
+        assert p_value > 0.001, f"KS p={p_value:.5f}: times not uniform"
+
+
+class TestTransitionMatrix:
+    def test_generated_destinations_follow_fitted_probabilities(self, small_grid):
+        """Chi-square the regenerated destination counts of the hottest
+        source against the fitted Eq. 12 probabilities."""
+        sim = TaxiTripSimulator(small_grid, seed=31, trips_per_minute=8.0)
+        records = sim.generate_trips(5000, 0.0, 30.0)
+        model = fit_trip_model(records, 0.0, 30.0)
+        hottest = max(model.arrival_rate, key=model.arrival_rate.get)
+        dests, probs = model.transition[hottest]
+        if len(dests) < 2:
+            pytest.skip("hottest node has a degenerate destination set")
+        rng = np.random.default_rng(7)
+        draws = 3000
+        counts = {d: 0 for d in dests}
+        for _ in range(draws):
+            choice = dests[int(rng.choice(len(dests), p=probs))]
+            counts[choice] += 1
+        observed = np.array([counts[d] for d in dests], dtype=float)
+        expected = np.array(probs) * draws
+        keep = expected >= 5  # chi-square validity rule
+        if keep.sum() < 2:
+            pytest.skip("too few well-populated destinations")
+        # lump the low-expectation tail into one bucket
+        observed_binned = np.append(observed[keep], observed[~keep].sum())
+        expected_binned = np.append(expected[keep], expected[~keep].sum())
+        if expected_binned[-1] == 0:
+            observed_binned = observed_binned[:-1]
+            expected_binned = expected_binned[:-1]
+        _, p_value = stats.chisquare(observed_binned, expected_binned)
+        assert p_value > 0.001, f"chi-square p={p_value:.5f}"
+
+
+class TestDegreeSkew:
+    def test_social_degrees_heavy_tailed(self, small_grid):
+        """The synthetic geo-social network's degree distribution must be
+        right-skewed (preferential attachment), unlike a Poisson graph."""
+        from repro.social.generators import generate_geo_social
+
+        geo = generate_geo_social(small_grid, num_users=300, seed=3,
+                                  mean_friends=8.0)
+        degrees = np.array([geo.social.degree(u) for u in geo.social.users()])
+        assert stats.skew(degrees) > 0.5

@@ -1,0 +1,162 @@
+"""Unit tests for repro.workload.taxi (Eq. 11/12 trip model)."""
+
+import numpy as np
+import pytest
+
+from repro.roadnet.oracle import DistanceOracle
+from repro.workload.taxi import (
+    PoissonTripModel,
+    TaxiTripSimulator,
+    TripRecord,
+    fit_trip_model,
+    trip_duration_histogram,
+)
+
+
+@pytest.fixture(scope="module")
+def simulator(small_grid):
+    return TaxiTripSimulator(small_grid, seed=4)
+
+
+class TestSimulator:
+    def test_exact_count(self, simulator):
+        trips = simulator.generate_trips(50, 0.0, 30.0)
+        assert len(trips) == 50
+
+    def test_zero_count(self, simulator):
+        assert simulator.generate_trips(0, 0.0, 30.0) == []
+
+    def test_pickup_times_in_frame(self, simulator):
+        trips = simulator.generate_trips(40, 10.0, 5.0)
+        assert all(10.0 <= t.pickup_time < 15.0 for t in trips)
+
+    def test_durations_are_shortest_costs(self, small_grid, simulator):
+        oracle = DistanceOracle(small_grid)
+        trips = simulator.generate_trips(30, 0.0, 30.0)
+        for t in trips:
+            assert t.duration == pytest.approx(
+                oracle.cost(t.pickup_node, t.dropoff_node)
+            )
+
+    def test_no_degenerate_trips(self, simulator):
+        trips = simulator.generate_trips(60, 0.0, 30.0)
+        assert all(t.pickup_node != t.dropoff_node for t in trips)
+
+    def test_deterministic(self, small_grid):
+        a = TaxiTripSimulator(small_grid, seed=9).generate_trips(25, 0.0, 30.0)
+        b = TaxiTripSimulator(small_grid, seed=9).generate_trips(25, 0.0, 30.0)
+        assert a == b
+
+    def test_generate_frame_poisson_mean(self, small_grid):
+        sim = TaxiTripSimulator(small_grid, seed=1, trips_per_minute=2.0)
+        counts = [len(sim.generate_frame(0.0, 10.0)) for _ in range(30)]
+        assert 14 <= np.mean(counts) <= 26  # mean 20
+
+    def test_demand_profile_scales_rate(self, small_grid):
+        quiet = TaxiTripSimulator(
+            small_grid, seed=1, trips_per_minute=3.0, demand_profile=[0.1]
+        )
+        busy = TaxiTripSimulator(
+            small_grid, seed=1, trips_per_minute=3.0, demand_profile=[2.0]
+        )
+        q = np.mean([len(quiet.generate_frame(0.0, 10.0, i)) for i in range(20)])
+        b = np.mean([len(busy.generate_frame(0.0, 10.0, i)) for i in range(20)])
+        assert b > q * 5
+
+    def test_gravity_tau_controls_trip_length(self, small_grid):
+        short = TaxiTripSimulator(small_grid, seed=2, gravity_tau=0.5)
+        long = TaxiTripSimulator(small_grid, seed=2, gravity_tau=50.0)
+        s = np.mean([t.duration for t in short.generate_trips(150, 0, 30)])
+        l = np.mean([t.duration for t in long.generate_trips(150, 0, 30)])
+        assert s < l
+
+    def test_popularity_skewed(self, simulator):
+        trips = simulator.generate_trips(400, 0.0, 30.0)
+        counts = {}
+        for t in trips:
+            counts[t.pickup_node] = counts.get(t.pickup_node, 0) + 1
+        top = max(counts.values())
+        assert top > 400 / 25 * 3  # hottest node well above uniform share
+
+
+class TestFitTripModel:
+    def make_records(self):
+        return [
+            TripRecord(0, 1.0, 3, 4.0),
+            TripRecord(0, 5.0, 3, 8.0),
+            TripRecord(0, 9.0, 4, 15.0),
+            TripRecord(2, 2.0, 3, 6.0),
+        ]
+
+    def test_arrival_rates_eq11(self):
+        model = fit_trip_model(self.make_records(), 0.0, 30.0)
+        assert model.arrival_rate[0] == pytest.approx(3 / 30.0)
+        assert model.arrival_rate[2] == pytest.approx(1 / 30.0)
+
+    def test_transition_probabilities_eq12(self):
+        model = fit_trip_model(self.make_records(), 0.0, 30.0)
+        dests, probs = model.transition[0]
+        table = dict(zip(dests, probs))
+        assert table[3] == pytest.approx(2 / 3)
+        assert table[4] == pytest.approx(1 / 3)
+        assert sum(probs) == pytest.approx(1.0)
+
+    def test_mean_durations(self):
+        model = fit_trip_model(self.make_records(), 0.0, 30.0)
+        assert model.mean_duration[(0, 3)] == pytest.approx(3.0)  # (3 + 3) / 2
+        assert model.mean_duration[(0, 4)] == pytest.approx(6.0)
+
+    def test_out_of_frame_records_ignored(self):
+        records = self.make_records() + [TripRecord(9, 99.0, 3, 100.0)]
+        model = fit_trip_model(records, 0.0, 30.0)
+        assert 9 not in model.arrival_rate
+
+    def test_invalid_frame_length(self):
+        with pytest.raises(ValueError):
+            fit_trip_model([], 0.0, 0.0)
+
+    def test_generate_from_fitted_model(self):
+        model = fit_trip_model(self.make_records() * 20, 0.0, 30.0)
+        rng = np.random.default_rng(0)
+        trips = model.generate(0.0, rng)
+        assert trips
+        assert all(0.0 <= t.pickup_time < 30.0 for t in trips)
+        assert all(t.pickup_node in (0, 2) for t in trips)
+
+    def test_roundtrip_rates_recovered(self, small_grid):
+        """Generate -> fit -> the fitted rates approximate the originals."""
+        sim = TaxiTripSimulator(small_grid, seed=3, trips_per_minute=20.0)
+        records = sim.generate_trips(3000, 0.0, 30.0)
+        model = fit_trip_model(records, 0.0, 30.0)
+        total_rate = sum(model.arrival_rate.values())
+        assert total_rate == pytest.approx(3000 / 30.0, rel=1e-9)
+
+
+class TestHistogram:
+    def test_bins_and_overflow(self):
+        records = [TripRecord(0, 0.0, 1, d) for d in (1, 2, 6, 11, 99)]
+        hist = trip_duration_histogram(records, bin_minutes=5.0, max_minutes=15.0)
+        counts = dict(hist)
+        assert counts[5.0] == 2
+        assert counts[10.0] == 1
+        assert counts[15.0] == 1
+        assert counts[float("inf")] == 1
+
+    def test_total_preserved(self, simulator):
+        trips = simulator.generate_trips(120, 0.0, 30.0)
+        hist = trip_duration_histogram(trips)
+        assert sum(c for _, c in hist) == 120
+
+    def test_invalid_bin(self):
+        with pytest.raises(ValueError):
+            trip_duration_histogram([], bin_minutes=0.0)
+
+    def test_fig7_shape_on_nyc_like(self):
+        """More than half of the trips must be under 1,000 seconds."""
+        from repro.roadnet.generators import nyc_like
+
+        net = nyc_like(seed=0, scale=0.4)
+        sim = TaxiTripSimulator(net, seed=0)
+        trips = sim.generate_trips(400, 0.0, 30.0)
+        short = sum(1 for t in trips if t.duration < 1000.0 / 60.0)
+        assert short / len(trips) > 0.5
