@@ -26,6 +26,7 @@ Subpackages
     The Section 7 experiment harness: one function per table/figure.
 """
 
+from repro import perf
 from repro.core import (
     Assignment,
     Rider,
@@ -67,6 +68,7 @@ __all__ = [
     "generate_geo_social",
     "grid_city",
     "nyc_like",
+    "perf",
     "small_instance",
     "solve",
     "solve_optimal",

@@ -33,9 +33,12 @@ from repro.core.grouping import (
 )
 from repro.core.insertion import (
     InsertionCandidate,
+    InsertionPlan,
     InsertionResult,
     arrange_single_rider,
+    arrange_single_rider_reference,
     can_serve,
+    plan_insertion,
     valid_insertions,
 )
 from repro.core.instance import URRInstance
@@ -67,6 +70,7 @@ __all__ = [
     "KineticTree",
     "KnapsackItem",
     "InsertionCandidate",
+    "InsertionPlan",
     "InsertionResult",
     "METHODS",
     "PairEvaluation",
@@ -82,6 +86,7 @@ __all__ = [
     "UtilityModel",
     "Vehicle",
     "arrange_single_rider",
+    "arrange_single_rider_reference",
     "compute_metrics",
     "dense_subgraph_to_urr",
     "empty_distance_component",
@@ -95,6 +100,7 @@ __all__ = [
     "greedy_assign",
     "improve_assignment",
     "knapsack_to_urr",
+    "plan_insertion",
     "prepare_grouping",
     "run_bilateral",
     "run_kinetic_greedy",

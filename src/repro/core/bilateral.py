@@ -136,8 +136,7 @@ def _try_replace(
     best_seq: Optional[TransferSequence] = None
     best_bumped: Optional[Rider] = None
     for victim in seq.assigned_riders():
-        reduced = seq.copy()
-        reduced.remove_rider(victim.rider_id)
+        reduced = seq.without_rider(victim.rider_id)
         insertion = arrange_single_rider(reduced, rider)
         if insertion is None:
             continue

@@ -200,6 +200,16 @@ class Dispatcher:
             vid: fv.total_cost / frames for vid, fv in self.fleet.items()
         }
 
+    def perf_report(self) -> "PerfReport":
+        """Cumulative oracle + insertion-engine counters across all frames.
+
+        The dispatcher shares one :class:`DistanceOracle` across frames, so
+        the oracle side aggregates the whole run (see :mod:`repro.perf`).
+        """
+        from repro.perf import report
+
+        return report(self.oracle)
+
     # ------------------------------------------------------------------
     def _build_instance(self, riders: List[Rider]) -> URRInstance:
         vehicles = [

@@ -137,8 +137,7 @@ def _relocate_pass(instance, model, schedules, utilities, stats, max_moves) -> b
         for rider in seq.assigned_riders():
             if stats.moves >= max_moves:
                 return moved
-            reduced = seq.copy()
-            reduced.remove_rider(rider.rider_id)
+            reduced = seq.without_rider(rider.rider_id)
             reduced_utility = model.schedule_utility(instance.vehicle(vid), reduced)
             best = _best_insertion(
                 instance, model, schedules, utilities, rider, exclude=vid
@@ -179,10 +178,8 @@ def _try_swap(instance, model, schedules, utilities, vid_a, vid_b, stats) -> boo
     current = utilities[vid_a] + utilities[vid_b]
     for rider_a in seq_a.assigned_riders():
         for rider_b in seq_b.assigned_riders():
-            reduced_a = seq_a.copy()
-            reduced_a.remove_rider(rider_a.rider_id)
-            reduced_b = seq_b.copy()
-            reduced_b.remove_rider(rider_b.rider_id)
+            reduced_a = seq_a.without_rider(rider_a.rider_id)
+            reduced_b = seq_b.without_rider(rider_b.rider_id)
             insert_b_into_a = arrange_single_rider(reduced_a, rider_b)
             if insert_b_into_a is None:
                 continue

@@ -119,15 +119,18 @@ class TransferSequence:
         self.initial_onboard: Set[int] = {
             r.rider_id for r in (initial_onboard or ())
         }
-        self._riders_by_id: Dict[int, Rider] = {}
-        for r in initial_onboard or ():
-            self._riders_by_id[r.rider_id] = r
+        self._initial_riders: Dict[int, Rider] = {
+            r.rider_id: r for r in (initial_onboard or ())
+        }
+        self._riders_by_id: Optional[Dict[int, Rider]] = None  # lazy
         # derived arrays (refreshed by _recompute)
         self.arrive: List[float] = []
         self.latest: List[float] = []
         self.flexible: List[float] = []
         self.load_before: List[int] = []  # onboard count during event j
         self.leg_costs: List[float] = []  # travel cost of event j
+        self.load_end: int = 0  # onboard count after the last stop
+        self._stop_index: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
         self._onboard_cache: Optional[List[Set[int]]] = None
         self._recompute()
 
@@ -172,20 +175,15 @@ class TransferSequence:
         return [s.rider for s in self.stops if s.kind is StopKind.PICKUP]
 
     def rider(self, rider_id: int) -> Rider:
-        self._index_riders()
-        return self._riders_by_id[rider_id]
+        return self._rider_index()[rider_id]
 
     def stop_indices(self, rider_id: int) -> Tuple[Optional[int], Optional[int]]:
-        """(pickup index, drop-off index) of a rider; ``None`` when absent."""
-        pickup = dropoff = None
-        for idx, stop in enumerate(self.stops):
-            if stop.rider.rider_id != rider_id:
-                continue
-            if stop.kind is StopKind.PICKUP:
-                pickup = idx
-            else:
-                dropoff = idx
-        return pickup, dropoff
+        """(pickup index, drop-off index) of a rider; ``None`` when absent.
+
+        O(1): the map is maintained by ``_recompute`` alongside the event
+        arrays (it is read inside the utility and metrics loops).
+        """
+        return self._stop_index.get(rider_id, (None, None))
 
     # ------------------------------------------------------------------
     # event fields (paper naming, 0-indexed events)
@@ -267,14 +265,51 @@ class TransferSequence:
         clone.cost = self.cost
         clone.stops = list(self.stops)
         clone.initial_onboard = set(self.initial_onboard)
-        clone._riders_by_id = dict(self._riders_by_id)
+        clone._initial_riders = dict(self._initial_riders)
+        clone._riders_by_id = None
         clone.arrive = list(self.arrive)
         clone.latest = list(self.latest)
         clone.flexible = list(self.flexible)
         clone.load_before = list(self.load_before)
         clone.leg_costs = list(self.leg_costs)
+        clone.load_end = self.load_end
+        clone._stop_index = dict(self._stop_index)
         clone._onboard_cache = None
         return clone
+
+    def with_stops(self, stops: Iterable[Stop]) -> "TransferSequence":
+        """A new sequence with the same vehicle state but the given stops.
+
+        One ``_recompute`` total — no intermediate copy of the derived
+        arrays (they are rebuilt anyway).  This is the materialisation
+        primitive of the zero-copy insertion engine.
+        """
+        clone = TransferSequence.__new__(TransferSequence)
+        clone.origin = self.origin
+        clone.start_time = self.start_time
+        clone.capacity = self.capacity
+        clone.cost = self.cost
+        clone.stops = list(stops)
+        clone.initial_onboard = set(self.initial_onboard)
+        clone._initial_riders = dict(self._initial_riders)
+        clone._riders_by_id = None
+        clone._onboard_cache = None
+        clone._recompute()
+        return clone
+
+    def without_rider(self, rider_id: int) -> "TransferSequence":
+        """A new sequence with both of a rider's stops removed.
+
+        Same semantics as ``copy()`` + :meth:`remove_rider` but with a
+        single recompute and no array copies (BA's replace step and the
+        local-search passes call this in their inner loops).
+        """
+        if rider_id in self.initial_onboard:
+            raise ValueError(f"rider {rider_id} is already onboard; cannot remove")
+        remaining = [s for s in self.stops if s.rider.rider_id != rider_id]
+        if len(remaining) == len(self.stops):
+            raise KeyError(f"rider {rider_id} not in schedule")
+        return self.with_stops(remaining)
 
     def insert_stop(self, index: int, stop: Stop) -> None:
         """Insert ``stop`` so it becomes ``stops[index]`` and refresh fields.
@@ -362,49 +397,67 @@ class TransferSequence:
         self.flexible = [0.0] * n
         self.load_before = [0] * n
         self.leg_costs = [0.0] * n
+        self.load_end = len(self.initial_onboard)
+        self._stop_index = {}
         self._onboard_cache = None
+        self._riders_by_id = None  # lazily rebuilt by _rider_index
         if n == 0:
             return
         cost = self.cost
-        # forward: earliest arrivals (Eq. 6), caching each leg's cost
+        arrive = self.arrive
+        leg_costs = self.leg_costs
+        load_before = self.load_before
+        index = self._stop_index
+        pickup_kind = StopKind.PICKUP
+        deadlines = [0.0] * n
+        # forward: earliest arrivals (Eq. 6), leg costs, loads, and the
+        # rider -> (pickup idx, drop-off idx) map in one pass
         prev_loc = self.origin
         t = self.start_time
+        load = len(self.initial_onboard)
         for j, stop in enumerate(self.stops):
-            leg = cost(prev_loc, stop.location)
-            self.leg_costs[j] = leg
+            loc = stop.location
+            leg = cost(prev_loc, loc)
+            leg_costs[j] = leg
             t += leg
-            self.arrive[j] = t
-            prev_loc = stop.location
-        # backward: latest completions (Eq. 7)
-        self.latest[n - 1] = self.stops[n - 1].deadline
-        for j in range(n - 2, -1, -1):
-            self.latest[j] = min(
-                self.stops[j].deadline, self.latest[j + 1] - self.leg_costs[j + 1]
-            )
-        # backward: flexible times (Eq. 8), ft_j = min suffix of slack
-        suffix = INF
-        for j in range(n - 1, -1, -1):
-            slack = self.latest[j] - self.arrive[j]
-            suffix = min(suffix, slack)
-            self.flexible[j] = suffix
-        # loads
-        current = len(self.initial_onboard)
-        for j, stop in enumerate(self.stops):
-            self.load_before[j] = current
-            if stop.kind is StopKind.PICKUP:
-                current += 1
+            arrive[j] = t
+            prev_loc = loc
+            load_before[j] = load
+            rider = stop.rider
+            rid = rider.rider_id
+            entry = index.get(rid)
+            if stop.kind is pickup_kind:
+                load += 1
+                deadlines[j] = rider.pickup_deadline
+                index[rid] = (j, entry[1] if entry else None)
             else:
-                current -= 1
-        self._index_riders(force=True)
+                load -= 1
+                deadlines[j] = rider.dropoff_deadline
+                index[rid] = (entry[0] if entry else None, j)
+        self.load_end = load
+        # backward: latest completions (Eq. 7) and flexible times (Eq. 8,
+        # the suffix minimum of slack) in one pass
+        latest = self.latest
+        flexible = self.flexible
+        lat = deadlines[n - 1]
+        latest[n - 1] = lat
+        suffix = lat - arrive[n - 1]
+        flexible[n - 1] = suffix
+        for j in range(n - 2, -1, -1):
+            lat = min(deadlines[j], lat - leg_costs[j + 1])
+            latest[j] = lat
+            slack = lat - arrive[j]
+            if slack < suffix:
+                suffix = slack
+            flexible[j] = suffix
 
-    def _index_riders(self, force: bool = False) -> None:
-        if force or not self._riders_by_id:
-            index = {}
+    def _rider_index(self) -> Dict[int, Rider]:
+        if self._riders_by_id is None:
+            index = dict(self._initial_riders)
             for stop in self.stops:
                 index[stop.rider.rider_id] = stop.rider
-            for rid, rider in list(self._riders_by_id.items()):
-                index.setdefault(rid, rider)
             self._riders_by_id = index
+        return self._riders_by_id
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(s) for s in self.stops)

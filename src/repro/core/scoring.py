@@ -16,7 +16,13 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.core.insertion import InsertionResult, arrange_single_rider
+from repro.perf import PerfReport, report as perf_report
+from repro.core.insertion import (
+    InsertionPlan,
+    InsertionResult,
+    arrange_single_rider,
+    plan_insertion,
+)
 from repro.core.instance import URRInstance
 from repro.core.requests import Rider
 from repro.core.schedule import TransferSequence
@@ -65,6 +71,19 @@ class SolverState:
     # ------------------------------------------------------------------
     def schedule(self, vehicle_id: int) -> TransferSequence:
         return self.schedules[vehicle_id]
+
+    def plan(self, rider: Rider, vehicle: Vehicle) -> Optional[InsertionPlan]:
+        """Zero-copy probe: the best insertion's positions and delta cost.
+
+        Nothing is materialised — use when only feasibility or the
+        incremental travel cost is needed (CF's ranking, reachability
+        refinement, admission control).
+        """
+        return plan_insertion(self.schedules[vehicle.vehicle_id], rider)
+
+    def perf_report(self) -> PerfReport:
+        """Oracle + insertion-engine counters (see :mod:`repro.perf`)."""
+        return perf_report(self.instance.oracle)
 
     def utility(self, vehicle_id: int) -> float:
         """Cached ``mu(S_j)`` of the vehicle's current schedule."""

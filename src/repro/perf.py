@@ -1,0 +1,130 @@
+"""repro.perf — lightweight performance counters for the hot paths.
+
+The solvers' cost is dominated by two primitives: distance-oracle queries
+and single-rider insertion evaluations.  This module is the one place their
+counters are defined and summarised, so every layer (oracle, insertion
+engine, solver state, dispatcher) reports through the same vocabulary:
+
+- :class:`OracleStats` — snapshot of a
+  :class:`~repro.roadnet.oracle.DistanceOracle`'s counters (query count,
+  Dijkstra / bidirectional searches, cache hits, serving mode);
+- :class:`InsertionStats` — process-wide counters of the zero-copy
+  insertion engine (`repro.core.insertion`): plans evaluated, candidate
+  pairs scanned, sequences materialised, reference-path calls;
+- :class:`PerfReport` — the combined view exposed by
+  ``SolverState.perf_report()``, ``URRInstance.perf_report()`` and
+  ``Dispatcher.perf_report()``.
+
+The module deliberately imports nothing from the rest of the package (the
+insertion engine imports *it*), keeping the dependency graph acyclic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class InsertionStats:
+    """Counters of the zero-copy insertion engine.
+
+    ``plans`` counts :func:`repro.core.insertion.plan_insertion` calls (one
+    per rider-vehicle evaluation), ``pairs_evaluated`` the candidate
+    (pickup, drop-off) positions scanned inside them, ``materializations``
+    how many winning plans were turned into real sequences, and
+    ``reference_calls`` uses of the copy-and-recompute reference path.
+    A healthy fast path materialises far fewer sequences than it plans.
+    """
+
+    plans: int = 0
+    pairs_evaluated: int = 0
+    materializations: int = 0
+    reference_calls: int = 0
+
+    def reset(self) -> None:
+        self.plans = 0
+        self.pairs_evaluated = 0
+        self.materializations = 0
+        self.reference_calls = 0
+
+    def snapshot(self) -> "InsertionStats":
+        return InsertionStats(**asdict(self))
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+#: Process-wide counters incremented by ``repro.core.insertion``.
+INSERTION_STATS = InsertionStats()
+
+
+@dataclass
+class OracleStats:
+    """Snapshot of a :class:`~repro.roadnet.oracle.DistanceOracle`.
+
+    ``searches`` (Dijkstras + bidirectional runs) is the actual graph work;
+    ``hit_rate`` is the fraction of non-trivial queries answered without a
+    search — in APSP mode every query after the build is a hit.
+    """
+
+    mode: str
+    nodes: int
+    query_count: int
+    dijkstra_count: int
+    bidirectional_count: int
+    pair_cache_hits: int
+    pair_cache_size: int
+    source_cache_hits: int
+    source_cache_size: int
+
+    @classmethod
+    def from_oracle(cls, oracle: Any) -> "OracleStats":
+        return cls(**oracle.stats())
+
+    @property
+    def searches(self) -> int:
+        return self.dijkstra_count + self.bidirectional_count
+
+    @property
+    def hit_rate(self) -> float:
+        if self.query_count == 0:
+            return 0.0
+        if self.mode == "apsp":
+            return 1.0
+        return max(0.0, 1.0 - self.bidirectional_count / self.query_count)
+
+    def as_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["searches"] = self.searches
+        data["hit_rate"] = self.hit_rate
+        return data
+
+
+@dataclass
+class PerfReport:
+    """Combined oracle + insertion-engine counters."""
+
+    oracle: Optional[OracleStats] = None
+    insertion: InsertionStats = field(
+        default_factory=lambda: INSERTION_STATS.snapshot()
+    )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "oracle": self.oracle.as_dict() if self.oracle else None,
+            "insertion": self.insertion.as_dict(),
+        }
+
+
+def report(oracle: Any = None) -> PerfReport:
+    """Build a :class:`PerfReport` from an oracle (or just the engine)."""
+    return PerfReport(
+        oracle=OracleStats.from_oracle(oracle) if oracle is not None else None,
+        insertion=INSERTION_STATS.snapshot(),
+    )
+
+
+def reset_insertion_stats() -> None:
+    """Zero the process-wide insertion-engine counters (benchmarks/tests)."""
+    INSERTION_STATS.reset()

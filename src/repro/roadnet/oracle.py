@@ -5,18 +5,27 @@ locality (the same pickup/drop-off locations appear in many candidate
 insertions).  :class:`DistanceOracle` serves them from
 
 1. an optional all-pairs table (worth it below ``apsp_threshold`` nodes —
-   the synthetic benchmark networks qualify), or
+   the synthetic benchmark networks qualify), stored as one flat
+   ``numpy.float64`` array over interned node indices: O(1) indexed reads,
+   no per-query dict hashing, and roughly an order of magnitude less
+   memory than the previous dict-of-dicts table, or
 2. an LRU cache of full single-source Dijkstra runs, falling back to
-3. bidirectional point-to-point search for one-off queries.
+3. bidirectional point-to-point search for one-off queries, whose results
+   land in a bounded pair LRU so repeated distinct pairs on large networks
+   pay the search once.
 
 The oracle is a drop-in ``cost(u, v)`` callable, which is the only interface
-the scheduling layer (Section 3) depends on.
+the scheduling layer (Section 3) depends on.  All work is counted
+(``query_count``, ``dijkstra_count``, ``bidirectional_count``, cache hits)
+and summarised by :mod:`repro.perf`.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
 
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.shortest_path import INF, bidirectional_dijkstra, dijkstra
@@ -36,7 +45,11 @@ class DistanceOracle:
     apsp_threshold:
         When ``len(network) <= apsp_threshold``, the first query triggers a
         full all-pairs precomputation (|V| Dijkstras) and all later queries
-        are O(1) dict lookups.  Set to 0 to disable.
+        are O(1) array reads.  Set to 0 to disable.
+    cache_pairs:
+        Maximum number of one-off bidirectional point-to-point results to
+        keep (LRU).  Each entry is a single float; this is what makes
+        repeated distinct pairs affordable on networks too large for APSP.
     """
 
     def __init__(
@@ -44,14 +57,27 @@ class DistanceOracle:
         network: RoadNetwork,
         cache_sources: int = 2048,
         apsp_threshold: int = 1500,
+        cache_pairs: int = 65536,
     ) -> None:
         self.network = network
         self.cache_sources = cache_sources
         self.apsp_threshold = apsp_threshold
+        self.cache_pairs = cache_pairs
         self._source_cache: "OrderedDict[int, Dict[int, float]]" = OrderedDict()
-        self._apsp: Optional[Dict[int, Dict[int, float]]] = None
+        self._pair_cache: "OrderedDict[tuple, float]" = OrderedDict()
+        # APSP state: flat numpy table over interned node indices
+        self._apsp: Optional[np.ndarray] = None  # shape (n*n,), float64
+        self._apsp_nodes: List[int] = []  # interned index -> node id
+        self._apsp_index: Optional[Dict[int, int]] = None  # None: ids are 0..n-1
+        self._apsp_n = 0
+        self._apsp_view: Optional[memoryview] = None  # python-float reads
+        self._row_cache: Dict[int, Dict[int, float]] = {}  # costs_from views
+        # counters (read by repro.perf)
         self.query_count = 0
         self.dijkstra_count = 0
+        self.bidirectional_count = 0
+        self.pair_cache_hits = 0
+        self.source_cache_hits = 0
 
     # ------------------------------------------------------------------
     def cost(self, u: int, v: int) -> float:
@@ -61,14 +87,29 @@ class DistanceOracle:
             return 0.0
         if self._apsp is None and 0 < len(self.network) <= self.apsp_threshold:
             self._build_apsp()
-        if self._apsp is not None:
-            return self._apsp[u].get(v, INF)
+        if self._apsp_view is not None:
+            index = self._apsp_index
+            if index is None:
+                return self._apsp_view[u * self._apsp_n + v]
+            return self._apsp_view[index[u] * self._apsp_n + index[v]]
         cached = self._source_cache.get(u)
         if cached is not None:
             self._source_cache.move_to_end(u)
+            self.source_cache_hits += 1
             return cached.get(v, INF)
+        pair = (u, v)
+        hit = self._pair_cache.get(pair)
+        if hit is not None:
+            self._pair_cache.move_to_end(pair)
+            self.pair_cache_hits += 1
+            return hit
         # one-off query: bidirectional is cheaper than a full Dijkstra
-        return bidirectional_dijkstra(self.network, u, v)
+        self.bidirectional_count += 1
+        d = bidirectional_dijkstra(self.network, u, v)
+        self._pair_cache[pair] = d
+        if len(self._pair_cache) > self.cache_pairs:
+            self._pair_cache.popitem(last=False)
+        return d
 
     __call__ = cost
 
@@ -76,32 +117,60 @@ class DistanceOracle:
         """A minimal-overhead ``cost(u, v)`` callable.
 
         When the network qualifies for the all-pairs table this returns a
-        closure over the raw dict (no bookkeeping per query) — the solvers'
-        hot loops issue millions of cost queries, so the saved attribute
-        lookups and counters matter.  Falls back to :meth:`cost` otherwise.
+        closure over a ``memoryview`` of the flat table (python-float reads,
+        no bookkeeping per query) — the solvers' hot loops issue millions of
+        cost queries, so the saved attribute lookups and counters matter.
+        Falls back to :meth:`cost` otherwise.
         """
         if self._apsp is None and 0 < len(self.network) <= self.apsp_threshold:
             self._build_apsp()
-        if self._apsp is None:
+        if self._apsp_view is None:
             return self.cost
-        table = self._apsp
+        view = self._apsp_view
+        n = self._apsp_n
+        index = self._apsp_index
 
-        def fast_cost(u: int, v: int) -> float:
-            if u == v:
-                return 0.0
-            return table[u].get(v, INF)
+        if index is None:
+
+            def fast_cost(u: int, v: int) -> float:
+                if u == v:
+                    return 0.0
+                return view[u * n + v]
+
+        else:
+
+            def fast_cost(u: int, v: int) -> float:
+                if u == v:
+                    return 0.0
+                return view[index[u] * n + index[v]]
 
         return fast_cost
 
     def costs_from(self, source: int) -> Dict[int, float]:
-        """All shortest distances from ``source`` (cached)."""
+        """All shortest distances from ``source`` (cached).
+
+        In APSP mode the dict is a lazily-built view of the table row
+        (finite entries only, matching :func:`dijkstra`'s convention).
+        """
         if self._apsp is None and 0 < len(self.network) <= self.apsp_threshold:
             self._build_apsp()
         if self._apsp is not None:
-            return self._apsp[source]
+            row = self._row_cache.get(source)
+            if row is None:
+                idx = source if self._apsp_index is None else self._apsp_index[source]
+                base = idx * self._apsp_n
+                values = self._apsp[base : base + self._apsp_n].tolist()
+                row = {
+                    node: d
+                    for node, d in zip(self._apsp_nodes, values)
+                    if d != INF
+                }
+                self._row_cache[source] = row
+            return row
         cached = self._source_cache.get(source)
         if cached is not None:
             self._source_cache.move_to_end(source)
+            self.source_cache_hits += 1
             return cached
         self.dijkstra_count += 1
         dist = dijkstra(self.network, source)
@@ -118,16 +187,63 @@ class DistanceOracle:
     def invalidate(self) -> None:
         """Drop all caches; call after mutating the underlying network."""
         self._source_cache.clear()
+        self._pair_cache.clear()
+        self._row_cache.clear()
         self._apsp = None
+        self._apsp_view = None
+        self._apsp_index = None
+        self._apsp_nodes = []
+        self._apsp_n = 0
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot (see :mod:`repro.perf` for the typed view)."""
+        return {
+            "mode": self.mode,
+            "nodes": len(self.network),
+            "query_count": self.query_count,
+            "dijkstra_count": self.dijkstra_count,
+            "bidirectional_count": self.bidirectional_count,
+            "pair_cache_hits": self.pair_cache_hits,
+            "pair_cache_size": len(self._pair_cache),
+            "source_cache_hits": self.source_cache_hits,
+            "source_cache_size": len(self._source_cache),
+        }
+
+    @property
+    def mode(self) -> str:
+        """``"apsp"`` once the table is built, ``"lru"`` before/otherwise."""
+        return "apsp" if self._apsp is not None else "lru"
 
     # ------------------------------------------------------------------
     def _build_apsp(self) -> None:
-        table: Dict[int, Dict[int, float]] = {}
-        for node in self.network.nodes():
+        nodes = sorted(self.network.nodes())
+        n = len(nodes)
+        contiguous = nodes == list(range(n))
+        index = None if contiguous else {node: i for i, node in enumerate(nodes)}
+        table = np.full(n * n, INF, dtype=np.float64)
+        for i, node in enumerate(nodes):
             self.dijkstra_count += 1
-            table[node] = dijkstra(self.network, node)
+            dist = dijkstra(self.network, node)
+            base = i * n
+            if contiguous:
+                for target, d in dist.items():
+                    table[base + target] = d
+            else:
+                for target, d in dist.items():
+                    table[base + index[target]] = d
+        self._apsp_nodes = nodes
+        self._apsp_index = index
+        self._apsp_n = n
         self._apsp = table
+        self._apsp_view = memoryview(table)  # reads yield python floats
+        self._row_cache.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = "apsp" if self._apsp is not None else f"lru({len(self._source_cache)})"
-        return f"DistanceOracle({mode}, queries={self.query_count})"
+        return (
+            f"DistanceOracle({mode}, queries={self.query_count}, "
+            f"dijkstras={self.dijkstra_count}, "
+            f"bidirectional={self.bidirectional_count}, "
+            f"pair_hits={self.pair_cache_hits})"
+        )

@@ -232,6 +232,95 @@ class TestMutation:
         assert clone.leg_costs == seq_ab.leg_costs
 
 
+class TestMaintainedFields:
+    """load_end and the rider->stop-index map are kept by _recompute."""
+
+    def test_load_end_balanced(self, seq_ab):
+        assert seq_ab.load_end == 0  # everyone dropped off
+
+    def test_load_end_with_pending_dropoff(self, line_cost, rider_a, rider_b):
+        seq = make_sequence(
+            line_cost,
+            stops=[Stop.pickup(rider_a), Stop.pickup(rider_b), Stop.dropoff(rider_a)],
+        )
+        assert seq.load_end == 1  # rider_b still onboard
+
+    def test_load_end_tracks_mutations(self, seq_ab, rider_b):
+        seq = seq_ab.copy()
+        seq.stops.pop()  # drop rider_b's drop-off
+        seq._recompute()
+        assert seq.load_end == 1
+
+    def test_stop_indices_track_insertions(self, line_cost, rider_a, rider_b):
+        seq = make_sequence(
+            line_cost, stops=[Stop.pickup(rider_a), Stop.dropoff(rider_a)]
+        )
+        seq.insert_stop(1, Stop.pickup(rider_b))
+        seq.insert_stop(3, Stop.dropoff(rider_b))
+        assert seq.stop_indices(rider_a.rider_id) == (0, 2)
+        assert seq.stop_indices(rider_b.rider_id) == (1, 3)
+
+    def test_stop_indices_after_removal(self, seq_ab, rider_a, rider_b):
+        seq_ab.remove_rider(rider_a.rider_id)
+        assert seq_ab.stop_indices(rider_a.rider_id) == (None, None)
+        assert seq_ab.stop_indices(rider_b.rider_id) == (0, 1)
+
+
+class TestWithStops:
+    def test_equivalent_to_copy_and_insert(self, seq_ab, rider_a, rider_b):
+        extra = make_rider(7, source=1, destination=2, pickup_deadline=30.0,
+                           dropoff_deadline=60.0)
+        manual = seq_ab.copy()
+        manual.insert_stop(4, Stop.pickup(extra))
+        manual.insert_stop(5, Stop.dropoff(extra))
+        stops = list(seq_ab.stops) + [Stop.pickup(extra), Stop.dropoff(extra)]
+        built = seq_ab.with_stops(stops)
+        assert built.arrive == manual.arrive
+        assert built.latest == manual.latest
+        assert built.flexible == manual.flexible
+        assert built.load_before == manual.load_before
+        assert built.load_end == manual.load_end
+
+    def test_original_untouched(self, seq_ab):
+        before = list(seq_ab.stops)
+        seq_ab.with_stops(before[:2])
+        assert seq_ab.stops == before
+        assert len(seq_ab) == 4
+
+    def test_preserves_configuration(self, seq_ab):
+        built = seq_ab.with_stops(list(seq_ab.stops))
+        assert built.origin == seq_ab.origin
+        assert built.start_time == seq_ab.start_time
+        assert built.capacity == seq_ab.capacity
+        assert built.arrive == seq_ab.arrive
+
+
+class TestWithoutRider:
+    def test_matches_copy_remove(self, seq_ab, rider_b):
+        manual = seq_ab.copy()
+        manual.remove_rider(rider_b.rider_id)
+        reduced = seq_ab.without_rider(rider_b.rider_id)
+        assert [s.location for s in reduced.stops] == [
+            s.location for s in manual.stops
+        ]
+        assert reduced.arrive == manual.arrive
+        assert reduced.flexible == manual.flexible
+        assert len(seq_ab) == 4  # source untouched
+
+    def test_missing_rider_raises(self, seq_ab):
+        with pytest.raises(KeyError):
+            seq_ab.without_rider(99)
+
+    def test_initial_onboard_rejected(self, line_cost):
+        onboard = make_rider(5, source=0, destination=2, pickup_deadline=1.0,
+                             dropoff_deadline=30.0)
+        seq = make_sequence(
+            line_cost, stops=[Stop.dropoff(onboard)], initial_onboard=[onboard]
+        )
+        with pytest.raises(ValueError, match="onboard"):
+            seq.without_rider(onboard.rider_id)
+
+
 class TestAccessors:
     def test_rider_ids(self, seq_ab):
         assert seq_ab.rider_ids() == {0, 1}

@@ -112,6 +112,105 @@ class TestLruMode:
         assert oracle.cost(0, 1) == pytest.approx(2.0)
 
 
+class TestPairCache:
+    """One-off bidirectional results must be cached and counted."""
+
+    def test_repeat_query_hits_cache(self, small_grid):
+        oracle = DistanceOracle(small_grid, apsp_threshold=0, cache_sources=0)
+        first = oracle.cost(0, 24)
+        assert oracle.bidirectional_count == 1
+        second = oracle.cost(0, 24)
+        assert second == first
+        assert oracle.bidirectional_count == 1  # served from the pair LRU
+        assert oracle.pair_cache_hits == 1
+
+    def test_direction_matters(self, small_grid):
+        oracle = DistanceOracle(small_grid, apsp_threshold=0, cache_sources=0)
+        oracle.cost(0, 24)
+        oracle.cost(24, 0)  # distinct key: (u, v) != (v, u)
+        assert oracle.bidirectional_count == 2
+
+    def test_bounded_eviction(self, small_grid):
+        oracle = DistanceOracle(
+            small_grid, apsp_threshold=0, cache_sources=0, cache_pairs=2
+        )
+        oracle.cost(0, 5)
+        oracle.cost(0, 6)
+        oracle.cost(0, 7)  # evicts (0, 5)
+        assert len(oracle._pair_cache) == 2
+        oracle.cost(0, 5)
+        assert oracle.bidirectional_count == 4  # re-searched after eviction
+
+    def test_source_cache_preferred_over_pair_cache(self, small_grid):
+        oracle = DistanceOracle(small_grid, apsp_threshold=0)
+        oracle.warm([0])
+        before = oracle.bidirectional_count
+        oracle.cost(0, 13)
+        assert oracle.bidirectional_count == before  # row already cached
+        assert oracle.source_cache_hits >= 1
+
+
+class TestStats:
+    def test_query_counting(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        oracle.cost(0, 1)
+        oracle.cost(1, 2)
+        stats = oracle.stats()
+        assert stats["query_count"] == 2
+        assert stats["mode"] == "apsp"
+        assert stats["nodes"] == len(small_grid)
+
+    def test_stats_keys_stable(self, line_network):
+        oracle = DistanceOracle(line_network, apsp_threshold=0)
+        oracle.cost(0, 4)
+        assert set(oracle.stats()) == {
+            "mode",
+            "nodes",
+            "query_count",
+            "dijkstra_count",
+            "bidirectional_count",
+            "pair_cache_hits",
+            "pair_cache_size",
+            "source_cache_hits",
+            "source_cache_size",
+        }
+        assert oracle.mode == "lru"
+
+
+class TestInterning:
+    """The flat APSP table works for contiguous and arbitrary node ids."""
+
+    def test_contiguous_ids_skip_index(self, line_network):
+        oracle = DistanceOracle(line_network)
+        oracle.cost(0, 4)
+        assert oracle._apsp_index is None  # ids are already 0..n-1
+
+    def test_non_contiguous_ids_interned(self):
+        net = RoadNetwork()
+        net.add_edge(5, 50, 1.0)
+        net.add_edge(50, 500, 2.0)
+        oracle = DistanceOracle(net)
+        assert oracle.cost(5, 500) == pytest.approx(3.0)
+        assert oracle._apsp_index == {5: 0, 50: 1, 500: 2}
+        fast = oracle.fast_cost_fn()
+        assert fast(500, 5) == pytest.approx(3.0)
+        assert fast(50, 50) == 0.0
+
+    def test_costs_from_non_contiguous(self):
+        net = RoadNetwork()
+        net.add_edge(7, 70, 1.5)
+        net.add_edge(70, 700, 1.5)
+        oracle = DistanceOracle(net)
+        row = oracle.costs_from(7)
+        assert row == pytest.approx({7: 0.0, 70: 1.5, 700: 3.0})
+
+    def test_reads_are_python_floats(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        value = oracle.cost(0, 24)
+        assert type(value) is float  # memoryview read, not numpy scalar
+        assert type(oracle.fast_cost_fn()(0, 24)) is float
+
+
 class TestConsistency:
     def test_lru_and_apsp_agree(self):
         net = grid_city(4, 4, seed=11, removal_fraction=0.1, arterial_every=None)

@@ -1,0 +1,116 @@
+"""Tests for repro.perf and its wiring into oracle, solver state, instance,
+and dispatcher."""
+
+import pytest
+
+from repro.core.scoring import SolverState
+from repro.perf import (
+    INSERTION_STATS,
+    InsertionStats,
+    OracleStats,
+    PerfReport,
+    report,
+    reset_insertion_stats,
+)
+from repro.roadnet.oracle import DistanceOracle
+
+
+class TestInsertionStats:
+    def test_reset(self):
+        stats = InsertionStats(plans=3, pairs_evaluated=40, materializations=1,
+                               reference_calls=2)
+        stats.reset()
+        assert stats.as_dict() == {
+            "plans": 0,
+            "pairs_evaluated": 0,
+            "materializations": 0,
+            "reference_calls": 0,
+        }
+
+    def test_snapshot_is_independent(self):
+        reset_insertion_stats()
+        INSERTION_STATS.plans = 5
+        snap = INSERTION_STATS.snapshot()
+        INSERTION_STATS.plans = 9
+        assert snap.plans == 5
+        reset_insertion_stats()
+
+
+class TestOracleStats:
+    def test_from_oracle_apsp(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        oracle.cost(0, 7)
+        stats = OracleStats.from_oracle(oracle)
+        assert stats.mode == "apsp"
+        assert stats.query_count == 1
+        assert stats.hit_rate == 1.0
+        assert stats.searches == stats.dijkstra_count
+
+    def test_hit_rate_lru(self, small_grid):
+        oracle = DistanceOracle(small_grid, apsp_threshold=0, cache_sources=0)
+        oracle.cost(0, 7)
+        oracle.cost(0, 7)
+        stats = OracleStats.from_oracle(oracle)
+        assert stats.mode == "lru"
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_no_queries(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        assert OracleStats.from_oracle(oracle).hit_rate == 0.0
+
+    def test_as_dict_includes_derived(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        oracle.cost(0, 7)
+        data = OracleStats.from_oracle(oracle).as_dict()
+        assert "searches" in data and "hit_rate" in data
+
+
+class TestReport:
+    def test_report_without_oracle(self):
+        reset_insertion_stats()
+        rep = report()
+        assert rep.oracle is None
+        assert rep.as_dict()["oracle"] is None
+        assert rep.insertion.plans == 0
+
+    def test_report_with_oracle(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        oracle.cost(0, 3)
+        rep = report(oracle)
+        assert isinstance(rep, PerfReport)
+        assert rep.oracle.query_count == 1
+
+
+class TestWiring:
+    def test_solver_state(self, line_instance):
+        state = SolverState(line_instance)
+        rider = line_instance.riders[0]
+        vehicle = line_instance.vehicles[0]
+        reset_insertion_stats()
+        plan = state.plan(rider, vehicle)
+        assert plan is not None
+        assert plan.delta_cost >= 0.0
+        rep = state.perf_report()
+        assert rep.oracle is not None
+        assert rep.insertion.plans == 1
+        assert rep.insertion.materializations == 0  # probe stays zero-copy
+
+    def test_instance_report(self, line_instance):
+        rep = line_instance.perf_report()
+        assert rep.oracle.nodes == 5
+
+    def test_dispatcher_report(self, line_instance, line_network):
+        from repro.core.dispatch import Dispatcher
+        from repro.core.vehicles import Vehicle
+
+        dispatcher = Dispatcher(
+            network=line_network,
+            fleet=[Vehicle(vehicle_id=0, location=0, capacity=2)],
+        )
+        dispatcher.dispatch_frame(line_instance.riders)
+        rep = dispatcher.perf_report()
+        assert rep.oracle is not None
+        # solvers go through fast_cost_fn (uncounted reads by design), but
+        # the APSP build itself is counted as Dijkstra work
+        assert rep.oracle.searches > 0
+        assert rep.insertion.plans > 0
