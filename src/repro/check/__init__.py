@@ -1,0 +1,66 @@
+"""repro.check — independent solution validation + differential fuzzing.
+
+The solvers' hot paths are incremental and analytic (PR 1's zero-copy
+insertion engine); this package is their deliberately-slow, deliberately-
+redundant counterweight:
+
+- :func:`validate_assignment` / :func:`validate_schedule` re-derive every
+  constraint (capacity, pickup/drop-off deadlines, stop order) and every
+  Eq. 1–5 utility from first principles with fresh oracle calls, sharing
+  no code with ``repro.core.schedule`` or ``repro.core.utility``;
+- :mod:`repro.check.fuzz` generates seeded randomized instances, runs all
+  solver methods, validates each result, sandwiches heuristics between
+  OPT and the analytic upper bound, and pins the fast insertion engine
+  against its reference implementation;
+- :mod:`repro.check.corruptions` plants known bug classes to prove the
+  validator still catches them;
+- ``python -m repro.check`` drives it all from the command line (see
+  ``--help``; CI runs it nightly).
+
+Opt-in debug hooks: ``SolverState(instance, validate=True)`` validates
+every committed schedule, ``Dispatcher(..., validate_frames=True)``
+validates every dispatched frame.
+"""
+
+from repro.check.corruptions import CORRUPTIONS, CorruptedCase
+from repro.check.fuzz import (
+    FuzzConfig,
+    FuzzFailure,
+    FuzzRunReport,
+    MinimizedRepro,
+    SeedReport,
+    differential_check,
+    fuzz_seed,
+    minimize_seed,
+    random_instance,
+    run_fuzz,
+)
+from repro.check.validator import (
+    ValidationError,
+    ValidationReport,
+    Violation,
+    ViolationKind,
+    validate_assignment,
+    validate_schedule,
+)
+
+__all__ = [
+    "CORRUPTIONS",
+    "CorruptedCase",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzRunReport",
+    "MinimizedRepro",
+    "SeedReport",
+    "ValidationError",
+    "ValidationReport",
+    "Violation",
+    "ViolationKind",
+    "differential_check",
+    "fuzz_seed",
+    "minimize_seed",
+    "random_instance",
+    "run_fuzz",
+    "validate_assignment",
+    "validate_schedule",
+]

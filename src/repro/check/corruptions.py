@@ -1,0 +1,148 @@
+"""Deliberate corruption injectors for exercising the validator.
+
+Each injector takes a *valid* ``(instance, assignment)`` pair and returns a
+:class:`CorruptedCase`: a tampered assignment (and/or a tampered claimed
+objective) together with the :class:`~repro.check.validator.ViolationKind`
+the validator must report for it.  They are used three ways:
+
+- the property tests assert each corruption class is caught by name;
+- ``python -m repro.check`` runs them as a self-test on every invocation
+  (a validator that stops detecting planted bugs is worse than none);
+- future debugging sessions can replay them to confirm the oracle is
+  still alive before trusting a "no violations" verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.assignment import Assignment
+from repro.core.instance import URRInstance
+from repro.core.schedule import Stop, TransferSequence
+from repro.check.validator import ViolationKind
+
+
+@dataclass
+class CorruptedCase:
+    """A tampered assignment and the violation it must trigger."""
+
+    name: str
+    assignment: Assignment
+    expected_kind: ViolationKind
+    claimed_utility: Optional[float] = None
+
+
+def _clone_assignment(assignment: Assignment) -> Assignment:
+    return Assignment(
+        instance=assignment.instance,
+        schedules={vid: seq.copy() for vid, seq in assignment.schedules.items()},
+        solver_name=assignment.solver_name + "+corrupted",
+    )
+
+
+def _busiest_vehicle(assignment: Assignment) -> int:
+    return max(
+        assignment.schedules,
+        key=lambda vid: len(assignment.schedules[vid].stops),
+    )
+
+
+def corrupt_overfull(
+    instance: URRInstance, assignment: Assignment
+) -> Optional[CorruptedCase]:
+    """Pack more concurrent riders into one vehicle than its capacity.
+
+    Rebuilds the busiest vehicle's schedule as all-pickups-then-all-
+    drop-offs over ``capacity + 1`` riders (stealing riders from other
+    vehicles when the busiest alone has too few), so some leg carries an
+    overfull car.  Returns ``None`` when the whole assignment serves too
+    few riders to overflow any vehicle.
+    """
+    vid = _busiest_vehicle(assignment)
+    vehicle = instance.vehicle(vid)
+    needed = vehicle.capacity + 1
+    if len(instance.riders) < needed:
+        return None
+    riders = list(instance.riders)[:needed]
+
+    corrupted = _clone_assignment(assignment)
+    base = corrupted.schedules[vid]
+    stops = [Stop.pickup(r) for r in riders] + [Stop.dropoff(r) for r in riders]
+    corrupted.schedules[vid] = base.with_stops(stops)
+    # the stolen riders must not look double-assigned
+    for other_vid, seq in list(corrupted.schedules.items()):
+        if other_vid == vid:
+            continue
+        remaining = [
+            s for s in seq.stops
+            if s.rider.rider_id not in {r.rider_id for r in riders}
+        ]
+        if len(remaining) != len(seq.stops):
+            corrupted.schedules[other_vid] = seq.with_stops(remaining)
+    return CorruptedCase(
+        name="overfull",
+        assignment=corrupted,
+        expected_kind=ViolationKind.CAPACITY_EXCEEDED,
+    )
+
+
+def corrupt_deadline(
+    instance: URRInstance, assignment: Assignment
+) -> Optional[CorruptedCase]:
+    """Delay a schedule until some stop provably misses its deadline.
+
+    Shifts the busiest non-empty schedule's start time past the latest
+    deadline of any stop in it (the vehicle 'leaves late'), so every stop
+    arrives after its deadline.  Returns ``None`` when no vehicle serves
+    anyone.
+    """
+    candidates = [
+        vid for vid, seq in assignment.schedules.items() if seq.stops
+    ]
+    if not candidates:
+        return None
+    vid = max(candidates, key=lambda v: len(assignment.schedules[v].stops))
+    corrupted = _clone_assignment(assignment)
+    seq = corrupted.schedules[vid]
+    max_deadline = max(stop.deadline for stop in seq.stops)
+    delayed = TransferSequence(
+        origin=seq.origin,
+        start_time=max_deadline + 1.0,
+        capacity=seq.capacity,
+        cost=seq.cost,
+        stops=list(seq.stops),
+    )
+    corrupted.schedules[vid] = delayed
+    return CorruptedCase(
+        name="deadline",
+        assignment=corrupted,
+        expected_kind=ViolationKind.DEADLINE_MISSED,
+    )
+
+
+def corrupt_utility(
+    instance: URRInstance, assignment: Assignment
+) -> Optional[CorruptedCase]:
+    """Claim an objective value the schedules do not achieve.
+
+    Models a mis-scoring bug (e.g. a sign error in an incremental
+    ``delta_mu``) by reporting the true objective plus 0.5; the validator's
+    independent Eq. 1–5 re-derivation must flag the discrepancy.
+    """
+    return CorruptedCase(
+        name="utility",
+        assignment=_clone_assignment(assignment),
+        expected_kind=ViolationKind.UTILITY_MISMATCH,
+        claimed_utility=assignment.total_utility() + 0.5,
+    )
+
+
+#: The three injected-corruption classes, by name.
+CORRUPTIONS: Dict[
+    str, Callable[[URRInstance, Assignment], Optional[CorruptedCase]]
+] = {
+    "overfull": corrupt_overfull,
+    "deadline": corrupt_deadline,
+    "utility": corrupt_utility,
+}

@@ -86,6 +86,12 @@ class Dispatcher:
         Optional social network shared by all frames.
     seed:
         Seed for the per-frame vehicle-preference matrices.
+    validate_frames:
+        Debug hook: run every frame's assignment through the independent
+        :func:`repro.check.validate_assignment` oracle and raise
+        :class:`repro.check.ValidationError` on any violation.  Slow
+        (re-walks every schedule with fresh oracle calls); intended for
+        soak tests and staging, not production dispatch.
     """
 
     def __init__(
@@ -100,6 +106,7 @@ class Dispatcher:
         social: Optional[SocialNetwork] = None,
         oracle: Optional[DistanceOracle] = None,
         seed: int = 0,
+        validate_frames: bool = False,
     ) -> None:
         ids = [v.vehicle_id for v in fleet]
         if len(set(ids)) != len(ids):
@@ -115,6 +122,7 @@ class Dispatcher:
         self.beta = beta
         self.social = social
         self.seed = seed
+        self.validate_frames = validate_frames
         self.fleet: Dict[int, FleetVehicle] = {
             v.vehicle_id: FleetVehicle(
                 vehicle_id=v.vehicle_id, location=v.location, capacity=v.capacity
@@ -148,6 +156,11 @@ class Dispatcher:
         errors = assignment.validity_errors()
         if errors:
             raise AssertionError(f"dispatcher produced invalid frame: {errors[:3]}")
+        if self.validate_frames:
+            # imported lazily: repro.check depends on repro.core
+            from repro.check.validator import validate_assignment
+
+            validate_assignment(instance, assignment).raise_if_invalid()
 
         frame_cost = 0.0
         for vid, seq in assignment.schedules.items():

@@ -39,6 +39,7 @@ def solve(
     k: int = 8,
     opt_max_riders: int = 10,
     local_search: bool = False,
+    validate: bool = False,
 ) -> Assignment:
     """Solve a URR instance with the chosen approach.
 
@@ -62,6 +63,11 @@ def solve(
         heuristic's result before returning (ignored for ``"opt"``, which
         is already optimal).  The improvement time is counted in
         ``elapsed_seconds``.
+    validate:
+        Debug hook: run every committed schedule through the independent
+        :func:`repro.check.validate_schedule` oracle (raises
+        :class:`repro.check.ValidationError` on the first violation).
+        Expensive; off by default.
 
     Returns
     -------
@@ -83,7 +89,7 @@ def solve(
     if method.startswith("gbs") and plan is None:
         plan = prepare_grouping(instance.network, k=k)
 
-    state = SolverState(instance)
+    state = SolverState(instance, validate=validate)
     start = time.perf_counter()
     if method == "cf":
         run_cost_first(state, instance.riders)

@@ -11,6 +11,9 @@ engine, solver state, dispatcher) reports through the same vocabulary:
 - :class:`InsertionStats` — process-wide counters of the zero-copy
   insertion engine (`repro.core.insertion`): plans evaluated, candidate
   pairs scanned, sequences materialised, reference-path calls;
+- :class:`ValidationStats` — process-wide counters of the independent
+  solution validator (`repro.check`): assignments/schedules re-walked,
+  stops re-derived, violations found;
 - :class:`PerfReport` — the combined view exposed by
   ``SolverState.perf_report()``, ``URRInstance.perf_report()`` and
   ``Dispatcher.perf_report()``.
@@ -60,6 +63,40 @@ INSERTION_STATS = InsertionStats()
 
 
 @dataclass
+class ValidationStats:
+    """Counters of the independent validator (:mod:`repro.check`).
+
+    ``assignments`` counts full :func:`repro.check.validate_assignment`
+    audits, ``schedules`` the per-vehicle re-walks inside them (plus any
+    single-schedule debug-hook checks), ``stops`` the stops re-derived with
+    fresh oracle calls, and ``violations`` how many violations were found
+    in total.  A production run should keep ``violations`` at zero; the
+    corruption self-tests are the only expected source of non-zero counts.
+    """
+
+    assignments: int = 0
+    schedules: int = 0
+    stops: int = 0
+    violations: int = 0
+
+    def reset(self) -> None:
+        self.assignments = 0
+        self.schedules = 0
+        self.stops = 0
+        self.violations = 0
+
+    def snapshot(self) -> "ValidationStats":
+        return ValidationStats(**asdict(self))
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+#: Process-wide counters incremented by ``repro.check``.
+VALIDATION_STATS = ValidationStats()
+
+
+@dataclass
 class OracleStats:
     """Snapshot of a :class:`~repro.roadnet.oracle.DistanceOracle`.
 
@@ -103,17 +140,21 @@ class OracleStats:
 
 @dataclass
 class PerfReport:
-    """Combined oracle + insertion-engine counters."""
+    """Combined oracle + insertion-engine + validator counters."""
 
     oracle: Optional[OracleStats] = None
     insertion: InsertionStats = field(
         default_factory=lambda: INSERTION_STATS.snapshot()
+    )
+    validation: ValidationStats = field(
+        default_factory=lambda: VALIDATION_STATS.snapshot()
     )
 
     def as_dict(self) -> Dict[str, Any]:
         return {
             "oracle": self.oracle.as_dict() if self.oracle else None,
             "insertion": self.insertion.as_dict(),
+            "validation": self.validation.as_dict(),
         }
 
 
@@ -122,9 +163,15 @@ def report(oracle: Any = None) -> PerfReport:
     return PerfReport(
         oracle=OracleStats.from_oracle(oracle) if oracle is not None else None,
         insertion=INSERTION_STATS.snapshot(),
+        validation=VALIDATION_STATS.snapshot(),
     )
 
 
 def reset_insertion_stats() -> None:
     """Zero the process-wide insertion-engine counters (benchmarks/tests)."""
     INSERTION_STATS.reset()
+
+
+def reset_validation_stats() -> None:
+    """Zero the process-wide validator counters (benchmarks/tests)."""
+    VALIDATION_STATS.reset()

@@ -1,0 +1,64 @@
+"""`python -m repro.check` in-process: exit codes, self-test, artifacts."""
+
+import json
+
+from repro.check.__main__ import _parse_budget, main
+from repro.check.fuzz import FuzzFailure, FuzzRunReport, SeedReport
+
+
+class TestBudgetParsing:
+    def test_units(self):
+        assert _parse_budget("60s") == 60.0
+        assert _parse_budget("2m") == 120.0
+        assert _parse_budget("45") == 45.0
+
+
+class TestCleanRun:
+    def test_exit_zero_and_self_test(self, capsys):
+        assert main(["--seeds", "3", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "self-test 'overfull': caught (capacity_exceeded)" in out
+        assert "self-test 'deadline': caught (deadline_missed)" in out
+        assert "self-test 'utility': caught (utility_mismatch)" in out
+        assert "0 failing" in out
+
+    def test_replay_exit_zero(self, capsys):
+        assert main(["--replay", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 2:" in out
+        assert "bound" in out
+
+    def test_replay_minimize_on_clean_seed(self, capsys):
+        assert main(["--replay", "2", "--minimize"]) == 0
+        assert "nothing to minimize" in capsys.readouterr().out
+
+
+class TestFailingRun:
+    def test_artifact_written_and_exit_one(self, tmp_path, monkeypatch, capsys):
+        failing = FuzzRunReport(
+            reports=[
+                SeedReport(
+                    seed=7, scenario="uniform", num_riders=3, num_vehicles=1,
+                    alpha=0.33, beta=0.33,
+                    failures=[
+                        FuzzFailure(
+                            seed=7, stage="validate", method="eg",
+                            detail="[capacity_exceeded] planted",
+                        )
+                    ],
+                )
+            ]
+        )
+        monkeypatch.setattr(
+            "repro.check.__main__.run_fuzz",
+            lambda *args, **kwargs: failing,
+        )
+        out_path = tmp_path / "failures.json"
+        code = main(
+            ["--seeds", "1", "--skip-self-test", "--out", str(out_path)]
+        )
+        assert code == 1
+        payload = json.loads(out_path.read_text())
+        assert payload["failing_seeds"] == [7]
+        assert payload["failures"][0]["stage"] == "validate"
+        assert "seed 7" in capsys.readouterr().out

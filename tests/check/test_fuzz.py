@@ -1,0 +1,88 @@
+"""The seeded fuzz harness: clean runs, sandwich checks, shrinking."""
+
+import itertools
+
+from repro.check import (
+    FuzzConfig,
+    differential_check,
+    fuzz_seed,
+    minimize_seed,
+    random_instance,
+    run_fuzz,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_instance(self):
+        a, scen_a = random_instance(17)
+        b, scen_b = random_instance(17)
+        assert scen_a == scen_b
+        assert [(r.source, r.destination, r.pickup_deadline) for r in a.riders] == [
+            (r.source, r.destination, r.pickup_deadline) for r in b.riders
+        ]
+        assert [(v.location, v.capacity) for v in a.vehicles] == [
+            (v.location, v.capacity) for v in b.vehicles
+        ]
+
+    def test_seed_shapes_respect_config(self):
+        config = FuzzConfig(min_riders=2, max_riders=4, max_vehicles=2)
+        for seed in range(6):
+            instance, _ = random_instance(seed, config)
+            assert instance.num_riders <= 4
+            assert 1 <= instance.num_vehicles <= 2
+
+
+class TestFuzzRuns:
+    def test_eight_seeds_clean(self):
+        run = run_fuzz(range(8))
+        assert run.seeds_run == 8
+        assert run.ok, [str(f) for f in run.failures]
+
+    def test_sandwich_recorded(self):
+        report = fuzz_seed(3)
+        assert report.ok
+        assert report.utilities  # at least the heuristics ran
+        for utility in report.utilities.values():
+            assert utility <= report.bound + 1e-6
+        if "opt" in report.utilities:
+            for method, utility in report.utilities.items():
+                assert utility <= report.utilities["opt"] + 1e-6
+
+    def test_budget_stops_the_run(self):
+        run = run_fuzz(itertools.count(), stop_after=0.3)
+        assert run.seeds_run >= 1
+
+    def test_differential_clean_on_solved_schedules(self):
+        from repro.core.solver import solve
+
+        instance, _ = random_instance(9)
+        assignment = solve(instance, method="eg")
+        sequences = [instance.empty_sequence(v) for v in instance.vehicles]
+        sequences.extend(assignment.schedules.values())
+        assert differential_check(instance, sequences) == []
+
+
+class TestMinimize:
+    def test_clean_seed_returns_none(self):
+        assert minimize_seed(1) is None
+
+    def test_shrinks_against_a_predicate(self):
+        """Shrinking a planted failure keeps only what reproduces it."""
+        instance, _ = random_instance(4)
+        assert instance.num_riders >= 2
+        target = instance.riders[-1].rider_id
+
+        def predicate(sub):
+            if any(r.rider_id == target for r in sub.riders):
+                return f"rider {target} present"
+            return None
+
+        repro = minimize_seed(4, predicate=predicate)
+        assert repro is not None
+        assert repro.instance.num_riders == 1
+        assert repro.instance.riders[0].rider_id == target
+        assert repro.instance.num_vehicles == 1
+        assert repro.original_riders == instance.num_riders
+        payload = repro.as_dict()
+        assert payload["seed"] == 4
+        assert len(payload["minimized"]["riders"]) == 1

@@ -47,6 +47,7 @@ class TestRegistry:
             assert fn.__doc__
 
 
+@pytest.mark.slow
 class TestTable4:
     def test_rows_and_dominance(self):
         result = table4_small_instance(seed=4)
@@ -60,6 +61,7 @@ class TestTable4:
 
 
 class TestFig7:
+    @pytest.mark.slow
     def test_histogram_counts(self):
         result = fig7_trip_distribution(num_trips=200)
         nyc = [r for r in result.rows if r.method == "nyc"]
@@ -71,6 +73,7 @@ class TestFig7:
         assert all("1,000 seconds" in n for n in result.notes)
 
 
+@pytest.mark.slow
 class TestFig8:
     @pytest.fixture(scope="class")
     def result(self):
@@ -103,6 +106,7 @@ class TestFig9:
 
 
 class TestFig10:
+    @pytest.mark.slow
     def test_balancing_sweep(self):
         result = fig10_balancing(scale=TINY, methods=("cf", "eg"))
         assert len(result.x_values()) == 4

@@ -74,6 +74,7 @@ class TestRunWithSeeds:
         with pytest.raises(ValueError):
             run_with_seeds(fake_experiment, seeds=())
 
+    @pytest.mark.slow
     def test_on_real_figure_tiny(self):
         """End to end over a real figure at a tiny scale."""
         from repro.experiments.config import ExperimentScale

@@ -66,6 +66,7 @@ class TestSmallInstance:
             (r.source, r.destination) for r in b.riders
         ]
 
+    @pytest.mark.slow
     def test_opt_tractable_and_dominant(self):
         instance = small_instance()
         opt = solve(instance, method="opt")
@@ -75,6 +76,7 @@ class TestSmallInstance:
             heuristic = solve(instance, method=method)
             assert opt.total_utility() >= heuristic.total_utility() - 1e-9
 
+    @pytest.mark.slow
     def test_heuristics_orders_of_magnitude_faster(self):
         instance = small_instance()
         opt = solve(instance, method="opt")
