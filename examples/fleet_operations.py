@@ -33,18 +33,22 @@ FLEET = 20
 PROFILE = [0.6, 1.0, 1.6, 1.4, 0.9, 0.6]  # morning ramp
 
 
-def requests_for_frame(network, oracle, sim, frame, start, length):
+def requests_for_frame(network, oracle, sim, frame, start, length, id_base):
+    # rider ids must be unique across the whole dispatch run — unserved
+    # riders are retried in later frames, so per-frame ids would collide
     trips = sim.generate_frame(start, length, frame)
     riders = []
     for i, t in enumerate(trips):
         shortest = oracle.cost(t.pickup_node, t.dropoff_node)
         riders.append(
             Rider(
-                rider_id=i,
+                rider_id=id_base + i,
                 source=t.pickup_node,
                 destination=t.dropoff_node,
-                pickup_deadline=start + 15.0,
-                dropoff_deadline=start + 15.0 + 1.5 * shortest,
+                # deadlines outlive the frame: riders missed in this frame
+                # stay live and re-enter the next frame's batch
+                pickup_deadline=start + 45.0,
+                dropoff_deadline=start + 45.0 + 1.5 * shortest,
             )
         )
     return riders
@@ -63,20 +67,23 @@ def main() -> None:
     ]
     dispatcher = Dispatcher(network, fleet, method="gbs+eg", oracle=oracle, seed=5)
 
-    print(f"{'frame':>5} {'req':>5} {'served':>7} {'util':>8} "
+    print(f"{'frame':>5} {'req':>5} {'carry':>5} {'served':>7} {'util':>8} "
           f"{'detour':>7} {'shared':>7} {'t':>6}")
     last_assignment = None
+    next_rider_id = 0
     for frame in range(FRAMES):
-        start = frame * dispatcher.frame_length
+        start = dispatcher.clock
         requests = requests_for_frame(
-            network, oracle, sim, frame, start, dispatcher.frame_length
+            network, oracle, sim, frame, start, dispatcher.frame_length,
+            next_rider_id,
         )
+        next_rider_id += len(requests)
         report = dispatcher.dispatch_frame(requests)
         metrics = compute_metrics(report.assignment)
         last_assignment = report.assignment
         print(
-            f"{frame:5d} {report.num_requests:5d} "
-            f"{report.num_served:4d}/{report.num_requests:<3d}"
+            f"{frame:5d} {report.num_requests:5d} {report.num_carried:5d} "
+            f"{report.num_served:4d}/{report.batch_size:<3d}"
             f"{report.utility:8.1f} {metrics.mean_detour_ratio:7.3f} "
             f"{metrics.sharing_rate:7.0%} {report.solver_seconds:5.2f}s"
         )

@@ -11,7 +11,9 @@ redundant counterweight:
 - :mod:`repro.check.fuzz` generates seeded randomized instances, runs all
   solver methods, validates each result, sandwiches heuristics between
   OPT and the analytic upper bound, and pins the fast insertion engine
-  against its reference implementation;
+  against its reference implementation; :func:`fuzz_dispatch_seed` does
+  the same for whole multi-frame dispatcher runs, validating every frame
+  (carried-over commitments included) and the cross-frame invariants;
 - :mod:`repro.check.corruptions` plants known bug classes to prove the
   validator still catches them;
 - ``python -m repro.check`` drives it all from the command line (see
@@ -24,15 +26,19 @@ validates every dispatched frame.
 
 from repro.check.corruptions import CORRUPTIONS, CorruptedCase
 from repro.check.fuzz import (
+    DispatchFuzzConfig,
+    DispatchSeedReport,
     FuzzConfig,
     FuzzFailure,
     FuzzRunReport,
     MinimizedRepro,
     SeedReport,
     differential_check,
+    fuzz_dispatch_seed,
     fuzz_seed,
     minimize_seed,
     random_instance,
+    run_dispatch_fuzz,
     run_fuzz,
 )
 from repro.check.validator import (
@@ -47,6 +53,8 @@ from repro.check.validator import (
 __all__ = [
     "CORRUPTIONS",
     "CorruptedCase",
+    "DispatchFuzzConfig",
+    "DispatchSeedReport",
     "FuzzConfig",
     "FuzzFailure",
     "FuzzRunReport",
@@ -57,9 +65,11 @@ __all__ = [
     "Violation",
     "ViolationKind",
     "differential_check",
+    "fuzz_dispatch_seed",
     "fuzz_seed",
     "minimize_seed",
     "random_instance",
+    "run_dispatch_fuzz",
     "run_fuzz",
     "validate_assignment",
     "validate_schedule",

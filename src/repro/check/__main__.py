@@ -7,8 +7,14 @@ Modes
   dominance sandwich and the insertion-engine differential; the three
   corruption classes are self-tested on every run so a silently-dead
   validator cannot report a clean bill of health.
+- ``--dispatch``: fuzz seeded **multi-frame dispatcher scenarios**
+  instead of single instances — every frame's assignment is
+  independently validated (carried-over commitments and mid-route
+  vehicles included) and the cross-frame invariants are asserted at
+  every boundary.
 - ``--replay SEED``: re-run one seed verbosely (what CI prints for a
-  failing artifact).
+  failing artifact); combine with ``--dispatch`` to replay a dispatcher
+  scenario.
 - ``--replay SEED --minimize``: shrink the failing seed to a minimal
   rider/vehicle subset and print the repro as JSON.
 
@@ -30,9 +36,11 @@ from repro.check.corruptions import CORRUPTIONS
 from repro.check.fuzz import (
     FuzzConfig,
     FuzzRunReport,
+    fuzz_dispatch_seed,
     fuzz_seed,
     minimize_seed,
     random_instance,
+    run_dispatch_fuzz,
     run_fuzz,
 )
 from repro.check.validator import validate_assignment
@@ -109,6 +117,11 @@ def main(argv: Optional[List[str]] = None) -> int:
              "past --seeds until the budget is spent",
     )
     parser.add_argument(
+        "--dispatch", action="store_true",
+        help="fuzz multi-frame dispatcher scenarios instead of "
+             "single instances",
+    )
+    parser.add_argument(
         "--replay", type=int, default=None, metavar="SEED",
         help="re-run one seed verbosely instead of fuzzing",
     )
@@ -129,6 +142,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     verbose = args.verbose
 
     # ------------------------------------------------------------------
+    if args.replay is not None and args.dispatch:
+        dreport = fuzz_dispatch_seed(args.replay)
+        print(
+            f"seed {dreport.seed}: method={dreport.method} "
+            f"frames={dreport.num_frames} vehicles={dreport.num_vehicles} "
+            f"frame_length={dreport.frame_length:.2f} "
+            f"max_retries={dreport.max_retries}"
+        )
+        print(
+            f"  requests={dreport.total_requests} "
+            f"served={dreport.total_served} "
+            f"carried={dreport.total_carried}"
+        )
+        for failure in dreport.failures:
+            print(f"  FAIL {failure}")
+        return 0 if dreport.ok else 1
+
     if args.replay is not None:
         report = fuzz_seed(args.replay)
         print(
@@ -155,6 +185,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if report.ok else 1
 
     # ------------------------------------------------------------------
+    # the self-test plants corruptions into single-instance assignments;
+    # it exercises the same validator the dispatcher mode leans on
     problems = [] if args.skip_self_test else _self_test(verbose)
     for problem in problems:
         print(f"SELF-TEST FAILURE: {problem}")
@@ -183,13 +215,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{len(seed_report.failures)} failure(s))"
             )
 
-    run: FuzzRunReport = run_fuzz(
-        seeds, stop_after=budget, on_seed=progress
-    )
+    if args.dispatch:
+        run: FuzzRunReport = run_dispatch_fuzz(
+            seeds, stop_after=budget, on_seed=progress
+        )
+    else:
+        run = run_fuzz(seeds, stop_after=budget, on_seed=progress)
     elapsed = time.perf_counter() - start
 
+    what = "dispatcher scenarios" if args.dispatch else "seeds"
     print(
-        f"fuzzed {run.seeds_run} seeds in {elapsed:.1f}s: "
+        f"fuzzed {run.seeds_run} {what} in {elapsed:.1f}s: "
         f"{len(run.failing_seeds)} failing, "
         f"{VALIDATION_STATS.schedules} schedules / "
         f"{VALIDATION_STATS.stops} stops re-validated"

@@ -17,8 +17,18 @@ One seed drives one end-to-end trial:
    :func:`repro.core.insertion.arrange_single_rider_reference`,
    rider-by-rider, on the empty and the solved schedules.
 
+A second harness targets the **rolling-horizon dispatcher**
+(:func:`fuzz_dispatch_seed`): one seed drives a whole multi-frame run —
+fleet, frame length, solver method, retry budget and every frame's
+requests are seed-derived; every frame's assignment goes through the
+independent validator (which re-checks carried-over commitments and
+mid-route vehicle state), and the dispatcher's cross-frame invariants
+(ready times ahead of the clock, carry-over queue discipline, conserved
+rider accounting) are asserted at every boundary.
+
 Everything is deterministic in the seed, so any failure is replayable
-(``python -m repro.check --replay SEED``) and shrinkable
+(``python -m repro.check --replay SEED`` /
+``--replay SEED --dispatch``) and shrinkable
 (:func:`minimize_seed` greedily drops riders/vehicles while the failure
 persists) into a minimal repro.
 """
@@ -32,7 +42,10 @@ import numpy as np
 
 from repro.core.assignment import Assignment
 from repro.core.bounds import utility_upper_bound
+from repro.core.dispatch import DispatchError, Dispatcher
 from repro.core.grouping import GroupingPlan, prepare_grouping
+from repro.core.requests import Rider
+from repro.core.vehicles import Vehicle
 from repro.core.insertion import (
     arrange_single_rider,
     arrange_single_rider_reference,
@@ -331,6 +344,294 @@ def fuzz_seed(seed: int, config: Optional[FuzzConfig] = None) -> SeedReport:
                 sequences.extend(assignments[method].schedules.values())
         failures.extend(differential_check(instance, sequences, seed=seed))
     return report
+
+
+# ----------------------------------------------------------------------
+# multi-frame dispatcher fuzzing
+# ----------------------------------------------------------------------
+@dataclass
+class DispatchFuzzConfig:
+    """Shape of the randomized multi-frame dispatcher scenarios."""
+
+    grid_rows: int = 6
+    grid_cols: int = 6
+    num_networks: int = 4
+    min_frames: int = 4            # every scenario spans >= 4 frames
+    max_frames: int = 6
+    min_riders_per_frame: int = 2
+    max_riders_per_frame: int = 5
+    min_vehicles: int = 1
+    max_vehicles: int = 3
+    max_capacity: int = 3
+    methods: Tuple[str, ...] = ("eg", "ba", "cf", "gbs+eg")
+    audit_event_fields: bool = True
+
+
+@dataclass
+class DispatchSeedReport:
+    """Everything one dispatcher fuzz trial produced."""
+
+    seed: int
+    method: str = ""
+    num_frames: int = 0
+    num_vehicles: int = 0
+    frame_length: float = 0.0
+    max_retries: int = 1
+    total_requests: int = 0
+    total_served: int = 0
+    total_carried: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    # keep the FuzzRunReport aggregation happy
+    scenario: str = "dispatch"
+    num_riders: int = 0
+
+
+def _dispatch_requests(
+    network: RoadNetwork,
+    oracle: DistanceOracle,
+    rng: np.random.Generator,
+    count: int,
+    clock: float,
+    frame_length: float,
+    id_start: int,
+) -> List[Rider]:
+    """``count`` seeded requests revealed at ``clock``.
+
+    Deadlines live on the absolute dispatcher clock; pickup slack spans
+    one to several frames so riders are regularly carried over, and the
+    drop-off detour factor keeps shared rides feasible.
+    """
+    riders: List[Rider] = []
+    n = network.num_nodes
+    for i in range(count):
+        source = int(rng.integers(n))
+        destination = int(rng.integers(n))
+        while destination == source:
+            destination = int(rng.integers(n))
+        shortest = oracle.cost(source, destination)
+        pickup = clock + float(rng.uniform(0.5, 3.5)) * frame_length
+        riders.append(
+            Rider(
+                rider_id=id_start + i,
+                source=source,
+                destination=destination,
+                pickup_deadline=pickup,
+                dropoff_deadline=pickup
+                + float(rng.uniform(1.2, 2.5)) * shortest,
+            )
+        )
+    return riders
+
+
+def fuzz_dispatch_seed(
+    seed: int, config: Optional[DispatchFuzzConfig] = None
+) -> DispatchSeedReport:
+    """Run one seeded multi-frame dispatcher scenario through the oracle.
+
+    Every frame's assignment is independently validated (including
+    carried-over commitments and mid-route vehicle state), and the
+    dispatcher's cross-frame invariants are asserted at every boundary:
+
+    - a vehicle's ``ready_time`` is always strictly ahead of the clock
+      (never planned from a location before it arrives there);
+    - onboard rider counts never exceed capacity and every onboard rider
+      has a pending committed drop-off;
+    - the carry-over queue only holds riders with live pickup deadlines
+      and unspent retry budgets;
+    - per-frame accounting conserves riders
+      (``served + expired + carried forward = offered``).
+    """
+    config = config or DispatchFuzzConfig()
+    rng = np.random.default_rng(seed)
+    net_config = FuzzConfig(
+        grid_rows=config.grid_rows,
+        grid_cols=config.grid_cols,
+        num_networks=config.num_networks,
+    )
+    network, oracle = _network_for(net_config, seed)
+
+    method = config.methods[int(rng.integers(len(config.methods)))]
+    alpha, beta = _WEIGHT_PROFILES[int(rng.integers(len(_WEIGHT_PROFILES)))]
+    num_frames = int(
+        rng.integers(config.min_frames, config.max_frames + 1)
+    )
+    num_vehicles = int(
+        rng.integers(config.min_vehicles, config.max_vehicles + 1)
+    )
+    frame_length = float(rng.uniform(3.0, 8.0))
+    max_retries = int(rng.integers(1, 5))
+    fleet = [
+        Vehicle(
+            vehicle_id=j,
+            location=int(rng.integers(network.num_nodes)),
+            capacity=int(rng.integers(1, config.max_capacity + 1)),
+        )
+        for j in range(num_vehicles)
+    ]
+    plan = _plan_for(network) if method.startswith("gbs") else None
+    dispatcher = Dispatcher(
+        network,
+        fleet,
+        method=method,
+        frame_length=frame_length,
+        plan=plan,
+        alpha=alpha,
+        beta=beta,
+        oracle=oracle,
+        seed=seed,
+        max_retries=max_retries,
+    )
+    report = DispatchSeedReport(
+        seed=seed,
+        method=method,
+        num_frames=num_frames,
+        num_vehicles=num_vehicles,
+        frame_length=frame_length,
+        max_retries=max_retries,
+    )
+    failures = report.failures
+
+    def fail(stage: str, detail: str) -> None:
+        failures.append(
+            FuzzFailure(seed=seed, stage=stage, method=method, detail=detail)
+        )
+
+    rider_id = 0
+    for frame in range(num_frames):
+        count = int(
+            rng.integers(
+                config.min_riders_per_frame, config.max_riders_per_frame + 1
+            )
+        )
+        requests = _dispatch_requests(
+            network, oracle, rng, count, dispatcher.clock, frame_length,
+            rider_id,
+        )
+        rider_id += len(requests)
+        pending_before = len(dispatcher.pending_requests)
+        try:
+            frame_report = dispatcher.dispatch_frame(requests)
+        except DispatchError as exc:
+            fail(
+                "dispatch",
+                f"frame {frame}: DispatchError on vehicle "
+                f"{exc.vehicle_id}: {exc.violations[:2]}",
+            )
+            break
+
+        # independent validation of the frame, carried state included
+        instance = frame_report.assignment.instance
+        validation = validate_assignment(
+            instance,
+            frame_report.assignment,
+            audit_event_fields=config.audit_event_fields,
+        )
+        for violation in validation.violations:
+            fail("dispatch_validate", f"frame {frame}: {violation}")
+
+        # cross-frame invariants
+        for vid, fv in dispatcher.fleet.items():
+            if fv.ready_time is not None and fv.ready_time <= dispatcher.clock:
+                fail(
+                    "dispatch",
+                    f"frame {frame}: vehicle {vid} ready_time "
+                    f"{fv.ready_time:.6f} not ahead of clock "
+                    f"{dispatcher.clock:.6f}",
+                )
+            if len(fv.onboard) > fv.capacity:
+                fail(
+                    "dispatch",
+                    f"frame {frame}: vehicle {vid} carries "
+                    f"{len(fv.onboard)} riders (capacity {fv.capacity})",
+                )
+            committed_drops = {
+                s.rider.rider_id
+                for s in fv.committed_stops
+                if s.kind.value == "dropoff"
+            }
+            for r in fv.onboard:
+                if r.rider_id not in committed_drops:
+                    fail(
+                        "dispatch",
+                        f"frame {frame}: onboard rider {r.rider_id} on "
+                        f"vehicle {vid} has no committed drop-off",
+                    )
+        for entry in dispatcher._carryover:
+            if entry.rider.pickup_deadline <= dispatcher.clock:
+                fail(
+                    "dispatch",
+                    f"frame {frame}: dead rider {entry.rider.rider_id} in "
+                    f"the carry-over queue (deadline "
+                    f"{entry.rider.pickup_deadline:.6f} <= clock "
+                    f"{dispatcher.clock:.6f})",
+                )
+            if entry.attempts >= max_retries:
+                fail(
+                    "dispatch",
+                    f"frame {frame}: rider {entry.rider.rider_id} carried "
+                    f"with spent retry budget ({entry.attempts})",
+                )
+
+        # conservation: everything offered is served, expired, or carried
+        offered = frame_report.num_requests + frame_report.num_carried
+        accounted = (
+            frame_report.num_served
+            + frame_report.num_expired
+            + len(dispatcher.pending_requests)
+        )
+        if offered != accounted:
+            fail(
+                "dispatch",
+                f"frame {frame}: rider accounting leaks: offered {offered} "
+                f"!= served {frame_report.num_served} + expired "
+                f"{frame_report.num_expired} + carried "
+                f"{len(dispatcher.pending_requests)}",
+            )
+        if frame_report.num_carried != pending_before:
+            fail(
+                "dispatch",
+                f"frame {frame}: num_carried {frame_report.num_carried} != "
+                f"queue size before the frame {pending_before}",
+            )
+        report.total_carried += frame_report.num_carried
+
+    report.total_requests = dispatcher.total_requests
+    report.total_served = dispatcher.total_served
+    report.num_riders = rider_id
+    if dispatcher.total_served > dispatcher.total_requests:
+        fail(
+            "dispatch",
+            f"served {dispatcher.total_served} riders out of "
+            f"{dispatcher.total_requests} submitted",
+        )
+    return report
+
+
+def run_dispatch_fuzz(
+    seeds: Iterable[int],
+    config: Optional[DispatchFuzzConfig] = None,
+    stop_after: Optional[float] = None,
+    on_seed: Optional[Callable[[DispatchSeedReport], None]] = None,
+) -> "FuzzRunReport":
+    """Fuzz multi-frame dispatcher scenarios over a sequence of seeds."""
+    import time
+
+    config = config or DispatchFuzzConfig()
+    run = FuzzRunReport()
+    start = time.perf_counter()
+    for seed in seeds:
+        if stop_after is not None and time.perf_counter() - start >= stop_after:
+            break
+        report = fuzz_dispatch_seed(seed, config)
+        run.reports.append(report)
+        if on_seed is not None:
+            on_seed(report)
+    return run
 
 
 @dataclass

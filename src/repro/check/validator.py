@@ -59,6 +59,7 @@ class ViolationKind(enum.Enum):
     MALFORMED_STOP = "malformed_stop"
     DUPLICATE_ASSIGNMENT = "duplicate_assignment"
     VEHICLE_STATE_MISMATCH = "vehicle_state_mismatch"
+    COMMITMENT_DROPPED = "commitment_dropped"
     EVENT_FIELD_MISMATCH = "event_field_mismatch"
     UTILITY_MISMATCH = "utility_mismatch"
 
@@ -177,6 +178,9 @@ def _walk_schedule(
     oracle = instance.oracle
     assert oracle is not None
     vehicle = instance.vehicle(vehicle_id)
+    # riders the vehicle carried in from an earlier dispatch frame: their
+    # stops are legal even though they are not in this frame's requests
+    carried_ids = vehicle.committed_rider_ids()
 
     arrivals: List[float] = []
     leg_costs: List[float] = []
@@ -191,9 +195,9 @@ def _walk_schedule(
         rid = stop.rider.rider_id
         rider = instance._riders_by_id.get(rid)
         if rider is None:
-            # an initial-onboard rider's drop-off is legal even when the
-            # rider is not part of this frame's requests
-            if rid in seq.initial_onboard and stop.kind is StopKind.DROPOFF:
+            if rid in carried_ids:
+                # a carried-over rider (onboard or committed last frame);
+                # its request data travels with the stop
                 rider = stop.rider
             else:
                 out.append(
@@ -418,9 +422,11 @@ def _rederive_utility(
         d = walk.dropoff_index.get(rid)
         if d is None:
             continue  # already reported as an order violation
-        rider = instance._riders_by_id.get(rid)
-        if rider is None:
-            continue  # already reported as a malformed stop
+        # carried-over riders (committed in an earlier frame) are not in
+        # this frame's requests but still count towards the objective —
+        # exactly as the production model counts every pickup in the
+        # schedule; their request data travels with the stop
+        rider = instance._riders_by_id.get(rid, seq.stops[p].rider)
         legs = range(p + 1, d + 1)
         ride_cost = sum(walk.leg_costs[j] for j in legs)
 
@@ -492,13 +498,49 @@ def validate_schedule(
                 vehicle_id=vehicle_id,
             )
         )
-    if abs(seq.start_time - instance.start_time) > TIME_EPS:
+    # the effective start is per-vehicle: a carried-over vehicle is only
+    # plannable from the completion of its in-flight leg (``ready_time``),
+    # never from a location before it actually arrives there
+    effective_start = instance.start_time
+    if vehicle.ready_time is not None and vehicle.ready_time > effective_start:
+        effective_start = vehicle.ready_time
+    if abs(seq.start_time - effective_start) > TIME_EPS:
         violations.append(
             Violation(
                 ViolationKind.VEHICLE_STATE_MISMATCH,
-                f"schedule start time {seq.start_time} != instance start "
-                f"time {instance.start_time}",
+                f"schedule start time {seq.start_time} != vehicle's "
+                f"effective start time {effective_start} "
+                f"(instance start {instance.start_time}, vehicle ready "
+                f"{vehicle.ready_time})",
                 vehicle_id=vehicle_id,
+            )
+        )
+
+    onboard_ids = {r.rider_id for r in vehicle.onboard}
+    if seq.initial_onboard != onboard_ids:
+        violations.append(
+            Violation(
+                ViolationKind.COMMITMENT_DROPPED,
+                f"schedule onboard set {sorted(seq.initial_onboard)} != "
+                f"vehicle's carried onboard riders {sorted(onboard_ids)}",
+                vehicle_id=vehicle_id,
+            )
+        )
+    # every committed stop must survive, in order, in the new schedule
+    pos = 0
+    chain = vehicle.committed_stops
+    for stop in seq.stops:
+        if pos < len(chain) and stop == chain[pos]:
+            pos += 1
+    if pos < len(chain):
+        missing = chain[pos]
+        violations.append(
+            Violation(
+                ViolationKind.COMMITMENT_DROPPED,
+                f"committed stop {missing!r} dropped or reordered "
+                f"({pos}/{len(chain)} commitments honoured)",
+                vehicle_id=vehicle_id,
+                rider_id=missing.rider.rider_id,
             )
         )
 

@@ -127,7 +127,9 @@ def _try_replace(
     Try removing each rider currently assigned to ``vehicle`` and inserting
     ``rider`` instead; accept the best swap that strictly reduces the
     vehicle's travel cost and strictly improves its schedule utility.
-    Returns the replaced rider (to be re-pooled), or ``None``.
+    Returns the replaced rider (to be re-pooled), or ``None``.  Riders
+    committed in an earlier dispatch frame (and riders already in the car)
+    are never considered as victims.
     """
     seq = state.schedule(vehicle.vehicle_id)
     old_cost = seq.total_cost
@@ -135,7 +137,7 @@ def _try_replace(
     best_gain = 0.0
     best_seq: Optional[TransferSequence] = None
     best_bumped: Optional[Rider] = None
-    for victim in seq.assigned_riders():
+    for victim in seq.removable_riders():
         reduced = seq.without_rider(victim.rider_id)
         insertion = arrange_single_rider(reduced, rider)
         if insertion is None:

@@ -24,6 +24,7 @@ from typing import Dict, Set
 from repro.core.assignment import Assignment
 from repro.core.instance import URRInstance
 from repro.core.requests import Rider
+from repro.core.schedule import StopKind
 
 
 @dataclass(frozen=True)
@@ -49,11 +50,13 @@ def serviceable_riders(instance: URRInstance) -> Set[int]:
     and competition are ignored, so the set over-approximates.
     """
     cost = instance.cost
-    t0 = instance.start_time
     result: Set[int] = set()
     for rider in instance.riders:
         direct = cost(rider.source, rider.destination)
         for vehicle in instance.vehicles:
+            # a carried-over vehicle is only plannable from its per-vehicle
+            # ready time (the completion of its in-flight leg)
+            t0 = instance.vehicle_start_time(vehicle)
             pickup_at = t0 + cost(vehicle.location, rider.source)
             if pickup_at > rider.pickup_deadline + 1e-9:
                 continue
@@ -65,12 +68,20 @@ def serviceable_riders(instance: URRInstance) -> Set[int]:
 
 
 def utility_upper_bound(instance: URRInstance) -> BoundReport:
-    """Sound upper bound on the Definition 4 objective."""
+    """Sound upper bound on the Definition 4 objective.
+
+    Riders committed to a vehicle in an earlier dispatch frame also count
+    towards the objective (their pickups sit in the vehicle's residual
+    plan), so they contribute to the bound too — pinned to their vehicle's
+    ``mu_v`` and with similarity capped at 1 (carried riders may co-ride
+    with anyone in the new batch).
+    """
     alpha, beta = instance.alpha, instance.beta
     gamma = 1.0 - alpha - beta
     reachable = serviceable_riders(instance)
     per_rider: Dict[int, float] = {}
-    riders_by_id = {r.rider_id: r for r in instance.riders}
+    other_ids = {r.rider_id for r in instance.riders}
+    carried_any = any(v.committed_stops or v.onboard for v in instance.vehicles)
     for rider in instance.riders:
         if rider.rider_id not in reachable:
             per_rider[rider.rider_id] = 0.0
@@ -83,15 +94,31 @@ def utility_upper_bound(instance: URRInstance) -> BoundReport:
         if beta > 0:
             best_similarity = max(
                 (
-                    instance.similarity(rider.rider_id, other.rider_id)
-                    for other in instance.riders
-                    if other.rider_id != rider.rider_id
+                    instance.similarity(rider.rider_id, other_id)
+                    for other_id in other_ids
+                    if other_id != rider.rider_id
                 ),
                 default=0.0,
             )
+            if carried_any:
+                # a carried rider may still share a leg with this one and
+                # we only know carried riders by id, so cap at s_max = 1
+                best_similarity = 1.0
         per_rider[rider.rider_id] = (
             alpha * best_mu_v + beta * best_similarity + gamma * 1.0
         )
+    # committed carried riders: served by construction, pinned to their
+    # vehicle (an earlier frame assigned them there and commitments hold)
+    for vehicle in instance.vehicles:
+        for stop in vehicle.committed_stops:
+            if stop.kind is not StopKind.PICKUP:
+                continue
+            rider = stop.rider
+            per_rider[rider.rider_id] = (
+                alpha * instance.vehicle_utility(rider, vehicle)
+                + beta * (1.0 if beta > 0 else 0.0)
+                + gamma * 1.0
+            )
     unreachable = {r.rider_id for r in instance.riders} - reachable
     return BoundReport(
         total=sum(per_rider.values()),

@@ -2,24 +2,33 @@
 
 The paper's experiments solve one 30-minute frame at a time (Section
 7.1.2); real deployments do this continuously.  :class:`Dispatcher`
-packages the pattern as a library feature:
+packages the pattern as a library feature with a *time-consistent* state
+machine:
 
-- the fleet's positions roll forward between frames (each vehicle idles at
-  its last drop-off);
-- every frame's new requests are solved against the *current* fleet with
-  any of the paper's approaches;
-- per-frame and cumulative metrics (service rate, utility, travel cost)
-  are tracked for operations dashboards.
+- every frame's solved schedules are **committed as in-flight plans**:
+  riders promised a ride stay promised, and the residual plan rides into
+  the next frame as the vehicle's ``committed_stops`` / ``onboard`` state;
+- advancing the clock by ``frame_length`` walks each vehicle's plan
+  event-by-event (using the schedule's exact arrival times) to its true
+  position at the new clock — a vehicle mid-leg is anchored at the stop it
+  is driving towards, plannable only from its arrival time there, and is
+  **never used from a location before its arrival time at it**;
+- unserved riders whose pickup deadline is still live re-enter the next
+  frame's batch through a bounded-retry carry-over queue; the rest expire;
+- an invalid frame raises a typed :class:`DispatchError` naming the
+  offending vehicle, or — with ``degrade=True`` — drops that vehicle's
+  *new* insertions (its earlier commitments are kept) and carries the
+  affected riders over instead of failing the whole frame.
 
 This is the online counterpart the Related Work section contrasts with
 ([25], [20]): requests within a frame are batched — between frames the
-system state carries over.
+system state carries over *consistently*.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -27,6 +36,7 @@ from repro.core.assignment import Assignment
 from repro.core.grouping import GroupingPlan
 from repro.core.instance import URRInstance
 from repro.core.requests import Rider
+from repro.core.schedule import Stop, StopKind, TransferSequence
 from repro.core.solver import solve
 from repro.core.vehicles import Vehicle
 from repro.roadnet.graph import RoadNetwork
@@ -34,34 +44,108 @@ from repro.roadnet.oracle import DistanceOracle
 from repro.social.graph import SocialNetwork
 from repro.workload.instances import synthetic_vehicle_utilities
 
+_EPS = 1e-9
+
+
+class DispatchError(RuntimeError):
+    """A dispatch frame produced an invalid fleet plan.
+
+    Carries enough structure for operational handling: the frame index,
+    the first offending vehicle (``None`` for cross-vehicle violations
+    such as a rider assigned twice) and the full violation list.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        frame_index: int,
+        vehicle_id: Optional[int] = None,
+        violations: Optional[Sequence[str]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.frame_index = frame_index
+        self.vehicle_id = vehicle_id
+        self.violations: List[str] = list(violations or ())
+
+
+@dataclass
+class CarriedRequest:
+    """A request waiting in the carry-over queue.
+
+    ``attempts`` counts the frames the rider has already been offered to
+    the solver; a rider is carried while ``attempts < max_retries`` and
+    its pickup deadline is still ahead of the next frame's clock.
+    """
+
+    rider: Rider
+    attempts: int = 1
+    first_frame: int = 0
+
 
 @dataclass
 class FrameReport:
-    """Outcome of dispatching one time frame."""
+    """Outcome of dispatching one time frame.
+
+    ``num_requests`` counts only the *new* requests submitted this frame;
+    riders retried from the carry-over queue appear in ``num_carried``
+    instead, so summing ``num_requests`` across frames counts every rider
+    exactly once and cumulative service rates do not double-count retried
+    riders.  ``utility`` and ``travel_cost`` are *incremental*: the value
+    added by this frame's insertions over the carried-in residual plans
+    (commitments are counted once, in the frame that made them).
+    """
 
     frame_index: int
     frame_start: float
     num_requests: int
+    num_carried: int
     num_served: int
+    num_expired: int
     utility: float
     travel_cost: float
     solver_seconds: float
     assignment: Assignment
 
     @property
+    def batch_size(self) -> int:
+        """Riders offered to the solver this frame (new + retried)."""
+        return self.num_requests + self.num_carried
+
+    @property
     def service_rate(self) -> float:
-        return self.num_served / self.num_requests if self.num_requests else 0.0
+        return self.num_served / self.batch_size if self.batch_size else 0.0
 
 
 @dataclass
 class FleetVehicle:
-    """A vehicle's dispatcher-side state."""
+    """A vehicle's dispatcher-side state.
+
+    ``location`` / ``ready_time`` / ``onboard`` / ``committed_stops``
+    mirror :class:`~repro.core.vehicles.Vehicle`'s carried-over fields and
+    are rewritten by the rollforward after every frame.  ``total_cost``
+    accumulates each frame's *incremental* travel cost (committed legs are
+    charged once, when first planned).
+    """
 
     vehicle_id: int
     location: int
     capacity: int
+    ready_time: Optional[float] = None
+    onboard: Tuple[Rider, ...] = ()
+    committed_stops: Tuple[Stop, ...] = ()
     total_cost: float = 0.0
     riders_served: int = 0
+
+    def as_vehicle(self) -> Vehicle:
+        """The solver-side view of this vehicle for the next frame."""
+        return Vehicle(
+            vehicle_id=self.vehicle_id,
+            location=self.location,
+            capacity=self.capacity,
+            ready_time=self.ready_time,
+            onboard=self.onboard,
+            committed_stops=self.committed_stops,
+        )
 
 
 class Dispatcher:
@@ -86,6 +170,16 @@ class Dispatcher:
         Optional social network shared by all frames.
     seed:
         Seed for the per-frame vehicle-preference matrices.
+    max_retries:
+        Total frames a rider may be offered to the solver (1 = no
+        carry-over).  Unserved riders still inside their pickup deadline
+        re-enter the next frame's batch until the budget is spent.
+    degrade:
+        When a frame's plan is invalid, drop the offending vehicles' *new*
+        insertions (keeping their earlier commitments) and carry the
+        affected riders over, instead of raising :class:`DispatchError`.
+        If even the carried-in residual plan is broken the error is raised
+        regardless (state corruption must never propagate).
     validate_frames:
         Debug hook: run every frame's assignment through the independent
         :func:`repro.check.validate_assignment` oracle and raise
@@ -106,6 +200,8 @@ class Dispatcher:
         social: Optional[SocialNetwork] = None,
         oracle: Optional[DistanceOracle] = None,
         seed: int = 0,
+        max_retries: int = 3,
+        degrade: bool = False,
         validate_frames: bool = False,
     ) -> None:
         ids = [v.vehicle_id for v in fleet]
@@ -113,6 +209,8 @@ class Dispatcher:
             raise ValueError("fleet vehicle ids must be unique")
         if not fleet:
             raise ValueError("fleet must contain at least one vehicle")
+        if max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
         self.network = network
         self.oracle = oracle or DistanceOracle(network)
         self.method = method
@@ -122,22 +220,40 @@ class Dispatcher:
         self.beta = beta
         self.social = social
         self.seed = seed
+        self.max_retries = max_retries
+        self.degrade = degrade
         self.validate_frames = validate_frames
         self.fleet: Dict[int, FleetVehicle] = {
             v.vehicle_id: FleetVehicle(
-                vehicle_id=v.vehicle_id, location=v.location, capacity=v.capacity
+                vehicle_id=v.vehicle_id,
+                location=v.location,
+                capacity=v.capacity,
+                ready_time=v.ready_time,
+                onboard=v.onboard,
+                committed_stops=v.committed_stops,
             )
             for v in fleet
         }
         self.reports: List[FrameReport] = []
         self._frame_index = 0
         self._clock = 0.0
+        self._carryover: List[CarriedRequest] = []
+        self._seen_rider_ids: Set[int] = set()
+        # mu_v rows pinned for riders that outlive their first frame
+        # (committed or carried), so their utility stays stable across the
+        # per-frame resampling of the preference matrix
+        self._pinned_utilities: Dict[int, Dict[int, float]] = {}
 
     # ------------------------------------------------------------------
     @property
     def clock(self) -> float:
         """Current dispatcher time (start of the next frame)."""
         return self._clock
+
+    @property
+    def pending_requests(self) -> List[Rider]:
+        """Riders currently waiting in the carry-over queue."""
+        return [entry.rider for entry in self._carryover]
 
     def fleet_locations(self) -> Dict[int, int]:
         return {vid: fv.location for vid, fv in self.fleet.items()}
@@ -146,51 +262,301 @@ class Dispatcher:
     def dispatch_frame(self, requests: Sequence[Rider]) -> FrameReport:
         """Solve one frame of requests against the current fleet state.
 
-        Requests must satisfy their own deadline ordering; deadlines are
-        interpreted on the same absolute clock the dispatcher advances.
-        Returns the frame report (also appended to :attr:`reports`) and
-        rolls every vehicle forward to its final scheduled stop.
+        Deadlines are interpreted on the same absolute clock the
+        dispatcher advances; rider ids must be unique across the whole
+        run (riders committed or carried over from earlier frames remain
+        live).  Returns the frame report (also appended to
+        :attr:`reports`) after rolling every vehicle forward to its true
+        position at the next frame's clock.
         """
-        instance = self._build_instance(list(requests))
+        new_riders = list(requests)
+        self._check_new_ids(new_riders)
+        carried = self._carryover
+        self._carryover = []
+        batch = new_riders + [entry.rider for entry in carried]
+        batch_ids = {r.rider_id for r in batch}
+
+        instance = self._build_instance(batch)
+        baselines = {
+            v.vehicle_id: instance.initial_sequence(v) for v in instance.vehicles
+        }
         assignment = solve(instance, method=self.method, plan=self.plan)
-        errors = assignment.validity_errors()
-        if errors:
-            raise AssertionError(f"dispatcher produced invalid frame: {errors[:3]}")
+        assignment = self._enforce_validity(instance, assignment, baselines)
         if self.validate_frames:
             # imported lazily: repro.check depends on repro.core
             from repro.check.validator import validate_assignment
 
             validate_assignment(instance, assignment).raise_if_invalid()
 
-        frame_cost = 0.0
-        for vid, seq in assignment.schedules.items():
-            fleet_vehicle = self.fleet[vid]
-            if seq.stops:
-                fleet_vehicle.location = seq.stops[-1].location
-            fleet_vehicle.total_cost += seq.total_cost
-            fleet_vehicle.riders_served += len(seq.assigned_riders())
-            frame_cost += seq.total_cost
+        # incremental accounting: what this frame's insertions added over
+        # the carried-in residual plans
+        model = instance.utility_model()
+        baseline_utility = sum(
+            model.schedule_utility(instance.vehicle(vid), seq)
+            for vid, seq in baselines.items()
+        )
+        baseline_cost = sum(seq.total_cost for seq in baselines.values())
+        frame_utility = assignment.total_utility() - baseline_utility
+        frame_cost = assignment.total_travel_cost() - baseline_cost
+        served_ids = assignment.served_rider_ids() & batch_ids
+
+        next_clock = self._clock + self.frame_length
+        for vid, fv in self.fleet.items():
+            seq = assignment.schedules.get(vid, baselines[vid])
+            fv.total_cost += seq.total_cost - baselines[vid].total_cost
+            fv.riders_served += sum(
+                1 for r in seq.assigned_riders() if r.rider_id in batch_ids
+            )
+            self._roll_vehicle(fv, seq, next_clock)
+
+        num_expired = self._update_carryover(
+            new_riders, carried, served_ids, next_clock
+        )
+        self._pin_utilities(instance)
 
         report = FrameReport(
             frame_index=self._frame_index,
             frame_start=self._clock,
-            num_requests=len(requests),
-            num_served=assignment.num_served,
-            utility=assignment.total_utility(),
+            num_requests=len(new_riders),
+            num_carried=len(carried),
+            num_served=len(served_ids),
+            num_expired=num_expired,
+            utility=frame_utility,
             travel_cost=frame_cost,
             solver_seconds=assignment.elapsed_seconds,
             assignment=assignment,
         )
         self.reports.append(report)
         self._frame_index += 1
-        self._clock += self.frame_length
+        self._clock = next_clock
         return report
+
+    # ------------------------------------------------------------------
+    # frame internals
+    # ------------------------------------------------------------------
+    def _check_new_ids(self, new_riders: List[Rider]) -> None:
+        ids = [r.rider_id for r in new_riders]
+        if len(set(ids)) != len(ids):
+            raise ValueError("frame requests contain duplicate rider ids")
+        clash = set(ids) & self._seen_rider_ids
+        if clash:
+            raise ValueError(
+                f"rider ids must be unique across the dispatch run; "
+                f"already seen: {sorted(clash)[:5]}"
+            )
+        self._seen_rider_ids.update(ids)
+
+    def _enforce_validity(
+        self,
+        instance: URRInstance,
+        assignment: Assignment,
+        baselines: Dict[int, TransferSequence],
+    ) -> Assignment:
+        """Audit the frame's plan; raise :class:`DispatchError` or degrade.
+
+        Per-vehicle checks: schedule validity (deadlines, order, capacity)
+        plus commitment integrity — the carried-in onboard riders and
+        committed stops must survive, in order, in the new schedule.
+        """
+        offending: Dict[int, List[str]] = {}
+        for vehicle in instance.vehicles:
+            seq = assignment.schedules.get(vehicle.vehicle_id)
+            if seq is None:
+                if vehicle.has_carried_state:
+                    offending[vehicle.vehicle_id] = [
+                        "carried-over plan missing from the assignment"
+                    ]
+                continue
+            errors = seq.validity_errors()
+            errors.extend(self._commitment_errors(vehicle, seq))
+            if errors:
+                offending[vehicle.vehicle_id] = errors
+
+        duplicates: List[str] = []
+        seen: Dict[int, int] = {}
+        for vid, seq in assignment.schedules.items():
+            for rider in seq.assigned_riders():
+                if rider.rider_id in seen and seen[rider.rider_id] != vid:
+                    duplicates.append(
+                        f"rider {rider.rider_id} assigned to vehicles "
+                        f"{seen[rider.rider_id]} and {vid}"
+                    )
+                seen.setdefault(rider.rider_id, vid)
+
+        if not offending and not duplicates:
+            return assignment
+        if not self.degrade:
+            vid, violations = (
+                next(iter(offending.items())) if offending else (None, duplicates)
+            )
+            raise DispatchError(
+                f"frame {self._frame_index} produced an invalid plan "
+                f"({'vehicle ' + str(vid) if vid is not None else 'cross-vehicle'}): "
+                f"{violations[0]}",
+                frame_index=self._frame_index,
+                vehicle_id=vid,
+                violations=list(violations) + duplicates,
+            )
+
+        # degrade: revert offending vehicles to their carried-in residual
+        # plan; their newly inserted riders fall back into the carry-over
+        # pool via the normal unserved path
+        for vid in offending:
+            assignment.schedules[vid] = baselines[vid]
+        remaining = assignment.validity_errors()
+        for vehicle in instance.vehicles:
+            seq = assignment.schedules.get(vehicle.vehicle_id)
+            if seq is not None:
+                remaining.extend(self._commitment_errors(vehicle, seq))
+        if remaining:
+            # the carried-in state itself is broken — degrading cannot help
+            raise DispatchError(
+                f"frame {self._frame_index} invalid even after degrading "
+                f"{sorted(offending)}: {remaining[0]}",
+                frame_index=self._frame_index,
+                vehicle_id=sorted(offending)[0] if offending else None,
+                violations=remaining,
+            )
+        return assignment
+
+    def _commitment_errors(
+        self, vehicle: Vehicle, seq: TransferSequence
+    ) -> List[str]:
+        """Violations of the carried-over commitments in a new schedule."""
+        errors: List[str] = []
+        onboard_ids = {r.rider_id for r in vehicle.onboard}
+        if seq.initial_onboard != onboard_ids:
+            errors.append(
+                f"onboard riders changed: expected {sorted(onboard_ids)}, "
+                f"schedule has {sorted(seq.initial_onboard)}"
+            )
+        start = max(
+            self._clock,
+            vehicle.ready_time if vehicle.ready_time is not None else self._clock,
+        )
+        if abs(seq.start_time - start) > _EPS:
+            errors.append(
+                f"schedule starts at {seq.start_time:g} but the vehicle is "
+                f"only plannable from {start:g}"
+            )
+        # committed stops must appear as an ordered subsequence
+        pos = 0
+        chain = vehicle.committed_stops
+        for stop in seq.stops:
+            if pos < len(chain) and stop == chain[pos]:
+                pos += 1
+        if pos < len(chain):
+            errors.append(
+                f"committed stop {chain[pos]!r} dropped or reordered "
+                f"({pos}/{len(chain)} honoured)"
+            )
+        return errors
+
+    def _roll_vehicle(
+        self, fv: FleetVehicle, seq: TransferSequence, next_clock: float
+    ) -> None:
+        """Walk a vehicle's committed plan to its state at ``next_clock``.
+
+        Stops with arrival at or before ``next_clock`` are executed.  If
+        any remain, the vehicle is mid-leg towards the first of them: it
+        is anchored at that stop's location with ``ready_time`` equal to
+        its exact arrival there (the stop's pickup/drop-off takes effect
+        at that moment), and the rest of the plan becomes the residual
+        ``committed_stops``.  Re-deriving the schedule from the new anchor
+        reproduces the original arrival times exactly, so commitments stay
+        feasible and the vehicle is never planned from a location before
+        it arrives there.
+        """
+        onboard: Dict[int, Rider] = {r.rider_id: r for r in fv.onboard}
+        stops = seq.stops
+        arrive = seq.arrive
+        n = len(stops)
+        k = 0
+        while k < n and arrive[k] <= next_clock + _EPS:
+            self._apply_stop(onboard, stops[k])
+            k += 1
+        if k < n:
+            # mid-leg: committed to reaching stops[k] at arrive[k]
+            self._apply_stop(onboard, stops[k])
+            fv.location = stops[k].location
+            fv.ready_time = arrive[k]
+            fv.onboard = tuple(onboard.values())
+            fv.committed_stops = tuple(stops[k + 1:])
+            return
+        # plan finished by next_clock: idle at the last stop (or, with no
+        # stops at all, still finishing a previous frame's in-flight leg)
+        if n:
+            fv.location = stops[-1].location
+            fv.ready_time = None
+        elif fv.ready_time is not None and fv.ready_time <= next_clock + _EPS:
+            fv.ready_time = None
+        fv.onboard = tuple(onboard.values())
+        fv.committed_stops = ()
+
+    @staticmethod
+    def _apply_stop(onboard: Dict[int, Rider], stop: Stop) -> None:
+        if stop.kind is StopKind.PICKUP:
+            onboard[stop.rider.rider_id] = stop.rider
+        else:
+            onboard.pop(stop.rider.rider_id, None)
+
+    def _update_carryover(
+        self,
+        new_riders: List[Rider],
+        carried: List[CarriedRequest],
+        served_ids: Set[int],
+        next_clock: float,
+    ) -> int:
+        """Refill the carry-over queue; returns the number of expirations.
+
+        A rider expires when its retry budget is spent or its pickup
+        deadline is no longer ahead of the next frame's clock (a dead
+        request would only burn solver time).
+        """
+        num_expired = 0
+        for entry in carried:
+            entry.attempts += 1
+        entries = carried + [
+            CarriedRequest(rider=r, attempts=1, first_frame=self._frame_index)
+            for r in new_riders
+        ]
+        for entry in entries:
+            rider = entry.rider
+            if rider.rider_id in served_ids:
+                continue
+            if (
+                entry.attempts >= self.max_retries
+                or rider.pickup_deadline <= next_clock + _EPS
+            ):
+                num_expired += 1
+            else:
+                self._carryover.append(entry)
+        return num_expired
+
+    def _pin_utilities(self, instance: URRInstance) -> None:
+        """Keep mu_v rows stable for riders that outlive this frame."""
+        live: Set[int] = {entry.rider.rider_id for entry in self._carryover}
+        for fv in self.fleet.values():
+            live.update(r.rider_id for r in fv.onboard)
+            live.update(s.rider.rider_id for s in fv.committed_stops)
+        pinned: Dict[int, Dict[int, float]] = {}
+        for rid in live:
+            row = self._pinned_utilities.get(rid)
+            if row is None:
+                row = {
+                    vid: instance.vehicle_utilities[(rid, vid)]
+                    for vid in self.fleet
+                    if (rid, vid) in instance.vehicle_utilities
+                }
+            pinned[rid] = row
+        self._pinned_utilities = pinned
 
     # ------------------------------------------------------------------
     # cumulative metrics
     # ------------------------------------------------------------------
     @property
     def total_requests(self) -> int:
+        """Unique requests ever submitted (retries are not re-counted)."""
         return sum(r.num_requests for r in self.reports)
 
     @property
@@ -198,11 +564,16 @@ class Dispatcher:
         return sum(r.num_served for r in self.reports)
 
     @property
+    def total_expired(self) -> int:
+        return sum(r.num_expired for r in self.reports)
+
+    @property
     def total_utility(self) -> float:
         return sum(r.utility for r in self.reports)
 
     @property
     def service_rate(self) -> float:
+        """Served / unique submitted — free of retry double-counting."""
         total = self.total_requests
         return self.total_served / total if total else 0.0
 
@@ -225,13 +596,12 @@ class Dispatcher:
 
     # ------------------------------------------------------------------
     def _build_instance(self, riders: List[Rider]) -> URRInstance:
-        vehicles = [
-            Vehicle(vehicle_id=fv.vehicle_id, location=fv.location,
-                    capacity=fv.capacity)
-            for fv in self.fleet.values()
-        ]
+        vehicles = [fv.as_vehicle() for fv in self.fleet.values()]
         rng = np.random.default_rng(self.seed + self._frame_index)
         matrix = synthetic_vehicle_utilities(riders, vehicles, rng)
+        for rid, row in self._pinned_utilities.items():
+            for vid, value in row.items():
+                matrix[(rid, vid)] = value
         return URRInstance(
             network=self.network,
             riders=riders,

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.assignment import Assignment
 from repro.core.instance import URRInstance
 from repro.core.requests import Rider
-from repro.core.schedule import Stop, TransferSequence
+from repro.core.schedule import Stop, StopKind, TransferSequence
 from repro.core.utility import UtilityModel
 from repro.core.vehicles import Vehicle
 
@@ -54,8 +54,9 @@ def solve_optimal(instance: URRInstance, max_riders: int = 10) -> Assignment:
     # layer 1: best schedule per (vehicle, rider subset)
     best_schedule: List[Dict[int, Tuple[float, Optional[TransferSequence]]]] = []
     for vehicle in vehicles:
+        baseline = instance.initial_sequence(vehicle)
         table: Dict[int, Tuple[float, Optional[TransferSequence]]] = {
-            0: (0.0, instance.empty_sequence(vehicle))
+            0: (model.schedule_utility(vehicle, baseline), baseline)
         }
         for mask in range(1, full + 1):
             subset = [riders[i] for i in range(m) if mask & (1 << i)]
@@ -111,34 +112,55 @@ def _best_sequence_for_subset(
 
     Depth-first search over interleavings: at each step extend the partial
     stop list with either a not-yet-picked rider's pickup (if capacity
-    allows) or an onboard rider's drop-off, pruning on deadlines.
-    Returns ``(-inf, None)`` when no valid sequence exists.
+    allows), an onboard rider's drop-off, or — for a vehicle carried over
+    from an earlier dispatch frame — the next *committed* stop of its
+    residual plan (committed stops keep their relative order and must all
+    be served), pruning on deadlines.  Returns ``(-inf, None)`` when no
+    valid sequence exists.
     """
     best_utility = NEG_INF
     best_stops: Optional[List[Stop]] = None
     cost = instance.cost
-    t0 = instance.start_time
+    t0 = instance.vehicle_start_time(vehicle)
+    chain = list(vehicle.committed_stops)  # fixed-order residual plan
+    n_chain = len(chain)
+    chain_is_pickup = [s.kind is StopKind.PICKUP for s in chain]
 
     riders = list(subset)
     k = len(riders)
     stops: List[Stop] = []
 
+    def make_sequence(seq_stops: List[Stop]) -> TransferSequence:
+        return TransferSequence(
+            origin=vehicle.location,
+            start_time=t0,
+            capacity=vehicle.capacity,
+            cost=cost,
+            stops=seq_stops,
+            initial_onboard=vehicle.onboard,
+            committed=vehicle.committed_rider_ids(),
+        )
+
     def dfs(current_loc: int, current_time: float, onboard: int,
-            picked_mask: int, dropped_mask: int) -> None:
+            picked_mask: int, dropped_mask: int, chain_pos: int) -> None:
         nonlocal best_utility, best_stops
-        if dropped_mask == (1 << k) - 1:
-            seq = TransferSequence(
-                origin=vehicle.location,
-                start_time=t0,
-                capacity=vehicle.capacity,
-                cost=cost,
-                stops=list(stops),
-            )
-            utility = model.schedule_utility(vehicle, seq)
+        if dropped_mask == (1 << k) - 1 and chain_pos == n_chain:
+            utility = model.schedule_utility(vehicle, make_sequence(list(stops)))
             if utility > best_utility:
                 best_utility = utility
                 best_stops = list(stops)
             return
+        if chain_pos < n_chain:
+            stop = chain[chain_pos]
+            pickup = chain_is_pickup[chain_pos]
+            if not (pickup and onboard >= vehicle.capacity):
+                arrival = current_time + cost(current_loc, stop.location)
+                if arrival <= stop.deadline + 1e-9:
+                    stops.append(stop)
+                    dfs(stop.location, arrival,
+                        onboard + (1 if pickup else -1),
+                        picked_mask, dropped_mask, chain_pos + 1)
+                    stops.pop()
         for i, rider in enumerate(riders):
             bit = 1 << i
             if not picked_mask & bit:
@@ -149,7 +171,7 @@ def _best_sequence_for_subset(
                     continue
                 stops.append(Stop.pickup(rider))
                 dfs(rider.source, arrival, onboard + 1,
-                    picked_mask | bit, dropped_mask)
+                    picked_mask | bit, dropped_mask, chain_pos)
                 stops.pop()
             elif not dropped_mask & bit:
                 arrival = current_time + cost(current_loc, rider.destination)
@@ -157,17 +179,10 @@ def _best_sequence_for_subset(
                     continue
                 stops.append(Stop.dropoff(rider))
                 dfs(rider.destination, arrival, onboard - 1,
-                    picked_mask, dropped_mask | bit)
+                    picked_mask, dropped_mask | bit, chain_pos)
                 stops.pop()
 
-    dfs(vehicle.location, t0, 0, 0, 0)
+    dfs(vehicle.location, t0, len(vehicle.onboard), 0, 0, 0)
     if best_stops is None:
         return NEG_INF, None
-    seq = TransferSequence(
-        origin=vehicle.location,
-        start_time=t0,
-        capacity=vehicle.capacity,
-        cost=cost,
-        stops=best_stops,
-    )
-    return best_utility, seq
+    return best_utility, make_sequence(best_stops)

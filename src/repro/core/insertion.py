@@ -197,7 +197,9 @@ def valid_insertions(
                 continue  # condition d
         else:
             delta = to_x
-            if count_capacity and n and sequence.load_end + 1 > sequence.capacity:
+            # load_end counts initial-onboard riders, so the check matters
+            # even for an empty stop list (carried-over vehicles)
+            if count_capacity and sequence.load_end + 1 > sequence.capacity:
                 continue
         candidates.append(InsertionCandidate(position=p, delta_cost=delta))
     return candidates
@@ -256,7 +258,7 @@ def plan_insertion(
         else:
             s_to_next = 0.0
             delta_s = to_s
-            if n and load_end + 1 > capacity:
+            if load_end + 1 > capacity:
                 continue
         pickups.append((delta_s, p, earliest_start + to_s, s_to_next))
     if not pickups:

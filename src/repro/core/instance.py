@@ -79,11 +79,31 @@ class URRInstance:
         vehicle_ids = [v.vehicle_id for v in self.vehicles]
         if len(set(vehicle_ids)) != len(vehicle_ids):
             raise ValueError("duplicate vehicle ids in instance")
+        rider_id_set = set(rider_ids)
+        for v in self.vehicles:
+            if not v.has_carried_state:
+                continue
+            clash = v.committed_rider_ids() & rider_id_set
+            if clash:
+                raise ValueError(
+                    f"vehicle {v.vehicle_id} carries committed riders "
+                    f"{sorted(clash)} whose ids collide with this instance's "
+                    f"requests; rider ids must be unique across frames"
+                )
         self._riders_by_id = {r.rider_id: r for r in self.riders}
         self._vehicles_by_id = {v.vehicle_id: v for v in self.vehicles}
         self._social_by_rider: Dict[int, Optional[int]] = {
             r.rider_id: r.social_id for r in self.riders
         }
+        # carried-over riders keep their social profile: their committed
+        # rides still contribute co-rider similarity to this frame's batch
+        for v in self.vehicles:
+            for r in v.onboard:
+                self._social_by_rider.setdefault(r.rider_id, r.social_id)
+            for s in v.committed_stops:
+                self._social_by_rider.setdefault(
+                    s.rider.rider_id, s.rider.social_id
+                )
 
     # ------------------------------------------------------------------
     @property
@@ -143,14 +163,44 @@ class URRInstance:
             cost=self.cost,
         )
 
-    def empty_sequence(self, vehicle: Vehicle) -> TransferSequence:
-        """A fresh empty schedule for a vehicle at the instance start time."""
+    def vehicle_start_time(self, vehicle: Vehicle) -> float:
+        """The absolute time a vehicle becomes plannable at its location.
+
+        ``max(start_time, ready_time)``: a vehicle finishing an in-flight
+        leg after the frame opens is busy until then; a vehicle idle since
+        before the frame opened becomes plannable when the frame does.
+        """
+        if vehicle.ready_time is None:
+            return self.start_time
+        return max(self.start_time, vehicle.ready_time)
+
+    def initial_sequence(self, vehicle: Vehicle) -> TransferSequence:
+        """The vehicle's schedule *before* this instance assigns anything.
+
+        Empty for a fresh vehicle; for a vehicle carried over from an
+        earlier dispatch frame it is seeded with the committed residual
+        stops and the riders already onboard, all of which every solver
+        must honour (committed riders cannot be removed, capacity counts
+        the onboard riders from event 0).
+        """
         return TransferSequence(
             origin=vehicle.location,
-            start_time=self.start_time,
+            start_time=self.vehicle_start_time(vehicle),
             capacity=vehicle.capacity,
             cost=self.cost,
+            stops=vehicle.committed_stops,
+            initial_onboard=vehicle.onboard,
+            committed=vehicle.committed_rider_ids(),
         )
+
+    def empty_sequence(self, vehicle: Vehicle) -> TransferSequence:
+        """Backwards-compatible alias of :meth:`initial_sequence`.
+
+        Historical name from the single-frame era when every vehicle
+        started empty; with carried-over state the "empty" sequence may
+        legitimately contain committed stops.
+        """
+        return self.initial_sequence(vehicle)
 
     def perf_report(self) -> "PerfReport":
         """Oracle + insertion-engine counters (see :mod:`repro.perf`)."""

@@ -134,7 +134,7 @@ def _relocate_pass(instance, model, schedules, utilities, stats, max_moves) -> b
     """Move riders to vehicles where they contribute more."""
     moved = False
     for vid, seq in list(schedules.items()):
-        for rider in seq.assigned_riders():
+        for rider in seq.removable_riders():
             if stats.moves >= max_moves:
                 return moved
             reduced = seq.without_rider(rider.rider_id)
@@ -176,8 +176,8 @@ def _try_swap(instance, model, schedules, utilities, vid_a, vid_b, stats) -> boo
     seq_a, seq_b = schedules[vid_a], schedules[vid_b]
     vehicle_a, vehicle_b = instance.vehicle(vid_a), instance.vehicle(vid_b)
     current = utilities[vid_a] + utilities[vid_b]
-    for rider_a in seq_a.assigned_riders():
-        for rider_b in seq_b.assigned_riders():
+    for rider_a in seq_a.removable_riders():
+        for rider_b in seq_b.removable_riders():
             reduced_a = seq_a.without_rider(rider_a.rider_id)
             reduced_b = seq_b.without_rider(rider_b.rider_id)
             insert_b_into_a = arrange_single_rider(reduced_a, rider_b)

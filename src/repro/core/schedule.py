@@ -100,6 +100,11 @@ class TransferSequence:
     initial_onboard:
         Riders already in the vehicle at ``start_time`` (their pickups are
         *not* in ``stops``, only their drop-offs must be).
+    committed:
+        Rider ids whose stops were promised in an earlier dispatch frame:
+        solvers may insert around them but :meth:`remove_rider` /
+        :meth:`without_rider` refuse to unassign them.  Initial-onboard
+        riders are always committed (they are physically in the car).
     """
 
     def __init__(
@@ -110,6 +115,7 @@ class TransferSequence:
         cost: CostFn,
         stops: Optional[Sequence[Stop]] = None,
         initial_onboard: Optional[Iterable[Rider]] = None,
+        committed: Optional[Iterable[int]] = None,
     ) -> None:
         self.origin = origin
         self.start_time = float(start_time)
@@ -119,6 +125,7 @@ class TransferSequence:
         self.initial_onboard: Set[int] = {
             r.rider_id for r in (initial_onboard or ())
         }
+        self.committed: Set[int] = set(committed or ()) | self.initial_onboard
         self._initial_riders: Dict[int, Rider] = {
             r.rider_id: r for r in (initial_onboard or ())
         }
@@ -173,6 +180,21 @@ class TransferSequence:
     def assigned_riders(self) -> List[Rider]:
         """Riders whose pickup occurs in this schedule, in pickup order."""
         return [s.rider for s in self.stops if s.kind is StopKind.PICKUP]
+
+    def removable_riders(self) -> List[Rider]:
+        """Assigned riders that may legally be unassigned (not committed).
+
+        The candidate set for BA's replace step and the local-search
+        relocate/swap moves: riders promised in an earlier dispatch frame
+        (and riders already in the car) are excluded.
+        """
+        if not self.committed:
+            return self.assigned_riders()
+        return [
+            s.rider
+            for s in self.stops
+            if s.kind is StopKind.PICKUP and s.rider.rider_id not in self.committed
+        ]
 
     def rider(self, rider_id: int) -> Rider:
         return self._rider_index()[rider_id]
@@ -265,6 +287,7 @@ class TransferSequence:
         clone.cost = self.cost
         clone.stops = list(self.stops)
         clone.initial_onboard = set(self.initial_onboard)
+        clone.committed = set(self.committed)
         clone._initial_riders = dict(self._initial_riders)
         clone._riders_by_id = None
         clone.arrive = list(self.arrive)
@@ -291,6 +314,7 @@ class TransferSequence:
         clone.cost = self.cost
         clone.stops = list(stops)
         clone.initial_onboard = set(self.initial_onboard)
+        clone.committed = set(self.committed)
         clone._initial_riders = dict(self._initial_riders)
         clone._riders_by_id = None
         clone._onboard_cache = None
@@ -306,6 +330,11 @@ class TransferSequence:
         """
         if rider_id in self.initial_onboard:
             raise ValueError(f"rider {rider_id} is already onboard; cannot remove")
+        if rider_id in self.committed:
+            raise ValueError(
+                f"rider {rider_id} was committed in an earlier frame; "
+                f"cannot remove"
+            )
         remaining = [s for s in self.stops if s.rider.rider_id != rider_id]
         if len(remaining) == len(self.stops):
             raise KeyError(f"rider {rider_id} not in schedule")
@@ -325,11 +354,17 @@ class TransferSequence:
         """Remove both stops of a rider (BA's replace operation).
 
         Returns the removed rider.  Raises ``KeyError`` when the rider is
-        not in the schedule and ``ValueError`` for initial-onboard riders
-        (they are physically in the car and cannot be unassigned).
+        not in the schedule and ``ValueError`` for initial-onboard or
+        committed riders (physically in the car / promised in an earlier
+        frame; they cannot be unassigned).
         """
         if rider_id in self.initial_onboard:
             raise ValueError(f"rider {rider_id} is already onboard; cannot remove")
+        if rider_id in self.committed:
+            raise ValueError(
+                f"rider {rider_id} was committed in an earlier frame; "
+                f"cannot remove"
+            )
         remaining = [s for s in self.stops if s.rider.rider_id != rider_id]
         if len(remaining) == len(self.stops):
             raise KeyError(f"rider {rider_id} not in schedule")

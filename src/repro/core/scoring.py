@@ -75,10 +75,15 @@ class SolverState:
         self.model = model or instance.utility_model()
         self.validate = validate
         self.schedules: Dict[int, TransferSequence] = {
-            v.vehicle_id: instance.empty_sequence(v) for v in instance.vehicles
+            v.vehicle_id: instance.initial_sequence(v) for v in instance.vehicles
         }
-        self._utility_cache: Dict[int, float] = {
-            v.vehicle_id: 0.0 for v in instance.vehicles
+        # lazily filled: a carried-over vehicle starts with a non-empty
+        # seeded schedule whose utility must be computed, not assumed 0
+        self._utility_cache: Dict[int, Optional[float]] = {
+            v.vehicle_id: (
+                0.0 if not self.schedules[v.vehicle_id].stops else None
+            )
+            for v in instance.vehicles
         }
 
     # ------------------------------------------------------------------
@@ -186,11 +191,13 @@ class SolverState:
         fallback on the schedule's stops.
         """
         cost = self.instance.cost
-        t0 = self.instance.start_time
         deadline = rider.pickup_deadline
         result: List[Vehicle] = []
         for vehicle in vehicles:
             seq = self.schedules[vehicle.vehicle_id]
+            # per-vehicle availability: a carried-over vehicle is busy
+            # finishing its in-flight leg until seq.start_time
+            t0 = seq.start_time
             if t0 + cost(vehicle.location, rider.source) <= deadline + 1e-9:
                 result.append(vehicle)
                 continue

@@ -103,6 +103,11 @@ class OracleStats:
     ``searches`` (Dijkstras + bidirectional runs) is the actual graph work;
     ``hit_rate`` is the fraction of non-trivial queries answered without a
     search — in APSP mode every query after the build is a hit.
+
+    ``fast_path`` reports whether the oracle handed out a counter-bypassing
+    ``fast_cost_fn`` closure; when true, ``query_count`` only covers the
+    queries routed through :meth:`DistanceOracle.cost` and undercounts the
+    real query volume (the fast closure trades bookkeeping for speed).
     """
 
     mode: str
@@ -114,6 +119,9 @@ class OracleStats:
     pair_cache_size: int
     source_cache_hits: int
     source_cache_size: int
+    row_cache_size: int = 0
+    pinned_sources: int = 0
+    fast_path: bool = False
 
     @classmethod
     def from_oracle(cls, oracle: Any) -> "OracleStats":

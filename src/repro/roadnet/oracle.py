@@ -23,7 +23,7 @@ and summarised by :mod:`repro.perf`.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 import numpy as np
 
@@ -50,6 +50,11 @@ class DistanceOracle:
         Maximum number of one-off bidirectional point-to-point results to
         keep (LRU).  Each entry is a single float; this is what makes
         repeated distinct pairs affordable on networks too large for APSP.
+    cache_rows:
+        Maximum number of materialised APSP row views (the dicts handed out
+        by :meth:`costs_from` in APSP mode) to keep (LRU).  Each entry costs
+        O(|V|) memory on top of the flat table, so unbounded growth would
+        quietly rebuild the dict-of-dicts representation the table replaced.
     """
 
     def __init__(
@@ -58,11 +63,13 @@ class DistanceOracle:
         cache_sources: int = 2048,
         apsp_threshold: int = 1500,
         cache_pairs: int = 65536,
+        cache_rows: int = 1024,
     ) -> None:
         self.network = network
         self.cache_sources = cache_sources
         self.apsp_threshold = apsp_threshold
         self.cache_pairs = cache_pairs
+        self.cache_rows = cache_rows
         self._source_cache: "OrderedDict[int, Dict[int, float]]" = OrderedDict()
         self._pair_cache: "OrderedDict[tuple, float]" = OrderedDict()
         # APSP state: flat numpy table over interned node indices
@@ -71,13 +78,19 @@ class DistanceOracle:
         self._apsp_index: Optional[Dict[int, int]] = None  # None: ids are 0..n-1
         self._apsp_n = 0
         self._apsp_view: Optional[memoryview] = None  # python-float reads
-        self._row_cache: Dict[int, Dict[int, float]] = {}  # costs_from views
+        # costs_from row views, bounded like _source_cache
+        self._row_cache: "OrderedDict[int, Dict[int, float]]" = OrderedDict()
+        # sources pinned by warm(): never evicted from the LRUs
+        self._pinned_sources: Set[int] = set()
         # counters (read by repro.perf)
         self.query_count = 0
         self.dijkstra_count = 0
         self.bidirectional_count = 0
         self.pair_cache_hits = 0
         self.source_cache_hits = 0
+        # whether fast_cost_fn() handed out a counter-bypassing closure —
+        # when true, query_count undercounts the real query volume
+        self.fast_path = False
 
     # ------------------------------------------------------------------
     def cost(self, u: int, v: int) -> float:
@@ -126,6 +139,7 @@ class DistanceOracle:
             self._build_apsp()
         if self._apsp_view is None:
             return self.cost
+        self.fast_path = True
         view = self._apsp_view
         n = self._apsp_n
         index = self._apsp_index
@@ -156,16 +170,19 @@ class DistanceOracle:
             self._build_apsp()
         if self._apsp is not None:
             row = self._row_cache.get(source)
-            if row is None:
-                idx = source if self._apsp_index is None else self._apsp_index[source]
-                base = idx * self._apsp_n
-                values = self._apsp[base : base + self._apsp_n].tolist()
-                row = {
-                    node: d
-                    for node, d in zip(self._apsp_nodes, values)
-                    if d != INF
-                }
-                self._row_cache[source] = row
+            if row is not None:
+                self._row_cache.move_to_end(source)
+                return row
+            idx = source if self._apsp_index is None else self._apsp_index[source]
+            base = idx * self._apsp_n
+            values = self._apsp[base : base + self._apsp_n].tolist()
+            row = {
+                node: d
+                for node, d in zip(self._apsp_nodes, values)
+                if d != INF
+            }
+            self._row_cache[source] = row
+            self._evict(self._row_cache, self.cache_rows)
             return row
         cached = self._source_cache.get(source)
         if cached is not None:
@@ -175,17 +192,51 @@ class DistanceOracle:
         self.dijkstra_count += 1
         dist = dijkstra(self.network, source)
         self._source_cache[source] = dist
-        if len(self._source_cache) > self.cache_sources:
-            self._source_cache.popitem(last=False)
+        self._evict(self._source_cache, self.cache_sources)
         return dist
 
+    def _evict(self, cache: "OrderedDict", limit: int) -> None:
+        """Shrink ``cache`` to ``limit`` entries, oldest first, skipping pins.
+
+        Pinned sources are exempt, so the cache may stay above ``limit``
+        when the overflow is entirely pinned — warm() callers asked for
+        exactly that trade.
+        """
+        if len(cache) <= limit:
+            return
+        if not self._pinned_sources:
+            while len(cache) > limit:
+                cache.popitem(last=False)
+            return
+        evictable = [k for k in cache if k not in self._pinned_sources]
+        for key in evictable[: len(cache) - limit]:
+            del cache[key]
+
     def warm(self, sources: Iterable[int]) -> None:
-        """Precompute (and pin into the LRU) the given sources."""
+        """Precompute the given sources and pin them into the LRU caches.
+
+        Pinned sources are never evicted by later queries (in either the
+        Dijkstra-result or the APSP-row cache), so a dispatcher can warm
+        its depot/fleet locations once and keep them hot for the whole
+        run.  Pins survive :meth:`invalidate` — the cached values are
+        dropped with everything else, but the sources are re-pinned as
+        soon as they are recomputed.
+        """
         for s in sources:
+            self._pinned_sources.add(s)
             self.costs_from(s)
 
+    def unpin(self) -> None:
+        """Forget all warm() pins (entries become ordinary LRU citizens)."""
+        self._pinned_sources.clear()
+
     def invalidate(self) -> None:
-        """Drop all caches; call after mutating the underlying network."""
+        """Drop all caches; call after mutating the underlying network.
+
+        warm() pins survive: the pinned *values* are dropped like
+        everything else, but the sources stay pinned for when they are
+        recomputed.  Use :meth:`unpin` to forget them.
+        """
         self._source_cache.clear()
         self._pair_cache.clear()
         self._row_cache.clear()
@@ -194,6 +245,7 @@ class DistanceOracle:
         self._apsp_index = None
         self._apsp_nodes = []
         self._apsp_n = 0
+        self.fast_path = False
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
@@ -208,6 +260,9 @@ class DistanceOracle:
             "pair_cache_size": len(self._pair_cache),
             "source_cache_hits": self.source_cache_hits,
             "source_cache_size": len(self._source_cache),
+            "row_cache_size": len(self._row_cache),
+            "pinned_sources": len(self._pinned_sources),
+            "fast_path": self.fast_path,
         }
 
     @property

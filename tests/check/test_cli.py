@@ -32,6 +32,16 @@ class TestCleanRun:
         assert main(["--replay", "2", "--minimize"]) == 0
         assert "nothing to minimize" in capsys.readouterr().out
 
+    def test_dispatch_mode(self, capsys):
+        assert main(["--dispatch", "--seeds", "3", "--skip-self-test"]) == 0
+        assert "3 dispatcher scenarios" in capsys.readouterr().out
+
+    def test_dispatch_replay(self, capsys):
+        assert main(["--dispatch", "--replay", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 2:" in out
+        assert "frames=" in out
+
 
 class TestFailingRun:
     def test_artifact_written_and_exit_one(self, tmp_path, monkeypatch, capsys):

@@ -3,11 +3,14 @@
 import itertools
 
 from repro.check import (
+    DispatchFuzzConfig,
     FuzzConfig,
     differential_check,
+    fuzz_dispatch_seed,
     fuzz_seed,
     minimize_seed,
     random_instance,
+    run_dispatch_fuzz,
     run_fuzz,
 )
 
@@ -60,6 +63,50 @@ class TestFuzzRuns:
         sequences = [instance.empty_sequence(v) for v in instance.vehicles]
         sequences.extend(assignment.schedules.values())
         assert differential_check(instance, sequences) == []
+
+
+class TestDispatchFuzz:
+    def test_scenario_shape_and_determinism(self):
+        a = fuzz_dispatch_seed(11)
+        b = fuzz_dispatch_seed(11)
+        assert a.num_frames >= 4  # the acceptance floor
+        assert (a.method, a.num_frames, a.total_requests, a.total_served) == (
+            b.method, b.num_frames, b.total_requests, b.total_served
+        )
+
+    def test_six_scenarios_clean(self):
+        run = run_dispatch_fuzz(range(6))
+        assert run.seeds_run == 6
+        assert run.ok, [str(f) for f in run.failures]
+        # frames genuinely straddle boundaries: some seed carries riders
+        assert any(r.total_carried > 0 for r in run.reports)
+
+    def test_config_respected(self):
+        config = DispatchFuzzConfig(
+            min_frames=5, max_frames=5, min_vehicles=2, max_vehicles=2
+        )
+        report = fuzz_dispatch_seed(0, config)
+        assert report.num_frames == 5
+        assert report.num_vehicles == 2
+
+    def test_planted_teleport_is_caught(self, monkeypatch):
+        """A rollforward that resets ready_time must fail the invariants."""
+        from repro.core.dispatch import Dispatcher
+
+        original = Dispatcher.dispatch_frame
+
+        def teleporting(self, requests):
+            report = original(self, requests)
+            for fv in self.fleet.values():
+                if fv.ready_time is not None:
+                    fv.ready_time = self.clock - 1.0  # pretend it's already there
+            return report
+
+        monkeypatch.setattr(Dispatcher, "dispatch_frame", teleporting)
+        failing = [
+            seed for seed in range(8) if not fuzz_dispatch_seed(seed).ok
+        ]
+        assert failing, "no scenario noticed the planted teleport"
 
 
 class TestMinimize:

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.dispatch import Dispatcher
+from repro.core.dispatch import DispatchError, Dispatcher
+from repro.core.schedule import Stop
 from repro.core.vehicles import Vehicle
 from repro.roadnet.generators import grid_city
 from repro.roadnet.oracle import DistanceOracle
@@ -24,8 +25,13 @@ def dispatcher(city):
     return Dispatcher(city, fleet, method="eg", frame_length=30.0, seed=1)
 
 
-def frame_requests(city, count, start, seed):
-    """Requests whose deadlines live on the absolute dispatcher clock."""
+def frame_requests(city, count, start, seed, id_base=0):
+    """Requests whose deadlines live on the absolute dispatcher clock.
+
+    ``id_base`` keeps rider ids globally unique across frames (the
+    dispatcher rejects reuse: carried-over and committed riders stay live
+    between frames).
+    """
     oracle = DistanceOracle(city)
     sim = TaxiTripSimulator(city, oracle=oracle, seed=seed)
     trips = sim.generate_trips(count, start, 30.0)
@@ -34,7 +40,7 @@ def frame_requests(city, count, start, seed):
         shortest = oracle.cost(t.pickup_node, t.dropoff_node)
         riders.append(
             make_rider(
-                i, source=t.pickup_node, destination=t.dropoff_node,
+                id_base + i, source=t.pickup_node, destination=t.dropoff_node,
                 pickup_deadline=start + 20.0,
                 dropoff_deadline=start + 20.0 + 2.0 * shortest,
             )
@@ -56,6 +62,7 @@ class TestConstruction:
         assert dispatcher.clock == 0.0
         assert dispatcher.total_requests == 0
         assert dispatcher.fleet_locations() == {0: 0, 1: 63}
+        assert dispatcher.pending_requests == []
 
 
 class TestDispatchFrame:
@@ -64,21 +71,42 @@ class TestDispatchFrame:
         report = dispatcher.dispatch_frame(requests)
         assert report.frame_index == 0
         assert report.num_requests == 8
+        assert report.num_carried == 0
         assert 0 < report.num_served <= 8
         assert report.utility > 0
         assert report.assignment.is_valid()
         assert dispatcher.clock == 30.0
 
     def test_fleet_rolls_forward(self, dispatcher, city):
+        """Rollforward is time-consistent: each vehicle sits at the last
+        stop it can reach by the new clock — or, mid-leg, is anchored at
+        the stop it is driving towards with ``ready_time`` equal to its
+        exact arrival there (never at the end of an unfinished plan)."""
         requests = frame_requests(city, 8, 0.0, seed=3)
         report = dispatcher.dispatch_frame(requests)
+        next_clock = 30.0
         for vid, seq in report.assignment.schedules.items():
-            expected = seq.stops[-1].location if seq.stops else seq.origin
-            assert dispatcher.fleet_locations()[vid] == expected
+            fv = dispatcher.fleet[vid]
+            if not seq.stops:
+                assert fv.location == seq.origin
+                continue
+            reached = [k for k, t in enumerate(seq.arrive) if t <= next_clock]
+            if len(reached) == len(seq.stops):
+                assert fv.location == seq.stops[-1].location
+                assert fv.ready_time is None
+                assert fv.committed_stops == ()
+            else:
+                k = len(reached)  # first stop still ahead at the new clock
+                assert fv.location == seq.stops[k].location
+                assert fv.ready_time == pytest.approx(seq.arrive[k])
+                assert fv.ready_time > next_clock
+                assert fv.committed_stops == tuple(seq.stops[k + 1:])
 
     def test_multiple_frames_accumulate(self, dispatcher, city):
         for frame in range(3):
-            requests = frame_requests(city, 6, frame * 30.0, seed=10 + frame)
+            requests = frame_requests(
+                city, 6, frame * 30.0, seed=10 + frame, id_base=frame * 100
+            )
             dispatcher.dispatch_frame(requests)
         assert dispatcher.total_requests == 18
         assert 0 < dispatcher.total_served <= 18
@@ -103,11 +131,16 @@ class TestDispatchFrame:
         """A request whose deadlines already passed cannot be served."""
         dispatcher.dispatch_frame(frame_requests(city, 4, 0.0, seed=3))
         stale = [
-            make_rider(0, source=10, destination=20,
+            make_rider(1000, source=10, destination=20,
                        pickup_deadline=1.0, dropoff_deadline=5.0)
         ]
         report = dispatcher.dispatch_frame(stale)
         assert report.num_served == 0
+
+    def test_rider_id_reuse_rejected(self, dispatcher, city):
+        dispatcher.dispatch_frame(frame_requests(city, 4, 0.0, seed=3))
+        with pytest.raises(ValueError, match="unique across"):
+            dispatcher.dispatch_frame(frame_requests(city, 4, 30.0, seed=4))
 
     def test_gbs_method_supported(self, city):
         from repro.core.grouping import prepare_grouping
@@ -117,3 +150,323 @@ class TestDispatchFrame:
         dispatcher = Dispatcher(city, fleet, method="gbs+eg", plan=plan)
         report = dispatcher.dispatch_frame(frame_requests(city, 6, 0.0, seed=4))
         assert report.assignment.is_valid()
+
+
+def _long_trip_dispatcher(city, frame_length=6.0, **kwargs):
+    """A dispatcher whose frames are much shorter than its trips, so
+    plans routinely straddle frame boundaries (carried-over state)."""
+    fleet = [Vehicle(vehicle_id=0, location=0, capacity=2)]
+    return Dispatcher(
+        city, fleet, method="eg", frame_length=frame_length, seed=7, **kwargs
+    )
+
+
+def _long_trip(rid, start):
+    # 0 -> 63 crosses the whole 8x8 grid: far longer than one frame
+    return make_rider(
+        rid, source=9, destination=63,
+        pickup_deadline=start + 30.0, dropoff_deadline=start + 90.0,
+    )
+
+
+def _interleaved_trips():
+    """Two riders whose EG plan interleaves (P0@9 P1@18 D1@45 D0@63):
+    at the first 6-minute boundary the vehicle is mid-leg towards 45
+    with rider 0 onboard and rider 0's drop-off still committed."""
+    return [
+        make_rider(0, source=9, destination=63,
+                   pickup_deadline=30.0, dropoff_deadline=90.0),
+        make_rider(1, source=18, destination=45,
+                   pickup_deadline=30.0, dropoff_deadline=90.0),
+    ]
+
+
+class TestRollforward:
+    def test_vehicle_not_teleported_across_frames(self, city):
+        """Regression: the seed dispatcher jumped every vehicle to its
+        final stop at the frame boundary, even when the plan ran hours
+        past it.  The rollforward must keep the vehicle mid-route."""
+        dispatcher = _long_trip_dispatcher(city)
+        report = dispatcher.dispatch_frame([_long_trip(0, 0.0)])
+        assert report.num_served == 1
+        seq = report.assignment.schedules[0]
+        assert seq.arrive[-1] > dispatcher.clock  # plan outlives the frame
+        fv = dispatcher.fleet[0]
+        assert (fv.location, fv.ready_time) != (seq.stops[-1].location, None)
+        assert fv.ready_time is not None
+        assert fv.ready_time > dispatcher.clock
+        # the next frame plans this vehicle only from its true arrival
+        report2 = dispatcher.dispatch_frame([])
+        assert report2.assignment.is_valid()
+
+    def test_onboard_riders_survive_the_boundary(self, city):
+        dispatcher = _long_trip_dispatcher(city)
+        dispatcher.dispatch_frame(_interleaved_trips())
+        fv = dispatcher.fleet[0]
+        # both pickups fall inside frame 0 and rider 1's drop-off is the
+        # in-flight leg; rider 0 must ride across the boundary with its
+        # drop-off still committed
+        assert {r.rider_id for r in fv.onboard} == {0}
+        assert any(s.rider.rider_id == 0 for s in fv.committed_stops)
+        # run empty frames until the plan finishes; the rider leaves the
+        # car exactly when its drop-off stop is reached, never silently
+        for _ in range(20):
+            dispatcher.dispatch_frame([])
+            if not dispatcher.fleet[0].onboard:
+                break
+        assert dispatcher.fleet[0].onboard == ()
+        assert dispatcher.fleet[0].committed_stops == ()
+
+    def test_committed_riders_stay_served(self, city):
+        """A rider promised in frame f is still delivered even when later
+        frames bring competing requests."""
+        dispatcher = _long_trip_dispatcher(city)
+        dispatcher.dispatch_frame(_interleaved_trips())
+        report = dispatcher.dispatch_frame(
+            [make_rider(2, source=0, destination=1,
+                        pickup_deadline=40.0, dropoff_deadline=90.0)]
+        )
+        seq = report.assignment.schedules[0]
+        assert 0 in seq.rider_ids()  # commitment honoured
+        assert report.assignment.is_valid()
+
+    def test_frame_metrics_not_double_counted(self, city):
+        """A plan spanning 3 frames is charged once: empty follow-up
+        frames add no utility, cost, or served riders."""
+        dispatcher = _long_trip_dispatcher(city)
+        first = dispatcher.dispatch_frame([_long_trip(0, 0.0)])
+        later = [dispatcher.dispatch_frame([]) for _ in range(3)]
+        assert first.num_served == 1
+        for r in later:
+            assert r.num_served == 0
+            assert r.utility == pytest.approx(0.0, abs=1e-9)
+            assert r.travel_cost == pytest.approx(0.0, abs=1e-9)
+        assert dispatcher.total_served == 1
+
+
+def _missing_solve(drop_by_call):
+    """Wrap the real solver, dropping given rider ids on given calls.
+
+    Simulates a heuristic miss (BA's randomised order or GBS's grouping
+    boundaries can strand feasible riders) so the carry-over path is
+    exercised deterministically with EG.
+    """
+    from repro.core.solver import solve as real_solve
+
+    calls = {"n": 0}
+
+    def wrapped(instance, **kwargs):
+        assignment = real_solve(instance, **kwargs)
+        drop = drop_by_call.get(calls["n"], ())
+        calls["n"] += 1
+        for rid in drop:
+            for vid, seq in assignment.schedules.items():
+                if any(r.rider_id == rid for r in seq.assigned_riders()):
+                    assignment.schedules[vid] = seq.without_rider(rid)
+        return assignment
+
+    return wrapped
+
+
+class TestCarryOver:
+    def test_unserved_rider_is_retried(self, city, monkeypatch):
+        fleet = [Vehicle(vehicle_id=0, location=0, capacity=1)]
+        dispatcher = Dispatcher(city, fleet, method="eg", frame_length=5.0,
+                                seed=7, max_retries=5)
+        # frame 0 misses rider 1; its deadline is still live, so it must
+        # re-enter frame 1's batch and get served there
+        monkeypatch.setattr(
+            "repro.core.dispatch.solve", _missing_solve({0: {1}})
+        )
+        riders = [
+            make_rider(0, source=1, destination=2,
+                       pickup_deadline=30.0, dropoff_deadline=60.0),
+            make_rider(1, source=1, destination=2,
+                       pickup_deadline=30.0, dropoff_deadline=60.0),
+        ]
+        first = dispatcher.dispatch_frame(riders)
+        assert first.num_served == 1
+        assert [r.rider_id for r in dispatcher.pending_requests] == [1]
+        second = dispatcher.dispatch_frame([])
+        assert second.num_carried == 1
+        assert second.num_requests == 0
+        assert second.num_served == 1
+        assert dispatcher.pending_requests == []
+
+    def test_expired_rider_not_retried(self, dispatcher, city):
+        # deadlines end before the next frame's clock -> expired, not carried
+        report = dispatcher.dispatch_frame(frame_requests(city, 8, 0.0, seed=3))
+        unserved = report.num_requests - report.num_served
+        assert report.num_expired == unserved
+        assert dispatcher.pending_requests == []
+
+    def test_retry_budget_bounds_the_queue(self, city, monkeypatch):
+        fleet = [Vehicle(vehicle_id=0, location=0, capacity=1)]
+        dispatcher = Dispatcher(city, fleet, method="eg", frame_length=1.0,
+                                seed=7, max_retries=2)
+        # rider 1 is missed every frame; its deadline is far in the
+        # future, so only the retry budget can expire it
+        monkeypatch.setattr(
+            "repro.core.dispatch.solve",
+            _missing_solve({n: {1} for n in range(10)}),
+        )
+        riders = [
+            make_rider(0, source=1, destination=2,
+                       pickup_deadline=500.0, dropoff_deadline=1000.0),
+            make_rider(1, source=1, destination=2,
+                       pickup_deadline=500.0, dropoff_deadline=1000.0),
+        ]
+        first = dispatcher.dispatch_frame(riders)
+        assert first.num_served == 1
+        assert len(dispatcher.pending_requests) == 1  # attempts=1 < 2
+        second = dispatcher.dispatch_frame([])
+        # the second (and last budgeted) attempt also misses: expired
+        assert second.num_carried == 1
+        assert second.num_expired == 1
+        assert dispatcher.pending_requests == []
+
+    def test_service_rate_counts_unique_riders(self, city, monkeypatch):
+        fleet = [Vehicle(vehicle_id=0, location=0, capacity=1)]
+        dispatcher = Dispatcher(city, fleet, method="eg", frame_length=5.0,
+                                seed=7, max_retries=4)
+        monkeypatch.setattr(
+            "repro.core.dispatch.solve", _missing_solve({0: {1, 2}, 1: {2}})
+        )
+        riders = [
+            make_rider(i, source=1 + i, destination=20 + i,
+                       pickup_deadline=60.0, dropoff_deadline=200.0)
+            for i in range(3)
+        ]
+        for _ in range(4):
+            dispatcher.dispatch_frame(riders)
+            riders = []
+        # every rider counted once in the denominator despite retries
+        assert dispatcher.total_requests == 3
+        assert dispatcher.total_served == 3
+        assert dispatcher.service_rate == 1.0
+
+
+def _corrupting_solve(corrupt):
+    """Wrap the real solver so the frame's plan is tampered with."""
+    from repro.core.solver import solve as real_solve
+
+    def wrapped(instance, **kwargs):
+        assignment = real_solve(instance, **kwargs)
+        corrupt(assignment)
+        return assignment
+
+    return wrapped
+
+
+class TestDispatchError:
+    def test_invalid_plan_raises_typed_error(self, city, monkeypatch):
+        dispatcher = _long_trip_dispatcher(city)
+        dispatcher.dispatch_frame(_interleaved_trips())
+
+        def drop_commitments(assignment):
+            # rider 0 is onboard with a committed drop-off: removing its
+            # stops leaves it in the car forever
+            seq = assignment.schedules[0]
+            assignment.schedules[0] = seq.with_stops(
+                [s for s in seq.stops if s.rider.rider_id != 0]
+            )
+
+        monkeypatch.setattr(
+            "repro.core.dispatch.solve", _corrupting_solve(drop_commitments)
+        )
+        with pytest.raises(DispatchError) as excinfo:
+            dispatcher.dispatch_frame([])
+        err = excinfo.value
+        assert err.frame_index == 1
+        assert err.vehicle_id == 0
+        assert err.violations
+
+    def test_degrade_reverts_new_insertions(self, city, monkeypatch):
+        dispatcher = _long_trip_dispatcher(city, degrade=True)
+        dispatcher.dispatch_frame(_interleaved_trips())
+        bogus = make_rider(99, source=5, destination=6,
+                           pickup_deadline=1000.0, dropoff_deadline=2000.0)
+
+        def orphan_dropoff(assignment):
+            seq = assignment.schedules[0]
+            assignment.schedules[0] = seq.with_stops(
+                list(seq.stops) + [Stop.dropoff(bogus)]
+            )
+
+        monkeypatch.setattr(
+            "repro.core.dispatch.solve", _corrupting_solve(orphan_dropoff)
+        )
+        new_rider = make_rider(2, source=0, destination=1,
+                               pickup_deadline=100.0, dropoff_deadline=300.0)
+        report = dispatcher.dispatch_frame([new_rider])
+        # the offending vehicle fell back to its committed residual plan:
+        # the frame survives, the commitment stands, the new rider waits
+        assert report.assignment.is_valid()
+        seq = report.assignment.schedules[0]
+        assert 0 in seq.rider_ids()
+        assert report.num_served == 0
+        assert [r.rider_id for r in dispatcher.pending_requests] == [2]
+
+    def test_degrade_recovers_dropped_commitments(self, city, monkeypatch):
+        dispatcher = _long_trip_dispatcher(city, degrade=True)
+        dispatcher.dispatch_frame(_interleaved_trips())
+
+        def drop_commitments(assignment):
+            seq = assignment.schedules[0]
+            assignment.schedules[0] = seq.with_stops(
+                [s for s in seq.stops if s.rider.rider_id != 0]
+            )
+
+        monkeypatch.setattr(
+            "repro.core.dispatch.solve", _corrupting_solve(drop_commitments)
+        )
+        # degrading restores the baseline, which still carries rider 0 --
+        # so this corruption is recoverable and must NOT raise
+        report = dispatcher.dispatch_frame([])
+        assert 0 in report.assignment.schedules[0].rider_ids()
+
+    def test_broken_carried_state_raises_even_with_degrade(self, city):
+        dispatcher = _long_trip_dispatcher(city, degrade=True)
+        dispatcher.dispatch_frame(_interleaved_trips())
+        # corrupt the fleet state itself: the vehicle now reaches its
+        # committed drop-off long past the rider's deadline, so even the
+        # reverted baseline is invalid and degrade must not mask it
+        dispatcher.fleet[0].ready_time += 1000.0
+        with pytest.raises(DispatchError):
+            dispatcher.dispatch_frame([])
+
+
+class TestMultiFrameValidation:
+    def test_every_frame_validates_independently(self, city):
+        """Differential test: the independent repro.check oracle audits
+        every frame of a multi-frame run, including frames whose vehicles
+        start mid-route with onboard passengers."""
+        fleet = [
+            Vehicle(vehicle_id=0, location=0, capacity=2),
+            Vehicle(vehicle_id=1, location=63, capacity=2),
+        ]
+        dispatcher = Dispatcher(city, fleet, method="eg", frame_length=8.0,
+                                seed=11, max_retries=3, validate_frames=True)
+        rid = 0
+        for frame in range(5):
+            start = frame * 8.0
+            requests = frame_requests(
+                city, 4, start, seed=20 + frame, id_base=rid
+            )
+            # stretch deadlines so plans straddle boundaries and riders
+            # can be carried over
+            requests = [
+                make_rider(r.rider_id, source=r.source,
+                           destination=r.destination,
+                           pickup_deadline=r.pickup_deadline + 20.0,
+                           dropoff_deadline=r.dropoff_deadline + 40.0)
+                for r in requests
+            ]
+            rid += len(requests)
+            report = dispatcher.dispatch_frame(requests)
+            assert report.assignment.is_valid()
+            for vid, fv in dispatcher.fleet.items():
+                if fv.ready_time is not None:
+                    # never plannable before the true arrival time
+                    assert fv.ready_time > dispatcher.clock - 8.0
+        assert dispatcher.total_requests == 20

@@ -173,8 +173,131 @@ class TestStats:
             "pair_cache_size",
             "source_cache_hits",
             "source_cache_size",
+            "row_cache_size",
+            "pinned_sources",
+            "fast_path",
         }
         assert oracle.mode == "lru"
+
+    def test_stats_match_perf_snapshot_fields(self, small_grid):
+        from repro.perf import OracleStats
+
+        oracle = DistanceOracle(small_grid)
+        oracle.cost(0, 1)
+        stats = OracleStats.from_oracle(oracle)  # raises if keys drift
+        assert stats.mode == "apsp"
+        assert stats.fast_path is False
+
+    def test_fast_path_flag_reported(self, small_grid):
+        from repro.perf import OracleStats
+
+        oracle = DistanceOracle(small_grid)
+        assert oracle.stats()["fast_path"] is False
+        fast = oracle.fast_cost_fn()
+        fast(0, 24)  # bypasses query_count by design...
+        assert oracle.stats()["query_count"] == 0
+        assert oracle.stats()["fast_path"] is True  # ...and says so
+        assert OracleStats.from_oracle(oracle).fast_path is True
+        oracle.invalidate()
+        assert oracle.stats()["fast_path"] is False
+
+    def test_fast_path_flag_not_set_by_fallback(self, small_grid):
+        oracle = DistanceOracle(small_grid, apsp_threshold=0)
+        fast = oracle.fast_cost_fn()  # falls back to cost(): still counted
+        fast(0, 24)
+        assert oracle.stats()["fast_path"] is False
+        assert oracle.stats()["query_count"] == 1
+
+
+class TestRowCache:
+    """APSP row views are bounded with the same LRU discipline as sources."""
+
+    def test_row_views_cached(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        first = oracle.costs_from(0)
+        second = oracle.costs_from(0)
+        assert first is second
+
+    def test_row_cache_bounded(self, small_grid):
+        oracle = DistanceOracle(small_grid, cache_rows=2)
+        nodes = sorted(small_grid.nodes())
+        for node in nodes[:5]:
+            oracle.costs_from(node)
+        assert oracle.mode == "apsp"
+        assert len(oracle._row_cache) == 2
+        assert oracle.stats()["row_cache_size"] == 2
+        # LRU, not FIFO: the two most recent rows survive
+        assert set(oracle._row_cache) == set(nodes[3:5])
+
+    def test_row_cache_recency_updated_on_hit(self, small_grid):
+        oracle = DistanceOracle(small_grid, cache_rows=2)
+        oracle.costs_from(0)
+        oracle.costs_from(1)
+        oracle.costs_from(0)  # touch 0: now 1 is the eviction candidate
+        oracle.costs_from(2)
+        assert set(oracle._row_cache) == {0, 2}
+
+    def test_invalidate_clears_row_cache(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        oracle.costs_from(0)
+        oracle.invalidate()
+        assert not oracle._row_cache
+
+
+class TestWarmPinning:
+    """warm() pins sources: later queries can never evict them."""
+
+    def test_warmed_source_survives_cache_pressure(self, small_grid):
+        oracle = DistanceOracle(small_grid, cache_sources=2, apsp_threshold=0)
+        oracle.warm([0])
+        nodes = sorted(small_grid.nodes())
+        for node in nodes[1:8]:  # way past the 2-entry budget
+            oracle.costs_from(node)
+        assert 0 in oracle._source_cache
+        before = oracle.dijkstra_count
+        oracle.costs_from(0)
+        assert oracle.dijkstra_count == before  # served hot, no re-search
+
+    def test_unpinned_sources_still_evicted(self, small_grid):
+        oracle = DistanceOracle(small_grid, cache_sources=2, apsp_threshold=0)
+        oracle.warm([0])
+        oracle.costs_from(1)
+        oracle.costs_from(2)
+        oracle.costs_from(3)
+        assert 0 in oracle._source_cache
+        assert len(oracle._source_cache) == 2  # pin + one LRU slot
+
+    def test_pins_apply_to_apsp_rows(self, small_grid):
+        oracle = DistanceOracle(small_grid, cache_rows=2)
+        oracle.warm([0])
+        for node in range(1, 8):
+            oracle.costs_from(node)
+        assert 0 in oracle._row_cache
+
+    def test_pins_survive_invalidate(self, small_grid):
+        oracle = DistanceOracle(small_grid, cache_sources=2, apsp_threshold=0)
+        oracle.warm([0])
+        oracle.invalidate()
+        assert not oracle._source_cache  # values dropped...
+        oracle.costs_from(0)  # ...but the source re-pins on recompute
+        for node in range(1, 8):
+            oracle.costs_from(node)
+        assert 0 in oracle._source_cache
+
+    def test_unpin_restores_lru_behaviour(self, small_grid):
+        oracle = DistanceOracle(small_grid, cache_sources=2, apsp_threshold=0)
+        oracle.warm([0])
+        oracle.unpin()
+        oracle.costs_from(1)
+        oracle.costs_from(2)
+        oracle.costs_from(3)
+        assert 0 not in oracle._source_cache
+
+    def test_all_pinned_overflow_allowed(self, small_grid):
+        oracle = DistanceOracle(small_grid, cache_sources=1, apsp_threshold=0)
+        oracle.warm([0, 1, 2])
+        assert len(oracle._source_cache) == 3  # pins beat the budget
+        assert oracle.stats()["pinned_sources"] == 3
 
 
 class TestInterning:
