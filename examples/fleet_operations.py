@@ -5,9 +5,12 @@ A day-in-the-life demo of the library's production-facing layer:
 
 1. run a :class:`~repro.core.dispatch.Dispatcher` over six half-hour frames
    with a morning-rush demand profile;
-2. audit each frame with :mod:`repro.core.metrics` (detour distribution,
+2. mid-day, inject typed disruptions — a vehicle breakdown that strands
+   its onboard riders and a rider cancellation — and watch the stranded
+   riders recover end-to-end through the carry-over queue;
+3. audit each frame with :mod:`repro.core.metrics` (detour distribution,
    sharing rate, fleet utilisation);
-3. re-score one frame under an :class:`ExtendedUtilityModel` that adds the
+4. re-score one frame under an :class:`ExtendedUtilityModel` that adds the
    paper's suggested "empty vehicle distance" component (Section 2.4's
    extension point) and show how the extra component shifts the totals.
 
@@ -16,7 +19,8 @@ Run:
 """
 
 from repro import nyc_like
-from repro.core.dispatch import Dispatcher
+from repro.core.dispatch import Dispatcher, RiderStatus
+from repro.core.disruptions import RiderCancellation, VehicleBreakdown
 from repro.core.metrics import compute_metrics, format_metrics
 from repro.core.utility_ext import (
     ExtendedUtilityModel,
@@ -71,6 +75,7 @@ def main() -> None:
           f"{'detour':>7} {'shared':>7} {'t':>6}")
     last_assignment = None
     next_rider_id = 0
+    stranded = set()
     for frame in range(FRAMES):
         start = dispatcher.clock
         requests = requests_for_frame(
@@ -87,6 +92,38 @@ def main() -> None:
             f"{report.utility:8.1f} {metrics.mean_detour_ratio:7.3f} "
             f"{metrics.sharing_rate:7.0%} {report.solver_seconds:5.2f}s"
         )
+
+        if frame == 2:
+            # mid-day faults: break the busiest-loaded vehicle (stranding
+            # its onboard riders back into the carry-over queue) and
+            # cancel one not-yet-picked-up committed rider
+            events = []
+            broken = max(
+                dispatcher.fleet, key=lambda v: len(dispatcher.fleet[v].onboard)
+            )
+            events.append(VehicleBreakdown(vehicle_id=broken))
+            quitter = next(
+                (rid for fv in dispatcher.fleet.values()
+                 if fv.vehicle_id != broken
+                 for rid in sorted(fv.pending_pickup_ids())),
+                None,
+            )
+            if quitter is not None:
+                events.append(RiderCancellation(rider_id=quitter))
+            for outcome in dispatcher.inject(events):
+                print(f"      ! {outcome}")
+            stranded = {
+                rid for o in dispatcher.disruption_log for rid in o.stranded
+            }
+
+    print("\nstranded-rider recovery:")
+    for rid in sorted(stranded):
+        print(f"  rider {rid}: {dispatcher.ledger[rid].value}")
+    recovered = sum(
+        1 for rid in stranded if dispatcher.ledger[rid] is RiderStatus.DELIVERED
+    )
+    print(f"  {recovered}/{len(stranded)} stranded riders delivered by "
+          f"another vehicle before close of day")
 
     print(f"\nday summary: {dispatcher.total_served}/{dispatcher.total_requests} "
           f"served ({dispatcher.service_rate:.0%}), "

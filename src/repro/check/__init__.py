@@ -14,6 +14,9 @@ redundant counterweight:
   against its reference implementation; :func:`fuzz_dispatch_seed` does
   the same for whole multi-frame dispatcher runs, validating every frame
   (carried-over commitments included) and the cross-frame invariants;
+  :func:`fuzz_chaos_seed` layers seeded mid-horizon disruptions on top,
+  asserting rider-ledger conservation and fleet-state integrity
+  (:func:`validate_fleet_state`) after every event;
 - :mod:`repro.check.corruptions` plants known bug classes to prove the
   validator still catches them;
 - ``python -m repro.check`` drives it all from the command line (see
@@ -26,6 +29,8 @@ validates every dispatched frame.
 
 from repro.check.corruptions import CORRUPTIONS, CorruptedCase
 from repro.check.fuzz import (
+    ChaosFuzzConfig,
+    ChaosSeedReport,
     DispatchFuzzConfig,
     DispatchSeedReport,
     FuzzConfig,
@@ -34,10 +39,12 @@ from repro.check.fuzz import (
     MinimizedRepro,
     SeedReport,
     differential_check,
+    fuzz_chaos_seed,
     fuzz_dispatch_seed,
     fuzz_seed,
     minimize_seed,
     random_instance,
+    run_chaos_fuzz,
     run_dispatch_fuzz,
     run_fuzz,
 )
@@ -47,11 +54,14 @@ from repro.check.validator import (
     Violation,
     ViolationKind,
     validate_assignment,
+    validate_fleet_state,
     validate_schedule,
 )
 
 __all__ = [
     "CORRUPTIONS",
+    "ChaosFuzzConfig",
+    "ChaosSeedReport",
     "CorruptedCase",
     "DispatchFuzzConfig",
     "DispatchSeedReport",
@@ -65,12 +75,15 @@ __all__ = [
     "Violation",
     "ViolationKind",
     "differential_check",
+    "fuzz_chaos_seed",
     "fuzz_dispatch_seed",
     "fuzz_seed",
     "minimize_seed",
     "random_instance",
+    "run_chaos_fuzz",
     "run_dispatch_fuzz",
     "run_fuzz",
     "validate_assignment",
+    "validate_fleet_state",
     "validate_schedule",
 ]

@@ -12,9 +12,14 @@ Modes
   independently validated (carried-over commitments and mid-route
   vehicles included) and the cross-frame invariants are asserted at
   every boundary.
+- ``--chaos``: fuzz dispatcher scenarios with seeded **mid-horizon
+  disruptions** (breakdowns, cancellations, no-shows, travel-time
+  perturbations, road closures) injected between frames, asserting
+  rider-ledger conservation, no-vanishing-commitments, and full fleet
+  re-validation after every event.
 - ``--replay SEED``: re-run one seed verbosely (what CI prints for a
-  failing artifact); combine with ``--dispatch`` to replay a dispatcher
-  scenario.
+  failing artifact); combine with ``--dispatch`` or ``--chaos`` to
+  replay the corresponding scenario kind.
 - ``--replay SEED --minimize``: shrink the failing seed to a minimal
   rider/vehicle subset and print the repro as JSON.
 
@@ -36,10 +41,12 @@ from repro.check.corruptions import CORRUPTIONS
 from repro.check.fuzz import (
     FuzzConfig,
     FuzzRunReport,
+    fuzz_chaos_seed,
     fuzz_dispatch_seed,
     fuzz_seed,
     minimize_seed,
     random_instance,
+    run_chaos_fuzz,
     run_dispatch_fuzz,
     run_fuzz,
 )
@@ -122,6 +129,11 @@ def main(argv: Optional[List[str]] = None) -> int:
              "single instances",
     )
     parser.add_argument(
+        "--chaos", action="store_true",
+        help="fuzz dispatcher scenarios with mid-horizon disruptions "
+             "(breakdowns, cancellations, perturbations, closures)",
+    )
+    parser.add_argument(
         "--replay", type=int, default=None, metavar="SEED",
         help="re-run one seed verbosely instead of fuzzing",
     )
@@ -142,6 +154,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     verbose = args.verbose
 
     # ------------------------------------------------------------------
+    if args.replay is not None and args.chaos:
+        creport = fuzz_chaos_seed(args.replay)
+        print(
+            f"seed {creport.seed}: method={creport.method} "
+            f"frames={creport.num_frames} vehicles={creport.num_vehicles} "
+            f"frame_length={creport.frame_length:.2f} "
+            f"max_retries={creport.max_retries} "
+            f"watchdog={'on' if creport.watchdog else 'off'}"
+        )
+        print(
+            f"  requests={creport.total_requests} "
+            f"served={creport.total_served} "
+            f"events={creport.num_events} applied={creport.num_applied}"
+        )
+        print(f"  ledger={creport.ledger}")
+        for failure in creport.failures:
+            print(f"  FAIL {failure}")
+        return 0 if creport.ok else 1
+
     if args.replay is not None and args.dispatch:
         dreport = fuzz_dispatch_seed(args.replay)
         print(
@@ -215,15 +246,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{len(seed_report.failures)} failure(s))"
             )
 
-    if args.dispatch:
-        run: FuzzRunReport = run_dispatch_fuzz(
+    if args.chaos:
+        run: FuzzRunReport = run_chaos_fuzz(
             seeds, stop_after=budget, on_seed=progress
         )
+    elif args.dispatch:
+        run = run_dispatch_fuzz(seeds, stop_after=budget, on_seed=progress)
     else:
         run = run_fuzz(seeds, stop_after=budget, on_seed=progress)
     elapsed = time.perf_counter() - start
 
-    what = "dispatcher scenarios" if args.dispatch else "seeds"
+    if args.chaos:
+        what = "chaos scenarios"
+    elif args.dispatch:
+        what = "dispatcher scenarios"
+    else:
+        what = "seeds"
     print(
         f"fuzzed {run.seeds_run} {what} in {elapsed:.1f}s: "
         f"{len(run.failing_seeds)} failing, "

@@ -26,9 +26,18 @@ mid-route vehicle state), and the dispatcher's cross-frame invariants
 (ready times ahead of the clock, carry-over queue discipline, conserved
 rider accounting) are asserted at every boundary.
 
+A third harness (:func:`fuzz_chaos_seed`) layers **typed mid-horizon
+disruptions** (:mod:`repro.core.disruptions`) over the dispatcher
+scenarios: vehicle breakdowns, rider cancellations and no-shows,
+travel-time perturbations and road closures are injected between frames
+from a seeded schedule, asserting at every boundary that the rider
+ledger conserves every rider ever issued, that no committed rider
+vanishes except through an explicit disruption outcome, and that every
+repaired fleet state passes the independent validator.
+
 Everything is deterministic in the seed, so any failure is replayable
 (``python -m repro.check --replay SEED`` /
-``--replay SEED --dispatch``) and shrinkable
+``--replay SEED --dispatch`` / ``--replay SEED --chaos``) and shrinkable
 (:func:`minimize_seed` greedily drops riders/vehicles while the failure
 persists) into a minimal repro.
 """
@@ -42,7 +51,14 @@ import numpy as np
 
 from repro.core.assignment import Assignment
 from repro.core.bounds import utility_upper_bound
-from repro.core.dispatch import DispatchError, Dispatcher
+from repro.core.dispatch import DispatchError, Dispatcher, RiderStatus
+from repro.core.disruptions import (
+    RiderCancellation,
+    RiderNoShow,
+    RoadClosure,
+    TravelTimePerturbation,
+    VehicleBreakdown,
+)
 from repro.core.grouping import GroupingPlan, prepare_grouping
 from repro.core.requests import Rider
 from repro.core.vehicles import Vehicle
@@ -57,7 +73,11 @@ from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.oracle import DistanceOracle
 from repro.workload.instances import InstanceConfig, build_instance
 from repro.workload.scenarios import SCENARIOS
-from repro.check.validator import ValidationReport, validate_assignment
+from repro.check.validator import (
+    ValidationReport,
+    validate_assignment,
+    validate_fleet_state,
+)
 
 _EPS = 1e-6
 
@@ -428,6 +448,97 @@ def _dispatch_requests(
     return riders
 
 
+def _check_frame_invariants(
+    dispatcher: Dispatcher,
+    frame_report,
+    frame: int,
+    pending_before: int,
+    max_retries: int,
+    fail: Callable[[str, str], None],
+    audit_event_fields: bool = True,
+) -> None:
+    """Independent validation + cross-frame invariants for one frame.
+
+    Shared by the dispatch and chaos fuzzers: the frame's assignment goes
+    through the independent validator, then the dispatcher's cross-frame
+    invariants (ready times, capacity, drop-off commitments, carry-over
+    queue discipline, conserved rider accounting) are asserted.
+    """
+    instance = frame_report.assignment.instance
+    validation = validate_assignment(
+        instance,
+        frame_report.assignment,
+        audit_event_fields=audit_event_fields,
+    )
+    for violation in validation.violations:
+        fail("dispatch_validate", f"frame {frame}: {violation}")
+
+    # cross-frame invariants
+    for vid, fv in dispatcher.fleet.items():
+        if fv.ready_time is not None and fv.ready_time <= dispatcher.clock:
+            fail(
+                "dispatch",
+                f"frame {frame}: vehicle {vid} ready_time "
+                f"{fv.ready_time:.6f} not ahead of clock "
+                f"{dispatcher.clock:.6f}",
+            )
+        if len(fv.onboard) > fv.capacity:
+            fail(
+                "dispatch",
+                f"frame {frame}: vehicle {vid} carries "
+                f"{len(fv.onboard)} riders (capacity {fv.capacity})",
+            )
+        committed_drops = {
+            s.rider.rider_id
+            for s in fv.committed_stops
+            if s.kind.value == "dropoff"
+        }
+        for r in fv.onboard:
+            if r.rider_id not in committed_drops:
+                fail(
+                    "dispatch",
+                    f"frame {frame}: onboard rider {r.rider_id} on "
+                    f"vehicle {vid} has no committed drop-off",
+                )
+    for entry in dispatcher._carryover:
+        if entry.rider.pickup_deadline <= dispatcher.clock:
+            fail(
+                "dispatch",
+                f"frame {frame}: dead rider {entry.rider.rider_id} in "
+                f"the carry-over queue (deadline "
+                f"{entry.rider.pickup_deadline:.6f} <= clock "
+                f"{dispatcher.clock:.6f})",
+            )
+        if entry.attempts >= max_retries:
+            fail(
+                "dispatch",
+                f"frame {frame}: rider {entry.rider.rider_id} carried "
+                f"with spent retry budget ({entry.attempts})",
+            )
+
+    # conservation: everything offered is served, expired, or carried
+    offered = frame_report.num_requests + frame_report.num_carried
+    accounted = (
+        frame_report.num_served
+        + frame_report.num_expired
+        + len(dispatcher.pending_requests)
+    )
+    if offered != accounted:
+        fail(
+            "dispatch",
+            f"frame {frame}: rider accounting leaks: offered {offered} "
+            f"!= served {frame_report.num_served} + expired "
+            f"{frame_report.num_expired} + carried "
+            f"{len(dispatcher.pending_requests)}",
+        )
+    if frame_report.num_carried != pending_before:
+        fail(
+            "dispatch",
+            f"frame {frame}: num_carried {frame_report.num_carried} != "
+            f"queue size before the frame {pending_before}",
+        )
+
+
 def fuzz_dispatch_seed(
     seed: int, config: Optional[DispatchFuzzConfig] = None
 ) -> DispatchSeedReport:
@@ -524,80 +635,10 @@ def fuzz_dispatch_seed(
             )
             break
 
-        # independent validation of the frame, carried state included
-        instance = frame_report.assignment.instance
-        validation = validate_assignment(
-            instance,
-            frame_report.assignment,
-            audit_event_fields=config.audit_event_fields,
+        _check_frame_invariants(
+            dispatcher, frame_report, frame, pending_before, max_retries,
+            fail, audit_event_fields=config.audit_event_fields,
         )
-        for violation in validation.violations:
-            fail("dispatch_validate", f"frame {frame}: {violation}")
-
-        # cross-frame invariants
-        for vid, fv in dispatcher.fleet.items():
-            if fv.ready_time is not None and fv.ready_time <= dispatcher.clock:
-                fail(
-                    "dispatch",
-                    f"frame {frame}: vehicle {vid} ready_time "
-                    f"{fv.ready_time:.6f} not ahead of clock "
-                    f"{dispatcher.clock:.6f}",
-                )
-            if len(fv.onboard) > fv.capacity:
-                fail(
-                    "dispatch",
-                    f"frame {frame}: vehicle {vid} carries "
-                    f"{len(fv.onboard)} riders (capacity {fv.capacity})",
-                )
-            committed_drops = {
-                s.rider.rider_id
-                for s in fv.committed_stops
-                if s.kind.value == "dropoff"
-            }
-            for r in fv.onboard:
-                if r.rider_id not in committed_drops:
-                    fail(
-                        "dispatch",
-                        f"frame {frame}: onboard rider {r.rider_id} on "
-                        f"vehicle {vid} has no committed drop-off",
-                    )
-        for entry in dispatcher._carryover:
-            if entry.rider.pickup_deadline <= dispatcher.clock:
-                fail(
-                    "dispatch",
-                    f"frame {frame}: dead rider {entry.rider.rider_id} in "
-                    f"the carry-over queue (deadline "
-                    f"{entry.rider.pickup_deadline:.6f} <= clock "
-                    f"{dispatcher.clock:.6f})",
-                )
-            if entry.attempts >= max_retries:
-                fail(
-                    "dispatch",
-                    f"frame {frame}: rider {entry.rider.rider_id} carried "
-                    f"with spent retry budget ({entry.attempts})",
-                )
-
-        # conservation: everything offered is served, expired, or carried
-        offered = frame_report.num_requests + frame_report.num_carried
-        accounted = (
-            frame_report.num_served
-            + frame_report.num_expired
-            + len(dispatcher.pending_requests)
-        )
-        if offered != accounted:
-            fail(
-                "dispatch",
-                f"frame {frame}: rider accounting leaks: offered {offered} "
-                f"!= served {frame_report.num_served} + expired "
-                f"{frame_report.num_expired} + carried "
-                f"{len(dispatcher.pending_requests)}",
-            )
-        if frame_report.num_carried != pending_before:
-            fail(
-                "dispatch",
-                f"frame {frame}: num_carried {frame_report.num_carried} != "
-                f"queue size before the frame {pending_before}",
-            )
         report.total_carried += frame_report.num_carried
 
     report.total_requests = dispatcher.total_requests
@@ -628,6 +669,387 @@ def run_dispatch_fuzz(
         if stop_after is not None and time.perf_counter() - start >= stop_after:
             break
         report = fuzz_dispatch_seed(seed, config)
+        run.reports.append(report)
+        if on_seed is not None:
+            on_seed(report)
+    return run
+
+
+# ----------------------------------------------------------------------
+# chaos fuzzing: disruptions layered over the dispatch fuzzer
+# ----------------------------------------------------------------------
+@dataclass
+class ChaosFuzzConfig:
+    """Shape of the randomized disruption (chaos) scenarios.
+
+    The dispatch shape mirrors :class:`DispatchFuzzConfig` with two
+    deliberate deviations: fleets start at two vehicles (so a breakdown
+    can actually apply — the engine refuses to break the last vehicle)
+    and the GBS methods are excluded (their grouping plan is precomputed
+    per network, and chaos mutates the network mid-run).
+
+    ``p_*`` are the per-boundary probabilities of drawing each event
+    kind; ``watchdog_budget`` is deliberately generous so the configured
+    method always wins tier 0 and committed schedules stay deterministic
+    in the seed (wall-clock noise must never change a chaos trial).
+    """
+
+    grid_rows: int = 6
+    grid_cols: int = 6
+    num_networks: int = 4
+    min_frames: int = 4
+    max_frames: int = 6
+    min_riders_per_frame: int = 2
+    max_riders_per_frame: int = 5
+    min_vehicles: int = 2
+    max_vehicles: int = 4
+    max_capacity: int = 3
+    methods: Tuple[str, ...] = ("eg", "ba", "cf")
+    audit_event_fields: bool = True
+    p_breakdown: float = 0.25
+    p_cancel: float = 0.45
+    p_perturb: float = 0.35
+    p_closure: float = 0.2
+    p_watchdog: float = 0.5
+    watchdog_budget: float = 30.0
+
+
+@dataclass
+class ChaosSeedReport:
+    """Everything one chaos fuzz trial produced."""
+
+    seed: int
+    method: str = ""
+    num_frames: int = 0
+    num_vehicles: int = 0
+    frame_length: float = 0.0
+    max_retries: int = 1
+    watchdog: bool = False
+    num_events: int = 0
+    num_applied: int = 0
+    total_requests: int = 0
+    total_served: int = 0
+    ledger: Dict[str, int] = field(default_factory=dict)
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    # keep the FuzzRunReport aggregation happy
+    scenario: str = "chaos"
+    num_riders: int = 0
+
+
+def _edge_list(network: RoadNetwork) -> List[Tuple[int, int]]:
+    """Directed edges in deterministic (insertion) order."""
+    return [(u, v) for u, v, _cost in network.edges()]
+
+
+def _chaos_events(
+    dispatcher: Dispatcher,
+    network: RoadNetwork,
+    rng: np.random.Generator,
+    config: ChaosFuzzConfig,
+) -> List:
+    """Seeded disruption schedule for one frame boundary.
+
+    Every gate variable is drawn unconditionally so the rng stream stays
+    aligned regardless of which events fire; the targets themselves are
+    drawn from sorted views of the dispatcher's state, so the whole
+    schedule is deterministic in the seed.
+    """
+    gates = [rng.random() for _ in range(4)]
+    events: List = []
+
+    if gates[0] < config.p_breakdown and len(dispatcher.fleet) > 1:
+        vids = sorted(dispatcher.fleet)
+        events.append(
+            VehicleBreakdown(vehicle_id=int(vids[int(rng.integers(len(vids)))]))
+        )
+
+    if gates[1] < config.p_cancel:
+        candidates = sorted(
+            {e.rider.rider_id for e in dispatcher._carryover}
+            | {
+                rid
+                for fv in dispatcher.fleet.values()
+                for rid in fv.committed_rider_ids()
+            }
+        )
+        if candidates:
+            rid = int(candidates[int(rng.integers(len(candidates)))])
+            cls = RiderNoShow if rng.random() < 0.3 else RiderCancellation
+            events.append(cls(rider_id=rid))
+
+    if gates[2] < config.p_perturb:
+        edges = _edge_list(network)
+        if edges:
+            count = int(rng.integers(1, min(3, len(edges)) + 1))
+            factors = tuple(
+                (u, v, float(rng.uniform(0.5, 3.0)))
+                for u, v in (
+                    edges[int(rng.integers(len(edges)))] for _ in range(count)
+                )
+            )
+            events.append(TravelTimePerturbation(factors=factors))
+
+    if gates[3] < config.p_closure:
+        edges = _edge_list(network)
+        if edges:
+            u, v = edges[int(rng.integers(len(edges)))]
+            events.append(RoadClosure(edges=((u, v),)))
+
+    return events
+
+
+def _check_ledger(
+    dispatcher: Dispatcher,
+    issued: set,
+    fail: Callable[[str, str], None],
+    where: str,
+) -> None:
+    """The conservation invariant: the ledger accounts for every rider.
+
+    - ledger keys are exactly the rider ids ever issued;
+    - ``PENDING`` is exactly the carry-over queue;
+    - ``COMMITTED`` is exactly the riders present in some vehicle's
+      onboard tuple or committed chain.
+
+    Together with the terminal statuses this proves
+    ``pending + committed + delivered + expired + cancelled = issued``
+    with no rider counted twice or lost.
+    """
+    ledger = dispatcher.ledger
+    if set(ledger) != issued:
+        fail(
+            "chaos_ledger",
+            f"{where}: ledger keys diverge from issued ids "
+            f"(extra={sorted(set(ledger) - issued)[:5]}, "
+            f"missing={sorted(issued - set(ledger))[:5]})",
+        )
+    queue_ids = {e.rider.rider_id for e in dispatcher._carryover}
+    pending = dispatcher.riders_with_status(RiderStatus.PENDING)
+    if pending != queue_ids:
+        fail(
+            "chaos_ledger",
+            f"{where}: PENDING {sorted(pending)} != carry-over queue "
+            f"{sorted(queue_ids)}",
+        )
+    fleet_ids: set = set()
+    for fv in dispatcher.fleet.values():
+        fleet_ids.update(r.rider_id for r in fv.onboard)
+        fleet_ids.update(s.rider.rider_id for s in fv.committed_stops)
+    committed = dispatcher.riders_with_status(RiderStatus.COMMITTED)
+    if committed != fleet_ids:
+        fail(
+            "chaos_ledger",
+            f"{where}: COMMITTED {sorted(committed)} != fleet plans "
+            f"{sorted(fleet_ids)}",
+        )
+
+
+def fuzz_chaos_seed(
+    seed: int, config: Optional[ChaosFuzzConfig] = None
+) -> ChaosSeedReport:
+    """Run one seeded multi-frame scenario with mid-horizon disruptions.
+
+    Layered over :func:`fuzz_dispatch_seed`'s per-frame checks, after
+    every frame *and* every disruption boundary the trial asserts:
+
+    - the :class:`~repro.core.dispatch.RiderStatus` ledger conserves
+      every rider ever issued (see :func:`_check_ledger`);
+    - no committed rider leaves ``COMMITTED`` except to ``DELIVERED``
+      (rollforward) or through an explicit disruption outcome that names
+      them in :attr:`DisruptionOutcome.affected_rider_ids`;
+    - after disruptions, the whole fleet state passes the independent
+      :func:`repro.check.validate_fleet_state` audit (structure,
+      capacity, and deadline feasibility of every repaired chain) and
+      still round-trips through :class:`~repro.core.vehicles.Vehicle`'s
+      own carried-state validation.
+
+    Chaos mutates the road network (perturbations, closures), so each
+    trial runs on a private copy of the cached network with a fresh
+    :class:`DistanceOracle` — seeds stay independent and replayable.
+    """
+    config = config or ChaosFuzzConfig()
+    rng = np.random.default_rng(seed)
+    net_config = FuzzConfig(
+        grid_rows=config.grid_rows,
+        grid_cols=config.grid_cols,
+        num_networks=config.num_networks,
+    )
+    base_network, _base_oracle = _network_for(net_config, seed)
+    network = base_network.copy()
+    oracle = DistanceOracle(network)
+
+    method = config.methods[int(rng.integers(len(config.methods)))]
+    alpha, beta = _WEIGHT_PROFILES[int(rng.integers(len(_WEIGHT_PROFILES)))]
+    num_frames = int(rng.integers(config.min_frames, config.max_frames + 1))
+    num_vehicles = int(
+        rng.integers(config.min_vehicles, config.max_vehicles + 1)
+    )
+    frame_length = float(rng.uniform(3.0, 8.0))
+    max_retries = int(rng.integers(1, 5))
+    watchdog = bool(rng.random() < config.p_watchdog)
+    fleet = [
+        Vehicle(
+            vehicle_id=j,
+            location=int(rng.integers(network.num_nodes)),
+            capacity=int(rng.integers(1, config.max_capacity + 1)),
+        )
+        for j in range(num_vehicles)
+    ]
+    dispatcher = Dispatcher(
+        network,
+        fleet,
+        method=method,
+        frame_length=frame_length,
+        alpha=alpha,
+        beta=beta,
+        oracle=oracle,
+        seed=seed,
+        max_retries=max_retries,
+        frame_budget=config.watchdog_budget if watchdog else None,
+    )
+    report = ChaosSeedReport(
+        seed=seed,
+        method=method,
+        num_frames=num_frames,
+        num_vehicles=num_vehicles,
+        frame_length=frame_length,
+        max_retries=max_retries,
+        watchdog=watchdog,
+    )
+    failures = report.failures
+
+    def fail(stage: str, detail: str) -> None:
+        failures.append(
+            FuzzFailure(seed=seed, stage=stage, method=method, detail=detail)
+        )
+
+    issued: set = set()
+    rider_id = 0
+    for frame in range(num_frames):
+        count = int(
+            rng.integers(
+                config.min_riders_per_frame, config.max_riders_per_frame + 1
+            )
+        )
+        requests = _dispatch_requests(
+            network, oracle, rng, count, dispatcher.clock, frame_length,
+            rider_id,
+        )
+        rider_id += len(requests)
+        issued.update(r.rider_id for r in requests)
+        pending_before = len(dispatcher.pending_requests)
+        committed_before = dispatcher.riders_with_status(RiderStatus.COMMITTED)
+        try:
+            frame_report = dispatcher.dispatch_frame(requests)
+        except DispatchError as exc:
+            fail(
+                "chaos_dispatch",
+                f"frame {frame}: DispatchError on vehicle "
+                f"{exc.vehicle_id}: {exc.violations[:2]}",
+            )
+            break
+
+        _check_frame_invariants(
+            dispatcher, frame_report, frame, pending_before, max_retries,
+            fail, audit_event_fields=config.audit_event_fields,
+        )
+        # within a frame a committed rider may only be delivered
+        for rid in committed_before:
+            status = dispatcher.ledger[rid]
+            if status not in (RiderStatus.COMMITTED, RiderStatus.DELIVERED):
+                fail(
+                    "chaos_vanish",
+                    f"frame {frame}: committed rider {rid} became "
+                    f"{status.value} without a disruption",
+                )
+        if watchdog and not frame_report.solver_tier:
+            fail(
+                "chaos_watchdog",
+                f"frame {frame}: no solver tier recorded under a "
+                f"frame budget",
+            )
+        _check_ledger(dispatcher, issued, fail, f"frame {frame}")
+
+        # disruption boundary (skipped after the final frame: nothing
+        # downstream would exercise the repaired state)
+        if frame == num_frames - 1:
+            break
+        events = _chaos_events(dispatcher, network, rng, config)
+        if not events:
+            continue
+        committed_before = dispatcher.riders_with_status(RiderStatus.COMMITTED)
+        try:
+            outcomes = dispatcher.inject(events)
+        except Exception as exc:
+            fail(
+                "chaos_inject",
+                f"frame {frame}: {type(exc).__name__}: {exc}",
+            )
+            break
+        report.num_events += len(events)
+        report.num_applied += sum(1 for o in outcomes if o.applied)
+
+        allowed: set = set()
+        for outcome in outcomes:
+            allowed.update(outcome.affected_rider_ids)
+        for rid in committed_before:
+            status = dispatcher.ledger[rid]
+            if status is not RiderStatus.COMMITTED and rid not in allowed:
+                fail(
+                    "chaos_vanish",
+                    f"frame {frame}: committed rider {rid} became "
+                    f"{status.value} outside any disruption outcome",
+                )
+        _check_ledger(dispatcher, issued, fail, f"frame {frame} post-inject")
+        state = validate_fleet_state(
+            dispatcher.fleet.values(), dispatcher.clock,
+            oracle=dispatcher.oracle,
+        )
+        for violation in state.violations:
+            fail("chaos_fleet", f"frame {frame}: {violation}")
+        for fv in dispatcher.fleet.values():
+            try:
+                fv.as_vehicle()
+            except ValueError as exc:
+                fail(
+                    "chaos_fleet",
+                    f"frame {frame}: vehicle {fv.vehicle_id}: {exc}",
+                )
+
+    report.total_requests = dispatcher.total_requests
+    report.total_served = dispatcher.total_served
+    report.num_riders = rider_id
+    report.ledger = dispatcher.ledger_counts()
+    if sum(report.ledger.values()) != len(issued):
+        fail(
+            "chaos_ledger",
+            f"final: ledger total {sum(report.ledger.values())} != "
+            f"{len(issued)} riders issued",
+        )
+    return report
+
+
+def run_chaos_fuzz(
+    seeds: Iterable[int],
+    config: Optional[ChaosFuzzConfig] = None,
+    stop_after: Optional[float] = None,
+    on_seed: Optional[Callable[[ChaosSeedReport], None]] = None,
+) -> "FuzzRunReport":
+    """Fuzz disruption-laden dispatcher scenarios over a seed sequence."""
+    import time
+
+    config = config or ChaosFuzzConfig()
+    run = FuzzRunReport()
+    start = time.perf_counter()
+    for seed in seeds:
+        if stop_after is not None and time.perf_counter() - start >= stop_after:
+            break
+        report = fuzz_chaos_seed(seed, config)
         run.reports.append(report)
         if on_seed is not None:
             on_seed(report)

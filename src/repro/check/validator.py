@@ -35,7 +35,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Any, Dict, Iterable, List, Optional, Set
 
 from repro.core.assignment import Assignment
 from repro.core.instance import URRInstance
@@ -665,4 +665,150 @@ def validate_assignment(
     # schedule-level violations were tallied by validate_schedule; only the
     # assignment-level ones found here still need counting
     VALIDATION_STATS.violations += len(violations) - counted
+    return report
+
+
+def validate_fleet_state(
+    fleet: Iterable[Any],
+    clock: float,
+    oracle: Optional[Any] = None,
+) -> ValidationReport:
+    """Independently audit carried-over fleet state between frames.
+
+    Operates on anything shaped like the dispatcher's ``FleetVehicle``
+    (``vehicle_id`` / ``location`` / ``capacity`` / ``ready_time`` /
+    ``onboard`` / ``committed_stops``) *without* constructing a
+    :class:`~repro.core.vehicles.Vehicle` — so corrupt state is reported
+    as violations instead of blowing up in ``Vehicle.__post_init__``.
+    The chaos fuzzer runs this after every disruption injection.
+
+    Checks per vehicle: onboard uniqueness and capacity, the structural
+    pickup/drop-off pairing rules of the residual chain, the load along
+    the chain, and — when an ``oracle`` is supplied — that walking the
+    chain from the anchor at ``max(clock, ready_time)`` meets every
+    stop's deadline (i.e. the promises are still keepable).
+    """
+    report = ValidationReport()
+    violations = report.violations
+    for fv in fleet:
+        vid = fv.vehicle_id
+        report.num_schedules += 1
+        report.num_stops += len(fv.committed_stops)
+        onboard_ids = [r.rider_id for r in fv.onboard]
+        onboard_set = set(onboard_ids)
+        if len(onboard_set) != len(onboard_ids):
+            violations.append(
+                Violation(
+                    ViolationKind.VEHICLE_STATE_MISMATCH,
+                    "duplicate onboard rider ids",
+                    vehicle_id=vid,
+                )
+            )
+        if len(fv.onboard) > fv.capacity:
+            violations.append(
+                Violation(
+                    ViolationKind.CAPACITY_EXCEEDED,
+                    f"{len(fv.onboard)} riders onboard exceed capacity "
+                    f"{fv.capacity}",
+                    vehicle_id=vid,
+                )
+            )
+        if fv.ready_time is not None and fv.ready_time < clock - TIME_EPS:
+            violations.append(
+                Violation(
+                    ViolationKind.VEHICLE_STATE_MISMATCH,
+                    f"ready_time {fv.ready_time:g} behind the clock "
+                    f"{clock:g} (should have been cleared)",
+                    vehicle_id=vid,
+                )
+            )
+        picked: Set[int] = set()
+        dropped: Set[int] = set()
+        load = len(onboard_set)
+        for i, stop in enumerate(fv.committed_stops):
+            rid = stop.rider.rider_id
+            if stop.kind is StopKind.PICKUP:
+                if rid in onboard_set or rid in picked:
+                    violations.append(
+                        Violation(
+                            ViolationKind.ORDER_VIOLATION,
+                            "pickup of a rider already in the car",
+                            vehicle_id=vid, rider_id=rid, stop_index=i,
+                        )
+                    )
+                picked.add(rid)
+                load += 1
+                if load > fv.capacity:
+                    violations.append(
+                        Violation(
+                            ViolationKind.CAPACITY_EXCEEDED,
+                            f"load {load} exceeds capacity {fv.capacity} "
+                            f"after committed stop {i}",
+                            vehicle_id=vid, rider_id=rid, stop_index=i,
+                        )
+                    )
+            else:
+                if rid not in onboard_set and rid not in picked:
+                    violations.append(
+                        Violation(
+                            ViolationKind.ORDER_VIOLATION,
+                            "drop-off precedes any pickup and the rider "
+                            "is not onboard",
+                            vehicle_id=vid, rider_id=rid, stop_index=i,
+                        )
+                    )
+                if rid in dropped:
+                    violations.append(
+                        Violation(
+                            ViolationKind.ORDER_VIOLATION,
+                            "rider dropped off twice",
+                            vehicle_id=vid, rider_id=rid, stop_index=i,
+                        )
+                    )
+                dropped.add(rid)
+                load -= 1
+        missing = (onboard_set | picked) - dropped
+        for rid in sorted(missing):
+            violations.append(
+                Violation(
+                    ViolationKind.COMMITMENT_DROPPED,
+                    "carried rider has no committed drop-off",
+                    vehicle_id=vid, rider_id=rid,
+                )
+            )
+        if oracle is not None:
+            start = max(
+                clock, fv.ready_time if fv.ready_time is not None else clock
+            )
+            time_at = start
+            location = fv.location
+            for i, stop in enumerate(fv.committed_stops):
+                leg = oracle.cost(location, stop.location)
+                time_at += leg
+                location = stop.location
+                if not math.isfinite(time_at):
+                    violations.append(
+                        Violation(
+                            ViolationKind.DEADLINE_MISSED,
+                            "committed stop unreachable from the anchor",
+                            vehicle_id=vid,
+                            rider_id=stop.rider.rider_id,
+                            stop_index=i,
+                        )
+                    )
+                    break
+                if time_at > stop.deadline + TIME_EPS:
+                    violations.append(
+                        Violation(
+                            ViolationKind.DEADLINE_MISSED,
+                            f"arrival {time_at:.6f} misses committed "
+                            f"deadline {stop.deadline:.6f}",
+                            vehicle_id=vid,
+                            rider_id=stop.rider.rider_id,
+                            stop_index=i,
+                        )
+                    )
+    VALIDATION_STATS.schedules += report.num_schedules
+    VALIDATION_STATS.stops += report.num_stops
+    VALIDATION_STATS.violations += len(violations)
     return report

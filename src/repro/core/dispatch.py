@@ -18,7 +18,18 @@ machine:
 - an invalid frame raises a typed :class:`DispatchError` naming the
   offending vehicle, or — with ``degrade=True`` — drops that vehicle's
   *new* insertions (its earlier commitments are kept) and carries the
-  affected riders over instead of failing the whole frame.
+  affected riders over instead of failing the whole frame;
+- every rider's lifecycle is tracked in a :class:`RiderStatus` ledger
+  (pending → committed → delivered, or expired / cancelled), the backbone
+  of the conservation invariant the chaos fuzzer asserts;
+- typed mid-horizon faults — vehicle breakdowns, rider cancellations and
+  no-shows, travel-time perturbations, road closures — are injected
+  between frames via :meth:`Dispatcher.inject`
+  (see :mod:`repro.core.disruptions`);
+- an optional per-frame wall-clock budget (``frame_budget``) routes the
+  solve through the anytime watchdog
+  (:func:`repro.core.solver.solve_anytime`), so a frame always commits
+  some valid plan; the serving tier lands in :class:`FrameReport`.
 
 This is the online counterpart the Related Work section contrasts with
 ([25], [20]): requests within a frame are batched — between frames the
@@ -27,8 +38,9 @@ system state carries over *consistently*.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -37,14 +49,42 @@ from repro.core.grouping import GroupingPlan
 from repro.core.instance import URRInstance
 from repro.core.requests import Rider
 from repro.core.schedule import Stop, StopKind, TransferSequence
-from repro.core.solver import solve
+from repro.core.solver import FALLBACK_METHODS, solve, solve_anytime
 from repro.core.vehicles import Vehicle
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.oracle import DistanceOracle
 from repro.social.graph import SocialNetwork
 from repro.workload.instances import synthetic_vehicle_utilities
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.disruptions import Disruption, DisruptionOutcome
+
 _EPS = 1e-9
+
+
+class RiderStatus(enum.Enum):
+    """Lifecycle of one rider across a dispatch run.
+
+    Legal transitions::
+
+        PENDING ──> COMMITTED ──> DELIVERED          (the happy path)
+        PENDING ──> EXPIRED / CANCELLED              (queue outcomes)
+        COMMITTED ──> PENDING                        (released / stranded
+                                                      by a disruption)
+        COMMITTED ──> CANCELLED                      (post-commit cancel)
+
+    ``DELIVERED``, ``EXPIRED`` and ``CANCELLED`` are terminal.  The
+    ledger (``Dispatcher.ledger``) maps every rider id ever issued to its
+    current status; the chaos fuzzer asserts the resulting conservation
+    invariant (pending + committed + delivered + expired + cancelled =
+    issued) at every frame and disruption boundary.
+    """
+
+    PENDING = "pending"        # waiting in the carry-over queue
+    COMMITTED = "committed"    # promised: in some vehicle's plan
+    DELIVERED = "delivered"    # drop-off executed by the rollforward
+    EXPIRED = "expired"        # deadline dead or retry budget spent
+    CANCELLED = "cancelled"    # explicit cancellation / no-show
 
 
 class DispatchError(RuntimeError):
@@ -93,6 +133,11 @@ class FrameReport:
     riders.  ``utility`` and ``travel_cost`` are *incremental*: the value
     added by this frame's insertions over the carried-in residual plans
     (commitments are counted once, in the frame that made them).
+
+    ``solver_tier`` names the solver that actually served the frame; it
+    equals the configured method unless a ``frame_budget`` watchdog fell
+    back to a cheaper tier (``fallback_tier > 0``; the last resort is
+    ``"baseline"``, the carried-in residual plans).
     """
 
     frame_index: int
@@ -105,6 +150,9 @@ class FrameReport:
     travel_cost: float
     solver_seconds: float
     assignment: Assignment
+    solver_tier: str = ""
+    fallback_tier: int = 0
+    budget_exceeded: bool = False
 
     @property
     def batch_size(self) -> int:
@@ -113,7 +161,10 @@ class FrameReport:
 
     @property
     def service_rate(self) -> float:
-        return self.num_served / self.batch_size if self.batch_size else 0.0
+        """Served / offered; an empty frame is vacuously fully served."""
+        if not self.batch_size:
+            return 1.0
+        return self.num_served / self.batch_size
 
 
 @dataclass
@@ -146,6 +197,20 @@ class FleetVehicle:
             onboard=self.onboard,
             committed_stops=self.committed_stops,
         )
+
+    def pending_pickup_ids(self) -> Set[int]:
+        """Ids of committed riders not yet picked up (releasable)."""
+        return {
+            s.rider.rider_id
+            for s in self.committed_stops
+            if s.kind is StopKind.PICKUP
+        }
+
+    def committed_rider_ids(self) -> Set[int]:
+        """Ids of every rider this vehicle is committed to."""
+        ids = {r.rider_id for r in self.onboard}
+        ids.update(s.rider.rider_id for s in self.committed_stops)
+        return ids
 
 
 class Dispatcher:
@@ -186,6 +251,16 @@ class Dispatcher:
         :class:`repro.check.ValidationError` on any violation.  Slow
         (re-walks every schedule with fresh oracle calls); intended for
         soak tests and staging, not production dispatch.
+    frame_budget:
+        Optional per-frame wall-clock budget in seconds.  When set, each
+        frame is solved through the anytime watchdog
+        (:func:`repro.core.solver.solve_anytime`): the configured method
+        first, then the ``fallbacks`` chain, then the carried-in baseline
+        plans — the first plan that passes the frame audit is committed
+        and its tier recorded in the :class:`FrameReport`.
+    fallbacks:
+        Watchdog fallback tier chain (defaults to insertion greedy, then
+        cost-first greedy).  Ignored without ``frame_budget``.
     """
 
     def __init__(
@@ -203,6 +278,8 @@ class Dispatcher:
         max_retries: int = 3,
         degrade: bool = False,
         validate_frames: bool = False,
+        frame_budget: Optional[float] = None,
+        fallbacks: Sequence[str] = FALLBACK_METHODS,
     ) -> None:
         ids = [v.vehicle_id for v in fleet]
         if len(set(ids)) != len(ids):
@@ -223,6 +300,8 @@ class Dispatcher:
         self.max_retries = max_retries
         self.degrade = degrade
         self.validate_frames = validate_frames
+        self.frame_budget = frame_budget
+        self.fallbacks = tuple(fallbacks)
         self.fleet: Dict[int, FleetVehicle] = {
             v.vehicle_id: FleetVehicle(
                 vehicle_id=v.vehicle_id,
@@ -243,6 +322,17 @@ class Dispatcher:
         # (committed or carried), so their utility stays stable across the
         # per-frame resampling of the preference matrix
         self._pinned_utilities: Dict[int, Dict[int, float]] = {}
+        # lifecycle ledger: every rider id ever issued -> current status;
+        # riders carried in with the initial fleet enter as COMMITTED
+        self.ledger: Dict[int, RiderStatus] = {}
+        for fv in self.fleet.values():
+            for rider in fv.onboard:
+                self.ledger[rider.rider_id] = RiderStatus.COMMITTED
+            for stop in fv.committed_stops:
+                self.ledger[stop.rider.rider_id] = RiderStatus.COMMITTED
+        self._seen_rider_ids.update(self.ledger)
+        # every disruption outcome ever applied or skipped, in order
+        self.disruption_log: List["DisruptionOutcome"] = []
 
     # ------------------------------------------------------------------
     @property
@@ -271,6 +361,8 @@ class Dispatcher:
         """
         new_riders = list(requests)
         self._check_new_ids(new_riders)
+        for rider in new_riders:
+            self.ledger[rider.rider_id] = RiderStatus.PENDING
         carried = self._carryover
         self._carryover = []
         batch = new_riders + [entry.rider for entry in carried]
@@ -280,7 +372,25 @@ class Dispatcher:
         baselines = {
             v.vehicle_id: instance.initial_sequence(v) for v in instance.vehicles
         }
-        assignment = solve(instance, method=self.method, plan=self.plan)
+        if self.frame_budget is None:
+            assignment = solve(instance, method=self.method, plan=self.plan)
+            solver_tier, fallback_tier, budget_exceeded = self.method, 0, False
+        else:
+            assignment, anytime = solve_anytime(
+                instance,
+                method=self.method,
+                fallbacks=self.fallbacks,
+                budget=self.frame_budget,
+                plan=self.plan,
+                accept=lambda a: self._first_violation(instance, a),
+                baseline=lambda: Assignment(
+                    instance=instance,
+                    schedules=dict(baselines),
+                ),
+            )
+            solver_tier = anytime.tier
+            fallback_tier = anytime.tier_index
+            budget_exceeded = anytime.budget_exceeded
         assignment = self._enforce_validity(instance, assignment, baselines)
         if self.validate_frames:
             # imported lazily: repro.check depends on repro.core
@@ -299,6 +409,8 @@ class Dispatcher:
         frame_utility = assignment.total_utility() - baseline_utility
         frame_cost = assignment.total_travel_cost() - baseline_cost
         served_ids = assignment.served_rider_ids() & batch_ids
+        for rid in served_ids:
+            self.ledger[rid] = RiderStatus.COMMITTED
 
         next_clock = self._clock + self.frame_length
         for vid, fv in self.fleet.items():
@@ -325,11 +437,50 @@ class Dispatcher:
             travel_cost=frame_cost,
             solver_seconds=assignment.elapsed_seconds,
             assignment=assignment,
+            solver_tier=solver_tier,
+            fallback_tier=fallback_tier,
+            budget_exceeded=budget_exceeded,
         )
         self.reports.append(report)
         self._frame_index += 1
         self._clock = next_clock
         return report
+
+    # ------------------------------------------------------------------
+    # disruptions
+    # ------------------------------------------------------------------
+    def inject(
+        self, events: Sequence["Disruption"], **engine_kwargs
+    ) -> List["DisruptionOutcome"]:
+        """Apply typed mid-horizon faults between frames.
+
+        Delegates to :class:`repro.core.disruptions.DisruptionEngine`
+        (``engine_kwargs`` are forwarded to its constructor — grace
+        periods and the like).  Outcomes are returned *and* appended to
+        :attr:`disruption_log`.  Call between :meth:`dispatch_frame`
+        calls only; the engine repairs committed plans in place so the
+        next frame starts from a consistent, deadline-feasible state.
+        """
+        from repro.core.disruptions import DisruptionEngine
+
+        engine = DisruptionEngine(self, **engine_kwargs)
+        outcomes = engine.apply(events)
+        self.disruption_log.extend(outcomes)
+        return outcomes
+
+    def _requeue(self, rider: Rider, attempts: int = 0) -> None:
+        """Return a (possibly rewritten) rider to the carry-over queue.
+
+        Used by the disruption engine for released and stranded riders;
+        ``attempts=0`` grants a fresh retry budget (the rider was wronged
+        by the system, not by the solver's inability to place them).
+        """
+        self._carryover.append(
+            CarriedRequest(
+                rider=rider, attempts=attempts, first_frame=self._frame_index
+            )
+        )
+        self.ledger[rider.rider_id] = RiderStatus.PENDING
 
     # ------------------------------------------------------------------
     # frame internals
@@ -346,13 +497,10 @@ class Dispatcher:
             )
         self._seen_rider_ids.update(ids)
 
-    def _enforce_validity(
-        self,
-        instance: URRInstance,
-        assignment: Assignment,
-        baselines: Dict[int, TransferSequence],
-    ) -> Assignment:
-        """Audit the frame's plan; raise :class:`DispatchError` or degrade.
+    def _frame_violations(
+        self, instance: URRInstance, assignment: Assignment
+    ) -> Tuple[Dict[int, List[str]], List[str]]:
+        """Per-vehicle and cross-vehicle violations of a candidate plan.
 
         Per-vehicle checks: schedule validity (deadlines, order, capacity)
         plus commitment integrity — the carried-in onboard riders and
@@ -382,7 +530,28 @@ class Dispatcher:
                         f"{seen[rider.rider_id]} and {vid}"
                     )
                 seen.setdefault(rider.rider_id, vid)
+        return offending, duplicates
 
+    def _first_violation(
+        self, instance: URRInstance, assignment: Assignment
+    ) -> Optional[str]:
+        """The watchdog's accept callback: first audit failure, or None."""
+        offending, duplicates = self._frame_violations(instance, assignment)
+        if offending:
+            vid, violations = next(iter(offending.items()))
+            return f"vehicle {vid}: {violations[0]}"
+        if duplicates:
+            return duplicates[0]
+        return None
+
+    def _enforce_validity(
+        self,
+        instance: URRInstance,
+        assignment: Assignment,
+        baselines: Dict[int, TransferSequence],
+    ) -> Assignment:
+        """Audit the frame's plan; raise :class:`DispatchError` or degrade."""
+        offending, duplicates = self._frame_violations(instance, assignment)
         if not offending and not duplicates:
             return assignment
         if not self.degrade:
@@ -493,12 +662,14 @@ class Dispatcher:
         fv.onboard = tuple(onboard.values())
         fv.committed_stops = ()
 
-    @staticmethod
-    def _apply_stop(onboard: Dict[int, Rider], stop: Stop) -> None:
+    def _apply_stop(self, onboard: Dict[int, Rider], stop: Stop) -> None:
         if stop.kind is StopKind.PICKUP:
             onboard[stop.rider.rider_id] = stop.rider
         else:
             onboard.pop(stop.rider.rider_id, None)
+            # the rollforward's optimistic anchor semantics apply here
+            # too: a drop-off executed (or anchored) is a delivery
+            self.ledger[stop.rider.rider_id] = RiderStatus.DELIVERED
 
     def _update_carryover(
         self,
@@ -529,6 +700,7 @@ class Dispatcher:
                 or rider.pickup_deadline <= next_clock + _EPS
             ):
                 num_expired += 1
+                self.ledger[rider.rider_id] = RiderStatus.EXPIRED
             else:
                 self._carryover.append(entry)
         return num_expired
@@ -573,9 +745,25 @@ class Dispatcher:
 
     @property
     def service_rate(self) -> float:
-        """Served / unique submitted — free of retry double-counting."""
+        """Served / unique submitted — free of retry double-counting.
+
+        Vacuously 1.0 before any request has been submitted (a fleet
+        with no demand has failed nobody).
+        """
         total = self.total_requests
-        return self.total_served / total if total else 0.0
+        if not total:
+            return 1.0
+        return self.total_served / total
+
+    def ledger_counts(self) -> Dict[str, int]:
+        """Riders per :class:`RiderStatus` (the conservation breakdown)."""
+        counts = {status.value: 0 for status in RiderStatus}
+        for status in self.ledger.values():
+            counts[status.value] += 1
+        return counts
+
+    def riders_with_status(self, status: RiderStatus) -> Set[int]:
+        return {rid for rid, s in self.ledger.items() if s is status}
 
     def utilisation(self) -> Dict[int, float]:
         """Mean travel cost per frame per vehicle (busy-time proxy)."""

@@ -13,12 +13,18 @@ method         approach
 ``"gbs+ba"``   Grouping-Based Scheduling with BA groups
 ``"opt"``      exact enumeration (small instances only)
 =============  ====================================================
+
+``solve_anytime`` wraps ``solve`` in a wall-clock watchdog with a fallback
+tier chain (configured method → insertion greedy → cost-first greedy →
+carried-in baseline), so online callers always commit *some* valid plan
+within their frame budget (see :mod:`repro.core.dispatch`).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.assignment import Assignment
 from repro.core.bilateral import run_bilateral
@@ -28,8 +34,17 @@ from repro.core.greedy import run_efficient_greedy
 from repro.core.grouping import GroupingPlan, prepare_grouping, run_grouping
 from repro.core.instance import URRInstance
 from repro.core.scoring import SolverState
+from repro.perf import WATCHDOG_STATS
 
 METHODS = ("cf", "eg", "ba", "gbs+eg", "gbs+ba", "opt")
+
+#: Default anytime fallback chain: the fast insertion greedy first, the
+#: even cheaper cost-first greedy as the last *solver* tier.
+FALLBACK_METHODS = ("eg", "cf")
+
+#: Serving-tier name of the non-solver last resort: the carried-in
+#: residual plans (every commitment honoured, no new riders inserted).
+BASELINE_TIER = "baseline"
 
 
 def solve(
@@ -115,3 +130,145 @@ def solve(
         assignment, _ = improve_assignment(assignment)
     assignment.elapsed_seconds = time.perf_counter() - start
     return assignment
+
+
+# ----------------------------------------------------------------------
+# anytime watchdog
+# ----------------------------------------------------------------------
+@dataclass
+class TierAttempt:
+    """What happened to one tier of an anytime solve."""
+
+    tier: str
+    status: str  # "accepted" | "rejected" | "error" | "skipped"
+    detail: str = ""
+    elapsed: float = 0.0
+
+
+@dataclass
+class AnytimeReport:
+    """How an anytime solve was served (see :func:`solve_anytime`)."""
+
+    tier: str
+    tier_index: int
+    budget: Optional[float]
+    elapsed: float
+    budget_exceeded: bool
+    attempts: List[TierAttempt] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when a fallback tier (not the configured method) served."""
+        return self.tier_index > 0
+
+
+def solve_anytime(
+    instance: URRInstance,
+    method: str = "eg",
+    fallbacks: Sequence[str] = FALLBACK_METHODS,
+    budget: Optional[float] = None,
+    plan: Optional[GroupingPlan] = None,
+    accept: Optional[Callable[[Assignment], Optional[str]]] = None,
+    baseline: Optional[Callable[[], Assignment]] = None,
+    **solve_kwargs,
+) -> Tuple[Assignment, AnytimeReport]:
+    """Solve with a wall-clock budget and an anytime fallback chain.
+
+    Tiers are tried in order — the configured ``method`` first, then each
+    distinct entry of ``fallbacks`` — and the first tier whose result the
+    ``accept`` callback clears (default: ``Assignment.validity_errors()``
+    is empty) wins.  The ``budget`` (seconds) gates tier *entry*: once it
+    is spent no further solver tier starts, but a tier already running is
+    allowed to finish and its result is still committed (the overrun is
+    only recorded as ``budget_exceeded``).  A tier that raises or whose
+    plan is rejected falls through to the next.
+
+    When every solver tier is skipped, errored or rejected, the
+    ``baseline`` factory supplies the last resort (by default the
+    vehicles' carried-in residual plans via
+    :meth:`URRInstance.initial_sequence` — commitments honoured, no new
+    riders).  The baseline is returned *without* an accept check: it is
+    the caller's known-good floor, and the caller's own audit is the
+    right place to detect carried-state corruption.
+
+    Returns the winning assignment plus an :class:`AnytimeReport` with
+    the serving tier and per-tier attempt log.  Every call is counted in
+    :data:`repro.perf.WATCHDOG_STATS`.
+    """
+    tiers = [method] + [t for t in fallbacks if t != method]
+    start = time.perf_counter()
+    deadline = None if budget is None else start + budget
+    attempts: List[TierAttempt] = []
+    result: Optional[Assignment] = None
+    tier_name = BASELINE_TIER
+    tier_index = len(tiers)
+
+    for i, tier in enumerate(tiers):
+        if deadline is not None and time.perf_counter() >= deadline:
+            attempts.append(
+                TierAttempt(tier=tier, status="skipped",
+                            detail="frame budget exhausted")
+            )
+            continue
+        t0 = time.perf_counter()
+        try:
+            candidate = solve(
+                instance, method=tier,
+                plan=plan if tier.startswith("gbs") else None,
+                **solve_kwargs,
+            )
+        except Exception as exc:  # a crashing tier must not kill the frame
+            attempts.append(
+                TierAttempt(
+                    tier=tier, status="error",
+                    detail=f"{type(exc).__name__}: {exc}",
+                    elapsed=time.perf_counter() - t0,
+                )
+            )
+            continue
+        if accept is not None:
+            reason = accept(candidate)
+        else:
+            errors = candidate.validity_errors()
+            reason = errors[0] if errors else None
+        if reason is not None:
+            attempts.append(
+                TierAttempt(tier=tier, status="rejected", detail=reason,
+                            elapsed=time.perf_counter() - t0)
+            )
+            continue
+        attempts.append(
+            TierAttempt(tier=tier, status="accepted",
+                        elapsed=time.perf_counter() - t0)
+        )
+        result, tier_name, tier_index = candidate, tier, i
+        break
+
+    if result is None:
+        if baseline is not None:
+            result = baseline()
+        else:
+            result = Assignment(
+                instance=instance,
+                schedules={
+                    v.vehicle_id: instance.initial_sequence(v)
+                    for v in instance.vehicles
+                },
+            )
+        result.solver_name = BASELINE_TIER
+        attempts.append(
+            TierAttempt(tier=BASELINE_TIER, status="accepted",
+                        detail="carried-in residual plans")
+        )
+
+    elapsed = time.perf_counter() - start
+    exceeded = budget is not None and elapsed > budget
+    WATCHDOG_STATS.record(tier_name, tier_index, exceeded)
+    return result, AnytimeReport(
+        tier=tier_name,
+        tier_index=tier_index,
+        budget=budget,
+        elapsed=elapsed,
+        budget_exceeded=exceeded,
+        attempts=attempts,
+    )

@@ -144,6 +144,21 @@ class Vehicle:
         ids.update(s.rider.rider_id for s in self.committed_stops)
         return ids
 
+    def pending_pickup_ids(self) -> Set[int]:
+        """Ids of committed riders not yet picked up.
+
+        These are the promises a disruption can still *release* back to
+        the dispatcher's queue (an onboard rider, by contrast, can only
+        be delivered or stranded).
+        """
+        from repro.core.schedule import StopKind
+
+        return {
+            s.rider.rider_id
+            for s in self.committed_stops
+            if s.kind is StopKind.PICKUP
+        }
+
     def __repr__(self) -> str:
         extra = ""
         if self.has_carried_state:

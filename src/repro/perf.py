@@ -14,6 +14,9 @@ engine, solver state, dispatcher) reports through the same vocabulary:
 - :class:`ValidationStats` — process-wide counters of the independent
   solution validator (`repro.check`): assignments/schedules re-walked,
   stops re-derived, violations found;
+- :class:`WatchdogStats` — process-wide counters of the anytime solver
+  watchdog (`repro.core.solver.solve_anytime`): guarded frames, fallback
+  commits, budget overruns, per-tier usage;
 - :class:`PerfReport` — the combined view exposed by
   ``SolverState.perf_report()``, ``URRInstance.perf_report()`` and
   ``Dispatcher.perf_report()``.
@@ -97,6 +100,58 @@ VALIDATION_STATS = ValidationStats()
 
 
 @dataclass
+class WatchdogStats:
+    """Counters of the anytime solver watchdog (``solve_anytime``).
+
+    ``frames`` counts watchdog-guarded solves, ``fallbacks`` how many of
+    them were served by a tier below the configured method, and
+    ``budget_exceeded`` how many overran their wall-clock budget (the
+    accepted result is still committed; the overrun is only recorded).
+    ``tier_uses`` breaks the serving tier down by name — the ultimate
+    last resort is ``"baseline"``, the carried-in residual plans.
+    """
+
+    frames: int = 0
+    fallbacks: int = 0
+    budget_exceeded: int = 0
+    tier_uses: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, tier: str, tier_index: int, exceeded: bool) -> None:
+        self.frames += 1
+        self.tier_uses[tier] = self.tier_uses.get(tier, 0) + 1
+        if tier_index > 0:
+            self.fallbacks += 1
+        if exceeded:
+            self.budget_exceeded += 1
+
+    def reset(self) -> None:
+        self.frames = 0
+        self.fallbacks = 0
+        self.budget_exceeded = 0
+        self.tier_uses = {}
+
+    def snapshot(self) -> "WatchdogStats":
+        return WatchdogStats(
+            frames=self.frames,
+            fallbacks=self.fallbacks,
+            budget_exceeded=self.budget_exceeded,
+            tier_uses=dict(self.tier_uses),
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "frames": self.frames,
+            "fallbacks": self.fallbacks,
+            "budget_exceeded": self.budget_exceeded,
+            "tier_uses": dict(self.tier_uses),
+        }
+
+
+#: Process-wide counters incremented by ``repro.core.solver.solve_anytime``.
+WATCHDOG_STATS = WatchdogStats()
+
+
+@dataclass
 class OracleStats:
     """Snapshot of a :class:`~repro.roadnet.oracle.DistanceOracle`.
 
@@ -122,6 +177,7 @@ class OracleStats:
     row_cache_size: int = 0
     pinned_sources: int = 0
     fast_path: bool = False
+    epoch: int = 0
 
     @classmethod
     def from_oracle(cls, oracle: Any) -> "OracleStats":
@@ -157,12 +213,16 @@ class PerfReport:
     validation: ValidationStats = field(
         default_factory=lambda: VALIDATION_STATS.snapshot()
     )
+    watchdog: WatchdogStats = field(
+        default_factory=lambda: WATCHDOG_STATS.snapshot()
+    )
 
     def as_dict(self) -> Dict[str, Any]:
         return {
             "oracle": self.oracle.as_dict() if self.oracle else None,
             "insertion": self.insertion.as_dict(),
             "validation": self.validation.as_dict(),
+            "watchdog": self.watchdog.as_dict(),
         }
 
 
@@ -172,6 +232,7 @@ def report(oracle: Any = None) -> PerfReport:
         oracle=OracleStats.from_oracle(oracle) if oracle is not None else None,
         insertion=INSERTION_STATS.snapshot(),
         validation=VALIDATION_STATS.snapshot(),
+        watchdog=WATCHDOG_STATS.snapshot(),
     )
 
 
@@ -183,3 +244,8 @@ def reset_insertion_stats() -> None:
 def reset_validation_stats() -> None:
     """Zero the process-wide validator counters (benchmarks/tests)."""
     VALIDATION_STATS.reset()
+
+
+def reset_watchdog_stats() -> None:
+    """Zero the process-wide watchdog counters (benchmarks/tests)."""
+    WATCHDOG_STATS.reset()

@@ -91,6 +91,9 @@ class DistanceOracle:
         # whether fast_cost_fn() handed out a counter-bypassing closure —
         # when true, query_count undercounts the real query volume
         self.fast_path = False
+        # bumped by invalidate(); lets holders of fast_cost_fn() closures
+        # (built against the pre-invalidation table) detect staleness
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     def cost(self, u: int, v: int) -> float:
@@ -219,8 +222,9 @@ class DistanceOracle:
         Dijkstra-result or the APSP-row cache), so a dispatcher can warm
         its depot/fleet locations once and keep them hot for the whole
         run.  Pins survive :meth:`invalidate` — the cached values are
-        dropped with everything else, but the sources are re-pinned as
-        soon as they are recomputed.
+        dropped with everything else and the pinned sources are
+        recomputed eagerly against the mutated network, so a warmed row
+        is never served stale.
         """
         for s in sources:
             self._pinned_sources.add(s)
@@ -230,12 +234,20 @@ class DistanceOracle:
         """Forget all warm() pins (entries become ordinary LRU citizens)."""
         self._pinned_sources.clear()
 
-    def invalidate(self) -> None:
+    def invalidate(self, recompute_pinned: bool = True) -> None:
         """Drop all caches; call after mutating the underlying network.
 
-        warm() pins survive: the pinned *values* are dropped like
-        everything else, but the sources stay pinned for when they are
-        recomputed.  Use :meth:`unpin` to forget them.
+        warm() pins survive *and are recomputed eagerly*: the pinned
+        values are dropped with everything else, but each pinned source
+        is immediately re-solved against the mutated network, so warmed
+        rows are never silently stale and stay hot for the next frame.
+        Pass ``recompute_pinned=False`` to defer that work (pins then
+        refill lazily on their next query).  Use :meth:`unpin` to forget
+        the pins entirely.
+
+        Every call bumps :attr:`epoch`.  Holders of
+        :meth:`fast_cost_fn` closures must not use them across an epoch
+        change — the closure reads the pre-invalidation table.
         """
         self._source_cache.clear()
         self._pair_cache.clear()
@@ -246,6 +258,10 @@ class DistanceOracle:
         self._apsp_nodes = []
         self._apsp_n = 0
         self.fast_path = False
+        self.epoch += 1
+        if recompute_pinned and self._pinned_sources:
+            for source in sorted(self._pinned_sources):
+                self.costs_from(source)
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
@@ -263,6 +279,7 @@ class DistanceOracle:
             "row_cache_size": len(self._row_cache),
             "pinned_sources": len(self._pinned_sources),
             "fast_path": self.fast_path,
+            "epoch": self.epoch,
         }
 
     @property

@@ -118,7 +118,17 @@ class TestDispatchFrame:
         report = dispatcher.dispatch_frame([])
         assert report.num_requests == 0
         assert report.num_served == 0
-        assert report.service_rate == 0.0
+        # an empty frame is vacuously fully served, not a 0% failure
+        assert report.service_rate == 1.0
+
+    def test_zero_request_service_rates(self, dispatcher):
+        """Guard: no-demand runs report 1.0, never divide by zero."""
+        assert dispatcher.total_requests == 0
+        assert dispatcher.service_rate == 1.0
+        report = dispatcher.dispatch_frame([])
+        assert report.batch_size == 0
+        assert report.service_rate == 1.0
+        assert dispatcher.service_rate == 1.0
 
     def test_utilisation_tracking(self, dispatcher, city):
         dispatcher.dispatch_frame(frame_requests(city, 8, 0.0, seed=3))
@@ -424,6 +434,48 @@ class TestDispatchError:
         # so this corruption is recoverable and must NOT raise
         report = dispatcher.dispatch_frame([])
         assert 0 in report.assignment.schedules[0].rider_ids()
+
+    def test_degrade_reverted_plan_is_byte_identical_baseline(
+        self, city, monkeypatch
+    ):
+        """The reverted vehicle commits *exactly* its carried-in residual
+        plan — same stops, same arrival times — and every dropped new
+        rider re-enters the carry-over queue."""
+        dispatcher = _long_trip_dispatcher(city, degrade=True)
+        dispatcher.dispatch_frame(_interleaved_trips())
+        fv = dispatcher.fleet[0]
+        baseline_stops = fv.committed_stops
+        baseline_ready = fv.ready_time
+        bogus = make_rider(99, source=5, destination=6,
+                           pickup_deadline=1000.0, dropoff_deadline=2000.0)
+
+        def orphan_dropoff(assignment):
+            seq = assignment.schedules[0]
+            assignment.schedules[0] = seq.with_stops(
+                list(seq.stops) + [Stop.dropoff(bogus)]
+            )
+
+        monkeypatch.setattr(
+            "repro.core.dispatch.solve", _corrupting_solve(orphan_dropoff)
+        )
+        new_riders = [
+            make_rider(2, source=0, destination=1,
+                       pickup_deadline=100.0, dropoff_deadline=300.0),
+            make_rider(3, source=2, destination=3,
+                       pickup_deadline=100.0, dropoff_deadline=300.0),
+        ]
+        report = dispatcher.dispatch_frame(new_riders)
+        committed = report.assignment.schedules[0]
+        # the committed schedule IS the carried-in baseline, stop for stop
+        assert tuple(committed.stops) == tuple(baseline_stops)
+        assert committed.start_time == pytest.approx(
+            max(report.frame_start, baseline_ready)
+        )
+        assert report.num_served == 0
+        # both dropped riders wait in the queue with live retry budgets
+        assert sorted(
+            r.rider_id for r in dispatcher.pending_requests
+        ) == [2, 3]
 
     def test_broken_carried_state_raises_even_with_degrade(self, city):
         dispatcher = _long_trip_dispatcher(city, degrade=True)

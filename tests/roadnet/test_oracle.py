@@ -176,6 +176,7 @@ class TestStats:
             "row_cache_size",
             "pinned_sources",
             "fast_path",
+            "epoch",
         }
         assert oracle.mode == "lru"
 
@@ -278,11 +279,53 @@ class TestWarmPinning:
         oracle = DistanceOracle(small_grid, cache_sources=2, apsp_threshold=0)
         oracle.warm([0])
         oracle.invalidate()
-        assert not oracle._source_cache  # values dropped...
-        oracle.costs_from(0)  # ...but the source re-pins on recompute
+        # pinned rows are recomputed eagerly (stale values dropped, fresh
+        # ones already hot) and the pin itself survives cache pressure
+        assert 0 in oracle._source_cache
         for node in range(1, 8):
             oracle.costs_from(node)
         assert 0 in oracle._source_cache
+
+    def test_invalidate_recomputes_pinned_rows_eagerly(self):
+        """Regression: invalidate() used to drop pinned rows without
+        recomputing them, so a holder of a warm()-pinned row (or a
+        ``fast_cost_fn`` closure) silently kept pre-mutation costs.
+        After a network change + invalidate(), the pinned source must be
+        hot again *and* reflect the new costs."""
+        net = RoadNetwork()
+        net.add_edge(0, 1, 10.0)
+        net.add_edge(1, 2, 10.0)
+        oracle = DistanceOracle(net, apsp_threshold=0)
+        oracle.warm([0])
+        assert oracle.cost(0, 2) == pytest.approx(20.0)
+        net.adjacency[0][1] = 1.0
+        net.adjacency[1][0] = 1.0
+        oracle.invalidate()
+        # eagerly recomputed: already in the cache, no new dijkstra needed
+        assert 0 in oracle._source_cache
+        before = oracle.dijkstra_count
+        assert oracle.cost(0, 2) == pytest.approx(11.0)
+        assert oracle.dijkstra_count == before
+
+    def test_invalidate_can_skip_pinned_recompute(self, small_grid):
+        oracle = DistanceOracle(small_grid, apsp_threshold=0)
+        oracle.warm([0])
+        oracle.invalidate(recompute_pinned=False)
+        assert not oracle._source_cache  # lazily rebuilt on next query
+        oracle.costs_from(0)
+        assert 0 in oracle._source_cache  # still pinned
+
+    def test_invalidate_bumps_epoch(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        assert oracle.epoch == 0
+        assert oracle.stats()["epoch"] == 0
+        oracle.invalidate()
+        oracle.invalidate()
+        assert oracle.epoch == 2
+        assert oracle.stats()["epoch"] == 2
+        from repro.perf import OracleStats
+
+        assert OracleStats.from_oracle(oracle).epoch == 2
 
     def test_unpin_restores_lru_behaviour(self, small_grid):
         oracle = DistanceOracle(small_grid, cache_sources=2, apsp_threshold=0)
