@@ -51,6 +51,8 @@ from repro.core.insertion import (
 )
 from repro.core.requests import Rider
 from repro.core.schedule import TransferSequence
+from repro.obs import start_trace, stop_trace
+from repro.obs import trace as _trace
 from repro.perf import INSERTION_STATS, reset_insertion_stats
 from repro.roadnet import nyc_like
 from repro.roadnet.oracle import DistanceOracle
@@ -274,6 +276,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=Path(__file__).resolve().parent.parent / "BENCH_insertion.json",
         help="where to write the JSON report (default: repo root)",
     )
+    parser.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="record a JSONL trace of the benchmark (inspect with "
+             "'python -m repro.obs summary PATH'); the timed regions "
+             "themselves stay uninstrumented",
+    )
     args = parser.parse_args(argv)
     # fail on an unwritable destination now, not after minutes of timing
     args.out.parent.mkdir(parents=True, exist_ok=True)
@@ -283,11 +291,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         sizes, rounds, per_size, probes = [8, 16, 24], 5, 6, 10
 
+    if args.trace:
+        start_trace(
+            args.trace,
+            meta={
+                "tool": "bench_insertion_engine",
+                "seed": args.seed,
+                "smoke": args.smoke,
+            },
+        )
     reset_insertion_stats()
-    cases = bench_insertion(args.seed, sizes, rounds, per_size, probes)
+    with _trace.span("bench.insertion", seed=args.seed):
+        cases = bench_insertion(args.seed, sizes, rounds, per_size, probes)
     engine_stats = INSERTION_STATS.as_dict()
     if not args.smoke:
-        cases.append(bench_cf_end_to_end(args.seed, rounds=3))
+        with _trace.span("bench.cf_end_to_end"):
+            cases.append(bench_cf_end_to_end(args.seed, rounds=3))
+    if args.trace:
+        for case in cases:
+            _trace.counter(
+                f"bench.speedup.{case['name']}", case["speedup"],
+                schedule_size=case.get("schedule_size"),
+            )
+        stop_trace()
+        print(f"trace written to {args.trace}")
 
     plan_cases = [c for c in cases if c["name"] == "plan_vs_reference"]
     headline = max(plan_cases, key=lambda c: c["schedule_size"])

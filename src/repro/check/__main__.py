@@ -51,6 +51,7 @@ from repro.check.fuzz import (
     run_fuzz,
 )
 from repro.check.validator import validate_assignment
+from repro.obs import start_trace, stop_trace
 
 
 def _parse_budget(text: str) -> float:
@@ -149,9 +150,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", type=str, default="check-failures.json",
         help="where to write the failing-seed artifact (JSON)",
     )
+    parser.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="record a JSONL trace of the run (inspect with "
+             "'python -m repro.obs summary PATH')",
+    )
+    parser.add_argument(
+        "--trace-detail", action="store_true",
+        help="with --trace: also record fine-grained per-insertion events",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
     verbose = args.verbose
+
+    if args.trace:
+        start_trace(
+            args.trace,
+            meta={"tool": "repro.check", "argv": list(argv or sys.argv[1:])},
+            detail=args.trace_detail,
+        )
+    try:
+        return _run(args, verbose)
+    finally:
+        if args.trace:
+            stop_trace()
+            print(f"trace written to {args.trace}")
+
+
+def _run(args: argparse.Namespace, verbose: bool) -> int:
 
     # ------------------------------------------------------------------
     if args.replay is not None and args.chaos:

@@ -68,6 +68,7 @@ from repro.core.insertion import (
 )
 from repro.core.instance import URRInstance
 from repro.core.solver import METHODS, solve
+from repro.obs import trace as _trace
 from repro.roadnet.generators import grid_city
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.oracle import DistanceOracle
@@ -557,6 +558,15 @@ def fuzz_dispatch_seed(
     - per-frame accounting conserves riders
       (``served + expired + carried forward = offered``).
     """
+    with _trace.span("fuzz.seed", kind="dispatch", seed=seed) as seed_span:
+        report = _fuzz_dispatch_seed_impl(seed, config)
+        seed_span.annotate(ok=report.ok, failures=len(report.failures))
+    return report
+
+
+def _fuzz_dispatch_seed_impl(
+    seed: int, config: Optional[DispatchFuzzConfig]
+) -> DispatchSeedReport:
     config = config or DispatchFuzzConfig()
     rng = np.random.default_rng(seed)
     net_config = FuzzConfig(
@@ -872,6 +882,15 @@ def fuzz_chaos_seed(
     trial runs on a private copy of the cached network with a fresh
     :class:`DistanceOracle` — seeds stay independent and replayable.
     """
+    with _trace.span("fuzz.seed", kind="chaos", seed=seed) as seed_span:
+        report = _fuzz_chaos_seed_impl(seed, config)
+        seed_span.annotate(ok=report.ok, failures=len(report.failures))
+    return report
+
+
+def _fuzz_chaos_seed_impl(
+    seed: int, config: Optional[ChaosFuzzConfig]
+) -> ChaosSeedReport:
     config = config or ChaosFuzzConfig()
     rng = np.random.default_rng(seed)
     net_config = FuzzConfig(

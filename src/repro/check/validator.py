@@ -40,6 +40,7 @@ from typing import Any, Dict, Iterable, List, Optional, Set
 from repro.core.assignment import Assignment
 from repro.core.instance import URRInstance
 from repro.core.schedule import StopKind, TransferSequence
+from repro.obs import trace as _trace
 from repro.perf import VALIDATION_STATS
 
 #: Absolute tolerance for time/cost comparisons (matches the solvers' eps).
@@ -590,6 +591,22 @@ def validate_assignment(
         With every violation found; ``report.ok`` means the assignment
         demonstrably satisfies Definitions 1–4.
     """
+    with _trace.span(
+        "check.validate_assignment", schedules=len(assignment.schedules)
+    ) as vspan:
+        report = _validate_assignment_impl(
+            instance, assignment, claimed_utility, audit_event_fields
+        )
+        vspan.annotate(violations=len(report.violations))
+    return report
+
+
+def _validate_assignment_impl(
+    instance: URRInstance,
+    assignment: Assignment,
+    claimed_utility: Optional[float],
+    audit_event_fields: bool,
+) -> ValidationReport:
     report = ValidationReport()
     violations = report.violations
 

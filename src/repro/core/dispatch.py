@@ -39,11 +39,14 @@ system state carries over *consistently*.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 import numpy as np
 
+from repro.obs import trace as _trace
+from repro.perf import FramePerf, PerfReport, PerfSnapshot
 from repro.core.assignment import Assignment
 from repro.core.grouping import GroupingPlan
 from repro.core.instance import URRInstance
@@ -138,6 +141,13 @@ class FrameReport:
     equals the configured method unless a ``frame_budget`` watchdog fell
     back to a cheaper tier (``fallback_tier > 0``; the last resort is
     ``"baseline"``, the carried-in residual plans).
+
+    ``perf`` is this frame's :class:`~repro.perf.FramePerf` breakdown —
+    snapshot-*delta* counters (insertion plans, oracle searches,
+    validator work, watchdog tiers) plus wall-clock section timings.
+    Frame N's numbers exclude frames 1..N-1 and anything else the
+    process ran earlier; summing a field across reports reconstructs
+    the run total.
     """
 
     frame_index: int
@@ -153,6 +163,7 @@ class FrameReport:
     solver_tier: str = ""
     fallback_tier: int = 0
     budget_exceeded: bool = False
+    perf: Optional[FramePerf] = None
 
     @property
     def batch_size(self) -> int:
@@ -333,6 +344,18 @@ class Dispatcher:
         self._seen_rider_ids.update(self.ledger)
         # every disruption outcome ever applied or skipped, in order
         self.disruption_log: List["DisruptionOutcome"] = []
+        # snapshot-delta accounting: the process-wide perf counters are
+        # cumulative, so both the run report and the per-frame reports
+        # subtract captures — construction-time for the run, frame
+        # boundaries for FrameReport.perf
+        self._perf_baseline = PerfSnapshot.capture(self.oracle)
+        # rolling cursor: advanced at every frame end, so the per-frame
+        # deltas partition the run exactly (work done between frames —
+        # disruption repair, notably — lands in the following frame,
+        # matching how disruption_seconds is attributed)
+        self._perf_cursor = self._perf_baseline
+        # inject() time since the last frame, attributed to the next one
+        self._pending_disruption_seconds = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -359,92 +382,150 @@ class Dispatcher:
         :attr:`reports`) after rolling every vehicle forward to its true
         position at the next frame's clock.
         """
-        new_riders = list(requests)
-        self._check_new_ids(new_riders)
-        for rider in new_riders:
-            self.ledger[rider.rider_id] = RiderStatus.PENDING
-        carried = self._carryover
-        self._carryover = []
-        batch = new_riders + [entry.rider for entry in carried]
-        batch_ids = {r.rider_id for r in batch}
+        wall_start = time.perf_counter()
+        frame_before = self._perf_cursor
+        with _trace.span(
+            "dispatch.frame", frame=self._frame_index
+        ) as frame_span:
+            new_riders = list(requests)
+            self._check_new_ids(new_riders)
+            for rider in new_riders:
+                self.ledger[rider.rider_id] = RiderStatus.PENDING
+            carried = self._carryover
+            self._carryover = []
+            batch = new_riders + [entry.rider for entry in carried]
+            batch_ids = {r.rider_id for r in batch}
 
-        instance = self._build_instance(batch)
-        baselines = {
-            v.vehicle_id: instance.initial_sequence(v) for v in instance.vehicles
-        }
-        if self.frame_budget is None:
-            assignment = solve(instance, method=self.method, plan=self.plan)
-            solver_tier, fallback_tier, budget_exceeded = self.method, 0, False
-        else:
-            assignment, anytime = solve_anytime(
-                instance,
-                method=self.method,
-                fallbacks=self.fallbacks,
-                budget=self.frame_budget,
-                plan=self.plan,
-                accept=lambda a: self._first_violation(instance, a),
-                baseline=lambda: Assignment(
-                    instance=instance,
-                    schedules=dict(baselines),
-                ),
+            with _trace.span("dispatch.build_instance"):
+                instance = self._build_instance(batch)
+                baselines = {
+                    v.vehicle_id: instance.initial_sequence(v)
+                    for v in instance.vehicles
+                }
+            solve_start = time.perf_counter()
+            if self.frame_budget is None:
+                with _trace.span("dispatch.solve", method=self.method):
+                    assignment = solve(
+                        instance, method=self.method, plan=self.plan
+                    )
+                solver_tier, fallback_tier, budget_exceeded = (
+                    self.method, 0, False,
+                )
+                tier_seconds = {self.method: assignment.elapsed_seconds}
+            else:
+                with _trace.span("dispatch.solve", method=self.method):
+                    assignment, anytime = solve_anytime(
+                        instance,
+                        method=self.method,
+                        fallbacks=self.fallbacks,
+                        budget=self.frame_budget,
+                        plan=self.plan,
+                        accept=lambda a: self._first_violation(instance, a),
+                        baseline=lambda: Assignment(
+                            instance=instance,
+                            schedules=dict(baselines),
+                        ),
+                    )
+                solver_tier = anytime.tier
+                fallback_tier = anytime.tier_index
+                budget_exceeded = anytime.budget_exceeded
+                tier_seconds = {}
+                for attempt in anytime.attempts:
+                    tier_seconds[attempt.tier] = (
+                        tier_seconds.get(attempt.tier, 0.0) + attempt.elapsed
+                    )
+            solve_seconds = time.perf_counter() - solve_start
+            with _trace.span("dispatch.audit"):
+                assignment = self._enforce_validity(
+                    instance, assignment, baselines
+                )
+            validate_seconds = 0.0
+            if self.validate_frames:
+                # imported lazily: repro.check depends on repro.core
+                from repro.check.validator import validate_assignment
+
+                validate_start = time.perf_counter()
+                with _trace.span("dispatch.validate"):
+                    validate_assignment(instance, assignment).raise_if_invalid()
+                validate_seconds = time.perf_counter() - validate_start
+
+            # incremental accounting: what this frame's insertions added
+            # over the carried-in residual plans
+            model = instance.utility_model()
+            baseline_utility = sum(
+                model.schedule_utility(instance.vehicle(vid), seq)
+                for vid, seq in baselines.items()
             )
-            solver_tier = anytime.tier
-            fallback_tier = anytime.tier_index
-            budget_exceeded = anytime.budget_exceeded
-        assignment = self._enforce_validity(instance, assignment, baselines)
-        if self.validate_frames:
-            # imported lazily: repro.check depends on repro.core
-            from repro.check.validator import validate_assignment
+            baseline_cost = sum(seq.total_cost for seq in baselines.values())
+            frame_utility = assignment.total_utility() - baseline_utility
+            frame_cost = assignment.total_travel_cost() - baseline_cost
+            served_ids = assignment.served_rider_ids() & batch_ids
+            for rid in served_ids:
+                self.ledger[rid] = RiderStatus.COMMITTED
 
-            validate_assignment(instance, assignment).raise_if_invalid()
+            next_clock = self._clock + self.frame_length
+            roll_start = time.perf_counter()
+            with _trace.span("dispatch.roll"):
+                for vid, fv in self.fleet.items():
+                    seq = assignment.schedules.get(vid, baselines[vid])
+                    fv.total_cost += seq.total_cost - baselines[vid].total_cost
+                    fv.riders_served += sum(
+                        1 for r in seq.assigned_riders()
+                        if r.rider_id in batch_ids
+                    )
+                    self._roll_vehicle(fv, seq, next_clock)
+            roll_seconds = time.perf_counter() - roll_start
 
-        # incremental accounting: what this frame's insertions added over
-        # the carried-in residual plans
-        model = instance.utility_model()
-        baseline_utility = sum(
-            model.schedule_utility(instance.vehicle(vid), seq)
-            for vid, seq in baselines.items()
-        )
-        baseline_cost = sum(seq.total_cost for seq in baselines.values())
-        frame_utility = assignment.total_utility() - baseline_utility
-        frame_cost = assignment.total_travel_cost() - baseline_cost
-        served_ids = assignment.served_rider_ids() & batch_ids
-        for rid in served_ids:
-            self.ledger[rid] = RiderStatus.COMMITTED
+            with _trace.span("dispatch.carryover"):
+                num_expired = self._update_carryover(
+                    new_riders, carried, served_ids, next_clock
+                )
+                self._pin_utilities(instance)
 
-        next_clock = self._clock + self.frame_length
-        for vid, fv in self.fleet.items():
-            seq = assignment.schedules.get(vid, baselines[vid])
-            fv.total_cost += seq.total_cost - baselines[vid].total_cost
-            fv.riders_served += sum(
-                1 for r in seq.assigned_riders() if r.rider_id in batch_ids
+            frame_after = PerfSnapshot.capture(self.oracle)
+            frame_perf = FramePerf.from_reports(
+                frame_after.since(frame_before),
+                wall_seconds=time.perf_counter() - wall_start,
+                solve_seconds=solve_seconds,
+                validate_seconds=validate_seconds,
+                roll_seconds=roll_seconds,
+                disruption_seconds=self._pending_disruption_seconds,
+                tier_seconds=tier_seconds,
             )
-            self._roll_vehicle(fv, seq, next_clock)
+            self._pending_disruption_seconds = 0.0
+            self._perf_cursor = frame_after
 
-        num_expired = self._update_carryover(
-            new_riders, carried, served_ids, next_clock
-        )
-        self._pin_utilities(instance)
-
-        report = FrameReport(
-            frame_index=self._frame_index,
-            frame_start=self._clock,
-            num_requests=len(new_riders),
-            num_carried=len(carried),
-            num_served=len(served_ids),
-            num_expired=num_expired,
-            utility=frame_utility,
-            travel_cost=frame_cost,
-            solver_seconds=assignment.elapsed_seconds,
-            assignment=assignment,
-            solver_tier=solver_tier,
-            fallback_tier=fallback_tier,
-            budget_exceeded=budget_exceeded,
-        )
-        self.reports.append(report)
-        self._frame_index += 1
-        self._clock = next_clock
-        return report
+            report = FrameReport(
+                frame_index=self._frame_index,
+                frame_start=self._clock,
+                num_requests=len(new_riders),
+                num_carried=len(carried),
+                num_served=len(served_ids),
+                num_expired=num_expired,
+                utility=frame_utility,
+                travel_cost=frame_cost,
+                solver_seconds=assignment.elapsed_seconds,
+                assignment=assignment,
+                solver_tier=solver_tier,
+                fallback_tier=fallback_tier,
+                budget_exceeded=budget_exceeded,
+                perf=frame_perf,
+            )
+            frame_span.annotate(
+                tier=solver_tier,
+                served=report.num_served,
+                batch=report.batch_size,
+                expired=report.num_expired,
+            )
+            _trace.instant(
+                "frame.perf",
+                frame=self._frame_index,
+                perf=frame_perf.as_dict(),
+            )
+            self.reports.append(report)
+            self._frame_index += 1
+            self._clock = next_clock
+            return report
 
     # ------------------------------------------------------------------
     # disruptions
@@ -463,8 +544,15 @@ class Dispatcher:
         """
         from repro.core.disruptions import DisruptionEngine
 
-        engine = DisruptionEngine(self, **engine_kwargs)
-        outcomes = engine.apply(events)
+        start = time.perf_counter()
+        with _trace.span(
+            "dispatch.inject", frame=self._frame_index, events=len(events)
+        ):
+            engine = DisruptionEngine(self, **engine_kwargs)
+            outcomes = engine.apply(events)
+        # disruptions strike between frames; their repair cost is
+        # attributed to the frame that follows them (FrameReport.perf)
+        self._pending_disruption_seconds += time.perf_counter() - start
         self.disruption_log.extend(outcomes)
         return outcomes
 
@@ -772,15 +860,18 @@ class Dispatcher:
             vid: fv.total_cost / frames for vid, fv in self.fleet.items()
         }
 
-    def perf_report(self) -> "PerfReport":
-        """Cumulative oracle + insertion-engine counters across all frames.
+    def perf_report(self) -> PerfReport:
+        """This dispatcher's counters across all its frames (delta-based).
 
-        The dispatcher shares one :class:`DistanceOracle` across frames, so
-        the oracle side aggregates the whole run (see :mod:`repro.perf`).
+        Snapshot-delta accounting: the report subtracts the capture taken
+        at construction, so it covers exactly this dispatcher's work —
+        earlier frames are not double-counted into later reads, and
+        insertion/validation/watchdog activity from *other* solvers (or
+        tests) run earlier in the process is excluded.  Equals the
+        field-wise sum of the per-frame ``FrameReport.perf`` breakdowns
+        (plus any disruption repair after the last frame).
         """
-        from repro.perf import report
-
-        return report(self.oracle)
+        return PerfSnapshot.capture(self.oracle).since(self._perf_baseline)
 
     # ------------------------------------------------------------------
     def _build_instance(self, riders: List[Rider]) -> URRInstance:

@@ -52,6 +52,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.core.requests import Rider
 from repro.core.schedule import Stop, StopKind
 from repro.core.dispatch import Dispatcher, FleetVehicle, RiderStatus
+from repro.obs import trace as _trace
 
 _EPS = 1e-9
 
@@ -218,16 +219,21 @@ class DisruptionEngine:
         """Apply events in order; one outcome per event."""
         outcomes: List[DisruptionOutcome] = []
         for event in events:
-            if isinstance(event, VehicleBreakdown):
-                outcomes.append(self._breakdown(event))
-            elif isinstance(event, (RiderCancellation, RiderNoShow)):
-                outcomes.append(self._cancel(event))
-            elif isinstance(event, TravelTimePerturbation):
-                outcomes.append(self._perturb(event))
-            elif isinstance(event, RoadClosure):
-                outcomes.append(self._close(event))
-            else:
-                raise TypeError(f"unknown disruption event: {event!r}")
+            kind = getattr(event, "kind", None)
+            name = kind.value if kind is not None else type(event).__name__
+            with _trace.span("disruption.apply", kind=name) as ev_span:
+                if isinstance(event, VehicleBreakdown):
+                    outcome = self._breakdown(event)
+                elif isinstance(event, (RiderCancellation, RiderNoShow)):
+                    outcome = self._cancel(event)
+                elif isinstance(event, TravelTimePerturbation):
+                    outcome = self._perturb(event)
+                elif isinstance(event, RoadClosure):
+                    outcome = self._close(event)
+                else:
+                    raise TypeError(f"unknown disruption event: {event!r}")
+                ev_span.annotate(status=outcome.status.value)
+            outcomes.append(outcome)
         return outcomes
 
     # ------------------------------------------------------------------

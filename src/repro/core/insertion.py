@@ -55,6 +55,7 @@ from typing import List, Optional
 
 from repro.core.requests import Rider
 from repro.core.schedule import Stop, TransferSequence
+from repro.obs import trace as _trace
 from repro.perf import INSERTION_STATS
 
 INF = float("inf")
@@ -132,6 +133,17 @@ class InsertionResult:
     def sequence(self) -> TransferSequence:
         if self._sequence is None:
             INSERTION_STATS.materializations += 1
+            # detail-gated: one instant per materialisation is too chatty
+            # for normal traces but invaluable when profiling the engine
+            tracer = _trace.current()
+            if tracer is not None and tracer.detail:
+                tracer.instant(
+                    "insertion.materialize",
+                    rider=self._rider.rider_id,
+                    pickup=self.pickup_position,
+                    dropoff=self.dropoff_position,
+                    delta=self.delta_cost,
+                )
             new_stops = list(self._base.stops)
             new_stops.insert(self.pickup_position, Stop.pickup(self._rider))
             new_stops.insert(self.dropoff_position, Stop.dropoff(self._rider))

@@ -17,7 +17,14 @@ from repro.core.assignment import Assignment
 
 @dataclass
 class RiderMetrics:
-    """Per-rider service quality."""
+    """Per-rider service quality.
+
+    ``carried_over`` marks riders whose pickup executed in an *earlier*
+    dispatch frame: only the residual leg (sequence start to drop-off)
+    is visible in this schedule, so ``onboard_cost`` / ``pickup_time``
+    are partial — the drop-off side of the trip, priced from the
+    sequence start.
+    """
 
     rider_id: int
     vehicle_id: int
@@ -26,12 +33,21 @@ class RiderMetrics:
     onboard_cost: float
     shortest_cost: float
     co_rider_ids: Tuple[int, ...]
+    carried_over: bool = False
 
     @property
     def detour_ratio(self) -> float:
-        """Eq. 4's sigma: onboard cost over the direct shortest cost."""
+        """Eq. 4's sigma: onboard cost over the direct shortest cost.
+
+        A zero-length trip (``source == destination``, legal after a
+        disruption recomputes a stranded rider's origin) has no direct
+        cost to detour against: its sigma is defined as 1.0, the
+        no-detour value.  Returning ``inf`` here used to poison
+        ``mean_detour_ratio`` and the detour histogram for the whole
+        fleet.
+        """
         if self.shortest_cost <= 0:
-            return math.inf
+            return 1.0
         return max(self.onboard_cost / self.shortest_cost, 1.0)
 
     @property
@@ -98,34 +114,61 @@ class AssignmentMetrics:
 
 
 def compute_metrics(assignment: Assignment) -> AssignmentMetrics:
-    """Derive :class:`AssignmentMetrics` from a solved assignment."""
+    """Derive :class:`AssignmentMetrics` from a solved assignment.
+
+    Safe on the rolling-horizon dispatcher's carried/committed
+    schedules: a rider whose pickup executed in an earlier frame (they
+    ride in ``initial_onboard`` with only the drop-off stop left —
+    ``stop_indices`` returns ``None`` for the pickup) is **partially
+    accounted** from the sequence start to their drop-off and flagged
+    ``carried_over``; a rider with no drop-off in the schedule (fully
+    executed earlier, or excised by a disruption) is skipped.  Neither
+    case aborts the report.
+    """
     instance = assignment.instance
     cost = instance.cost
     metrics = AssignmentMetrics()
     for vehicle_id, seq in assignment.schedules.items():
         metrics.vehicle_costs[vehicle_id] = seq.total_cost
         riders = seq.assigned_riders()
-        metrics.vehicle_rider_counts[vehicle_id] = len(riders)
+        # carried-over riders: onboard since before this schedule began,
+        # identifiable by a drop-off stop with no pickup stop
+        carried = sorted(
+            (rid for rid in seq.initial_onboard
+             if seq.stop_indices(rid)[1] is not None),
+        )
+        metrics.vehicle_rider_counts[vehicle_id] = len(riders) + len(carried)
         onboard_sets = seq._onboard_sets()
-        for rider in riders:
+        for rider in [seq.rider(rid) for rid in carried] + riders:
             pickup_idx, dropoff_idx = seq.stop_indices(rider.rider_id)
-            assert pickup_idx is not None and dropoff_idx is not None
+            if dropoff_idx is None:
+                # drop-off not in this schedule (executed in an earlier
+                # frame or excised mid-horizon): nothing measurable here
+                continue
+            carried_over = pickup_idx is None
+            # events the rider rides within THIS schedule: a carried
+            # rider is onboard from the sequence start (event 0)
+            first_event = 0 if carried_over else pickup_idx + 1
             onboard_cost = sum(
                 seq.leg_costs[event]
-                for event in range(pickup_idx + 1, dropoff_idx + 1)
+                for event in range(first_event, dropoff_idx + 1)
             )
             co_riders: set = set()
-            for event in range(pickup_idx + 1, dropoff_idx + 1):
+            for event in range(first_event, dropoff_idx + 1):
                 co_riders |= onboard_sets[event] - {rider.rider_id}
             metrics.riders.append(
                 RiderMetrics(
                     rider_id=rider.rider_id,
                     vehicle_id=vehicle_id,
-                    pickup_time=seq.arrive[pickup_idx],
+                    pickup_time=(
+                        seq.start_time if carried_over
+                        else seq.arrive[pickup_idx]
+                    ),
                     dropoff_time=seq.arrive[dropoff_idx],
                     onboard_cost=onboard_cost,
                     shortest_cost=cost(rider.source, rider.destination),
                     co_rider_ids=tuple(sorted(co_riders)),
+                    carried_over=carried_over,
                 )
             )
     return metrics

@@ -34,6 +34,7 @@ from repro.core.greedy import run_efficient_greedy
 from repro.core.grouping import GroupingPlan, prepare_grouping, run_grouping
 from repro.core.instance import URRInstance
 from repro.core.scoring import SolverState
+from repro.obs import trace as _trace
 from repro.perf import WATCHDOG_STATS
 
 METHODS = ("cf", "eg", "ba", "gbs+eg", "gbs+ba", "opt")
@@ -95,40 +96,47 @@ def solve(
         raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
 
     if method == "opt":
-        start = time.perf_counter()
-        assignment = solve_optimal(instance, max_riders=opt_max_riders)
-        assignment.elapsed_seconds = time.perf_counter() - start
+        with _trace.span("solver.solve", method="opt"):
+            start = time.perf_counter()
+            assignment = solve_optimal(instance, max_riders=opt_max_riders)
+            assignment.elapsed_seconds = time.perf_counter() - start
         assignment.solver_name = "opt"
         return assignment
 
     if method.startswith("gbs") and plan is None:
-        plan = prepare_grouping(instance.network, k=k)
+        with _trace.span("solver.prepare_grouping"):
+            plan = prepare_grouping(instance.network, k=k)
 
-    state = SolverState(instance, validate=validate)
-    start = time.perf_counter()
-    if method == "cf":
-        run_cost_first(state, instance.riders)
-    elif method == "eg":
-        run_efficient_greedy(state, instance.riders)
-    elif method == "ba":
-        run_bilateral(state, instance.riders)
-    elif method == "gbs+eg":
-        assert plan is not None
-        run_grouping(state, instance.riders, plan, base="eg")
-    elif method == "gbs+ba":
-        assert plan is not None
-        run_grouping(state, instance.riders, plan, base="ba")
+    with _trace.span(
+        "solver.solve", method=method, riders=instance.num_riders
+    ) as solve_span:
+        state = SolverState(instance, validate=validate)
+        start = time.perf_counter()
+        if method == "cf":
+            run_cost_first(state, instance.riders)
+        elif method == "eg":
+            run_efficient_greedy(state, instance.riders)
+        elif method == "ba":
+            run_bilateral(state, instance.riders)
+        elif method == "gbs+eg":
+            assert plan is not None
+            run_grouping(state, instance.riders, plan, base="eg")
+        elif method == "gbs+ba":
+            assert plan is not None
+            run_grouping(state, instance.riders, plan, base="ba")
 
-    assignment = Assignment(
-        instance=instance,
-        schedules=state.schedules,
-        solver_name=method,
-    )
-    if local_search:
-        from repro.core.local_search import improve_assignment
+        assignment = Assignment(
+            instance=instance,
+            schedules=state.schedules,
+            solver_name=method,
+        )
+        if local_search:
+            from repro.core.local_search import improve_assignment
 
-        assignment, _ = improve_assignment(assignment)
-    assignment.elapsed_seconds = time.perf_counter() - start
+            with _trace.span("solver.local_search"):
+                assignment, _ = improve_assignment(assignment)
+        assignment.elapsed_seconds = time.perf_counter() - start
+        solve_span.annotate(served=assignment.num_served)
     return assignment
 
 
@@ -209,38 +217,43 @@ def solve_anytime(
                 TierAttempt(tier=tier, status="skipped",
                             detail="frame budget exhausted")
             )
+            _trace.instant("solver.tier_skipped", tier=tier)
             continue
         t0 = time.perf_counter()
-        try:
-            candidate = solve(
-                instance, method=tier,
-                plan=plan if tier.startswith("gbs") else None,
-                **solve_kwargs,
-            )
-        except Exception as exc:  # a crashing tier must not kill the frame
-            attempts.append(
-                TierAttempt(
-                    tier=tier, status="error",
-                    detail=f"{type(exc).__name__}: {exc}",
-                    elapsed=time.perf_counter() - t0,
+        with _trace.span("solver.tier", tier=tier, index=i) as tier_span:
+            try:
+                candidate = solve(
+                    instance, method=tier,
+                    plan=plan if tier.startswith("gbs") else None,
+                    **solve_kwargs,
                 )
-            )
-            continue
-        if accept is not None:
-            reason = accept(candidate)
-        else:
-            errors = candidate.validity_errors()
-            reason = errors[0] if errors else None
-        if reason is not None:
+            except Exception as exc:  # a crashing tier must not kill the frame
+                attempts.append(
+                    TierAttempt(
+                        tier=tier, status="error",
+                        detail=f"{type(exc).__name__}: {exc}",
+                        elapsed=time.perf_counter() - t0,
+                    )
+                )
+                tier_span.annotate(status="error")
+                continue
+            if accept is not None:
+                reason = accept(candidate)
+            else:
+                errors = candidate.validity_errors()
+                reason = errors[0] if errors else None
+            if reason is not None:
+                attempts.append(
+                    TierAttempt(tier=tier, status="rejected", detail=reason,
+                                elapsed=time.perf_counter() - t0)
+                )
+                tier_span.annotate(status="rejected")
+                continue
             attempts.append(
-                TierAttempt(tier=tier, status="rejected", detail=reason,
+                TierAttempt(tier=tier, status="accepted",
                             elapsed=time.perf_counter() - t0)
             )
-            continue
-        attempts.append(
-            TierAttempt(tier=tier, status="accepted",
-                        elapsed=time.perf_counter() - t0)
-        )
+            tier_span.annotate(status="accepted")
         result, tier_name, tier_index = candidate, tier, i
         break
 
@@ -260,6 +273,7 @@ def solve_anytime(
             TierAttempt(tier=BASELINE_TIER, status="accepted",
                         detail="carried-in residual plans")
         )
+        _trace.instant("solver.tier_baseline", tier=BASELINE_TIER)
 
     elapsed = time.perf_counter() - start
     exceeded = budget is not None and elapsed > budget

@@ -1,0 +1,119 @@
+"""Trace event schema: the contract between recorder and consumers.
+
+One JSON object per line.  The first line must be a ``meta`` event;
+every later line is a ``span``, ``instant`` or ``counter``:
+
+``meta``
+    ``{"type": "meta", "version": int, "unix_time": float, ...}``
+``span``
+    ``{"type": "span", "name": str, "ts": float >= 0, "dur": float >= 0,
+    "depth": int >= 0, "frame": int | null, "attrs": object}``
+``instant``
+    ``{"type": "instant", "name": str, "ts": float >= 0,
+    "frame": int | null, "attrs": object}``
+``counter``
+    ``{"type": "counter", "name": str, "ts": float >= 0, "value": number,
+    "frame": int | null, "attrs": object}``
+
+Unknown extra keys are tolerated (forward compatibility); missing or
+mistyped required keys are violations.  ``validate_line`` /
+``validate_event`` return human-readable problem strings — the CLI
+treats any non-empty result as a schema failure, which is what the CI
+trace-smoke step keys off.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.trace import TRACE_VERSION
+
+EVENT_TYPES = ("meta", "span", "instant", "counter")
+
+_REQUIRED: Dict[str, Tuple[str, ...]] = {
+    "meta": ("version",),
+    "span": ("name", "ts", "dur", "depth", "attrs"),
+    "instant": ("name", "ts", "attrs"),
+    "counter": ("name", "ts", "value", "attrs"),
+}
+
+
+def _is_num(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_event(event: Any, first: bool = False) -> List[str]:
+    """Problems with one decoded trace event (empty list = valid)."""
+    problems: List[str] = []
+    if not isinstance(event, dict):
+        return [f"event is not an object: {type(event).__name__}"]
+    kind = event.get("type")
+    if kind not in EVENT_TYPES:
+        return [f"unknown event type {kind!r}"]
+    if first and kind != "meta":
+        problems.append(f"first event must be 'meta', got {kind!r}")
+    if not first and kind == "meta":
+        problems.append("'meta' event appears after the first line")
+    for key in _REQUIRED[kind]:
+        if key not in event:
+            problems.append(f"{kind} event missing required key {key!r}")
+    if problems:
+        return problems
+    if kind == "meta":
+        if not isinstance(event["version"], int):
+            problems.append("meta.version is not an int")
+        elif event["version"] > TRACE_VERSION:
+            problems.append(
+                f"meta.version {event['version']} is newer than this "
+                f"reader (supports <= {TRACE_VERSION})"
+            )
+        return problems
+    if not isinstance(event["name"], str) or not event["name"]:
+        problems.append(f"{kind}.name is not a non-empty string")
+    if not _is_num(event["ts"]) or event["ts"] < 0:
+        problems.append(f"{kind}.ts is not a non-negative number")
+    if not isinstance(event["attrs"], dict):
+        problems.append(f"{kind}.attrs is not an object")
+    frame = event.get("frame")
+    if frame is not None and not isinstance(frame, int):
+        problems.append(f"{kind}.frame is neither null nor an int")
+    if kind == "span":
+        if not _is_num(event["dur"]) or event["dur"] < 0:
+            problems.append("span.dur is not a non-negative number")
+        if not isinstance(event["depth"], int) or event["depth"] < 0:
+            problems.append("span.depth is not a non-negative int")
+    if kind == "counter" and not _is_num(event["value"]):
+        problems.append("counter.value is not a number")
+    return problems
+
+
+def validate_line(line: str, first: bool = False) -> Tuple[Optional[dict], List[str]]:
+    """Decode + validate one trace line; returns (event or None, problems)."""
+    line = line.strip()
+    if not line:
+        return None, []
+    try:
+        event = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return None, [f"not valid JSON: {exc}"]
+    return event, validate_event(event, first=first)
+
+
+def validate_trace(lines: Iterable[str]) -> Tuple[List[dict], List[str]]:
+    """Decode a whole trace; returns (events, per-line problem strings)."""
+    events: List[dict] = []
+    problems: List[str] = []
+    seen_any = False
+    for lineno, line in enumerate(lines, start=1):
+        event, errs = validate_line(line, first=not seen_any)
+        if event is None and not errs:
+            continue  # blank line
+        seen_any = True
+        for err in errs:
+            problems.append(f"line {lineno}: {err}")
+        if event is not None and not errs:
+            events.append(event)
+    if not seen_any:
+        problems.append("trace is empty (no events)")
+    return events, problems

@@ -1,0 +1,325 @@
+"""Low-overhead span timer and trace recorder (the flight recorder core).
+
+A :class:`Tracer` records *completed* spans — name, monotonic start
+offset, duration, nesting depth, owning dispatch frame — plus point
+events (:meth:`Tracer.instant`) and numeric samples
+(:meth:`Tracer.counter`) as one JSON object per line (JSONL).  The
+format is documented and machine-checked by :mod:`repro.obs.schema`;
+``python -m repro.obs`` summarises and diffs recorded files.
+
+Design constraints, in priority order:
+
+1. **Disabled-by-default with near-zero cost.**  Instrumentation sites
+   call the module-level :func:`span` / :func:`instant` /
+   :func:`counter` helpers; with no tracer installed each call is one
+   global read, one branch and (for ``span``) a shared no-op context
+   manager.  Nothing is ever allocated and no clock is read.  Hot inner
+   loops (``plan_insertion``, oracle ``cost``) are deliberately *not*
+   instrumented — their work is attributed through the
+   :mod:`repro.perf` counter deltas recorded per frame instead.
+2. **Monotonic clocks.**  All timestamps come from
+   ``time.perf_counter`` and are stored relative to the tracer's start,
+   so traces are immune to wall-clock steps and trivially diffable.
+3. **Nestable spans.**  Spans form a stack; each records its depth and
+   inherits the enclosing span's ``frame`` attribution unless given its
+   own, so everything under ``dispatch.frame`` lands in that frame's
+   bucket without every call site threading an index through.
+
+Spans are emitted on *exit* (Chrome-trace "complete event" style): a
+crashed span still reaches the file because ``__exit__`` runs on the
+exception path, with ``error`` recorded in its attrs.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, IO, List, Optional
+
+#: Trace format version, bumped on any schema change.
+TRACE_VERSION = 1
+
+__all__ = [
+    "TRACE_VERSION",
+    "Tracer",
+    "current",
+    "enabled",
+    "span",
+    "instant",
+    "counter",
+    "start_trace",
+    "stop_trace",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Last-resort JSON coercion so the recorder can never crash a run."""
+    try:
+        return float(value) if not isinstance(value, bool) else bool(value)
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+class _SpanHandle:
+    """Context manager for one open span (emits on exit)."""
+
+    __slots__ = ("_tracer", "name", "frame", "attrs", "_start", "_depth")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        frame: Optional[int],
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.frame = frame
+        self.attrs = attrs
+        self._start = 0.0
+        self._depth = 0
+
+    def annotate(self, **attrs: Any) -> "_SpanHandle":
+        """Attach attributes discovered mid-span (serving tier, counts...)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        tracer = self._tracer
+        stack = tracer._stack
+        if self.frame is None and stack:
+            self.frame = stack[-1].frame
+        self._depth = len(stack)
+        stack.append(self)
+        self._start = tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        end = tracer._clock()
+        stack = tracer._stack
+        # tolerate exotic unwinding: pop back to (and including) this span
+        while stack and stack[-1] is not self:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        tracer._emit(
+            {
+                "type": "span",
+                "name": self.name,
+                "ts": self._start - tracer._t0,
+                "dur": end - self._start,
+                "depth": self._depth,
+                "frame": self.frame,
+                "attrs": self.attrs,
+            }
+        )
+        return False  # never swallow exceptions
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def annotate(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The singleton no-op span; every disabled ``span()`` call returns it.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """JSONL trace recorder with nestable monotonic spans.
+
+    Parameters
+    ----------
+    path:
+        File to append trace lines to (created/truncated).  Mutually
+        exclusive with ``stream``.
+    stream:
+        An open text stream to write to instead of a file (tests, or an
+        in-memory ``io.StringIO``).
+    meta:
+        Extra key/values merged into the leading ``meta`` event
+        (program name, seeds, scenario parameters...).
+    detail:
+        Opt-in fine-grained events: instrumentation sites guarded by
+        :attr:`detail` (e.g. per-materialisation instants in the
+        insertion engine) only emit when this is true.  Off by default
+        because such events can dominate the file on large runs.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        stream: Optional[IO[str]] = None,
+        meta: Optional[Dict[str, Any]] = None,
+        detail: bool = False,
+    ) -> None:
+        if (path is None) == (stream is None):
+            raise ValueError("pass exactly one of path or stream")
+        self.path = path
+        self.detail = detail
+        self._owns_stream = stream is None
+        self._stream: Optional[IO[str]] = (
+            open(path, "w", encoding="utf-8") if stream is None else stream
+        )
+        self._clock = time.perf_counter
+        self._t0 = self._clock()
+        self._stack: List[_SpanHandle] = []
+        self.events_written = 0
+        header: Dict[str, Any] = {
+            "type": "meta",
+            "version": TRACE_VERSION,
+            "unix_time": time.time(),
+            "pid": os.getpid(),
+            "python": sys.version.split()[0],
+        }
+        if meta:
+            header.update(meta)
+        self._emit(header)
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._stream is None
+
+    def span(self, name: str, frame: Optional[int] = None, **attrs: Any):
+        """An open span: ``with tracer.span("dispatch.solve") as sp: ...``."""
+        if self._stream is None:
+            return NULL_SPAN
+        return _SpanHandle(self, name, frame, attrs)
+
+    def instant(self, name: str, frame: Optional[int] = None, **attrs: Any) -> None:
+        """A zero-duration point event."""
+        if self._stream is None:
+            return
+        if frame is None and self._stack:
+            frame = self._stack[-1].frame
+        self._emit(
+            {
+                "type": "instant",
+                "name": name,
+                "ts": self._clock() - self._t0,
+                "frame": frame,
+                "attrs": attrs,
+            }
+        )
+
+    def counter(
+        self,
+        name: str,
+        value: float,
+        frame: Optional[int] = None,
+        **attrs: Any,
+    ) -> None:
+        """A named numeric sample (per-frame deltas, queue depths...)."""
+        if self._stream is None:
+            return
+        if frame is None and self._stack:
+            frame = self._stack[-1].frame
+        self._emit(
+            {
+                "type": "counter",
+                "name": name,
+                "ts": self._clock() - self._t0,
+                "value": value,
+                "frame": frame,
+                "attrs": attrs,
+            }
+        )
+
+    def close(self) -> Optional[str]:
+        """Flush and stop recording; returns the trace path (if any)."""
+        stream = self._stream
+        if stream is None:
+            return self.path
+        self._stream = None
+        self._stack = []
+        try:
+            stream.flush()
+        finally:
+            if self._owns_stream:
+                stream.close()
+        return self.path
+
+    # ------------------------------------------------------------------
+    def _emit(self, event: Dict[str, Any]) -> None:
+        stream = self._stream
+        if stream is None:
+            return
+        stream.write(json.dumps(event, default=_jsonable))
+        stream.write("\n")
+        self.events_written += 1
+
+
+# ----------------------------------------------------------------------
+# module-level switchboard (what the instrumentation sites call)
+# ----------------------------------------------------------------------
+_TRACER: Optional[Tracer] = None
+
+
+def current() -> Optional[Tracer]:
+    """The installed tracer, or ``None`` when tracing is disabled."""
+    return _TRACER
+
+
+def enabled() -> bool:
+    return _TRACER is not None
+
+
+def span(name: str, frame: Optional[int] = None, **attrs: Any):
+    """Record a span under the installed tracer (no-op when disabled)."""
+    tracer = _TRACER
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, frame=frame, **attrs)
+
+
+def instant(name: str, frame: Optional[int] = None, **attrs: Any) -> None:
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.instant(name, frame=frame, **attrs)
+
+
+def counter(name: str, value: float, frame: Optional[int] = None, **attrs: Any) -> None:
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.counter(name, value, frame=frame, **attrs)
+
+
+def start_trace(
+    path: Optional[str] = None,
+    stream: Optional[IO[str]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+    detail: bool = False,
+) -> Tracer:
+    """Install a process-wide tracer (replacing and closing any old one)."""
+    global _TRACER
+    if _TRACER is not None:
+        _TRACER.close()
+    _TRACER = Tracer(path=path, stream=stream, meta=meta, detail=detail)
+    return _TRACER
+
+
+def stop_trace() -> Optional[str]:
+    """Close and uninstall the process-wide tracer; returns its path."""
+    global _TRACER
+    tracer = _TRACER
+    _TRACER = None
+    if tracer is None:
+        return None
+    return tracer.close()

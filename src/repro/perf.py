@@ -21,6 +21,16 @@ engine, solver state, dispatcher) reports through the same vocabulary:
   ``SolverState.perf_report()``, ``URRInstance.perf_report()`` and
   ``Dispatcher.perf_report()``.
 
+Because the insertion/validation/watchdog counters are process-wide
+globals, *cumulative* reads double-count across dispatch frames (and
+pick up pollution from anything else run earlier in the process).  The
+**snapshot-delta** layer fixes that: :meth:`PerfSnapshot.capture` freezes
+all counters (plus an oracle's), :meth:`PerfSnapshot.since` subtracts two
+captures into a :class:`PerfReport` of differences, and
+:class:`FramePerf` packages one dispatch frame's delta together with its
+wall-clock section timings.  ``Dispatcher.perf_report()`` and
+``FrameReport.perf`` are built exclusively from deltas.
+
 The module deliberately imports nothing from the rest of the package (the
 insertion engine imports *it*), keeping the dependency graph acyclic.
 """
@@ -57,6 +67,15 @@ class InsertionStats:
     def snapshot(self) -> "InsertionStats":
         return InsertionStats(**asdict(self))
 
+    def delta(self, since: "InsertionStats") -> "InsertionStats":
+        """Counters accumulated after ``since`` was snapshotted."""
+        return InsertionStats(
+            plans=self.plans - since.plans,
+            pairs_evaluated=self.pairs_evaluated - since.pairs_evaluated,
+            materializations=self.materializations - since.materializations,
+            reference_calls=self.reference_calls - since.reference_calls,
+        )
+
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)
 
@@ -90,6 +109,15 @@ class ValidationStats:
 
     def snapshot(self) -> "ValidationStats":
         return ValidationStats(**asdict(self))
+
+    def delta(self, since: "ValidationStats") -> "ValidationStats":
+        """Counters accumulated after ``since`` was snapshotted."""
+        return ValidationStats(
+            assignments=self.assignments - since.assignments,
+            schedules=self.schedules - since.schedules,
+            stops=self.stops - since.stops,
+            violations=self.violations - since.violations,
+        )
 
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)
@@ -136,6 +164,20 @@ class WatchdogStats:
             fallbacks=self.fallbacks,
             budget_exceeded=self.budget_exceeded,
             tier_uses=dict(self.tier_uses),
+        )
+
+    def delta(self, since: "WatchdogStats") -> "WatchdogStats":
+        """Counters accumulated after ``since``; zero tiers are dropped."""
+        tiers = {
+            tier: count - since.tier_uses.get(tier, 0)
+            for tier, count in self.tier_uses.items()
+            if count - since.tier_uses.get(tier, 0)
+        }
+        return WatchdogStats(
+            frames=self.frames - since.frames,
+            fallbacks=self.fallbacks - since.fallbacks,
+            budget_exceeded=self.budget_exceeded - since.budget_exceeded,
+            tier_uses=tiers,
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -189,11 +231,48 @@ class OracleStats:
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of queries answered without running a graph search.
+
+        *Every* search counts as a miss — Dijkstras (full single-source
+        runs serving :meth:`DistanceOracle.costs_from` misses) as well
+        as bidirectional point-to-point runs.  An earlier version only
+        subtracted ``bidirectional_count``, so Dijkstra-serving modes
+        reported a ~1.0 hit rate even when every query paid a search.
+        Clamped at 0 because ``costs_from``-heavy phases can run more
+        Dijkstras than there are counted point queries.
+        """
         if self.query_count == 0:
             return 0.0
         if self.mode == "apsp":
             return 1.0
-        return max(0.0, 1.0 - self.bidirectional_count / self.query_count)
+        return max(0.0, 1.0 - self.searches / self.query_count)
+
+    def delta(self, since: "OracleStats") -> "OracleStats":
+        """Work done after ``since``; sizes/mode reflect the later state.
+
+        Monotonic counters (queries, searches, cache hits) are
+        differenced; the non-monotonic fields (mode, cache sizes,
+        pins, ``fast_path``, ``epoch``) keep their current values — a
+        delta describes *work in an interval*, and the interval ends in
+        the current state.
+        """
+        return OracleStats(
+            mode=self.mode,
+            nodes=self.nodes,
+            query_count=self.query_count - since.query_count,
+            dijkstra_count=self.dijkstra_count - since.dijkstra_count,
+            bidirectional_count=(
+                self.bidirectional_count - since.bidirectional_count
+            ),
+            pair_cache_hits=self.pair_cache_hits - since.pair_cache_hits,
+            pair_cache_size=self.pair_cache_size,
+            source_cache_hits=self.source_cache_hits - since.source_cache_hits,
+            source_cache_size=self.source_cache_size,
+            row_cache_size=self.row_cache_size,
+            pinned_sources=self.pinned_sources,
+            fast_path=self.fast_path,
+            epoch=self.epoch,
+        )
 
     def as_dict(self) -> Dict[str, Any]:
         data = asdict(self)
@@ -234,6 +313,109 @@ def report(oracle: Any = None) -> PerfReport:
         validation=VALIDATION_STATS.snapshot(),
         watchdog=WATCHDOG_STATS.snapshot(),
     )
+
+
+# ----------------------------------------------------------------------
+# snapshot-delta accounting
+# ----------------------------------------------------------------------
+@dataclass
+class PerfSnapshot:
+    """A frozen capture of every counter at one instant.
+
+    Two captures bracket an interval; :meth:`since` subtracts them into
+    a :class:`PerfReport` whose counters describe *only* that interval.
+    This is the mechanism behind per-frame attribution: cumulative
+    process-wide globals double-count across frames, deltas do not.
+    """
+
+    insertion: InsertionStats
+    validation: ValidationStats
+    watchdog: WatchdogStats
+    oracle: Optional[OracleStats] = None
+
+    @classmethod
+    def capture(cls, oracle: Any = None) -> "PerfSnapshot":
+        """Freeze the process-wide counters (and an oracle's, if given)."""
+        return cls(
+            insertion=INSERTION_STATS.snapshot(),
+            validation=VALIDATION_STATS.snapshot(),
+            watchdog=WATCHDOG_STATS.snapshot(),
+            oracle=OracleStats.from_oracle(oracle)
+            if oracle is not None
+            else None,
+        )
+
+    def since(self, earlier: "PerfSnapshot") -> PerfReport:
+        """The work done between ``earlier`` and this capture."""
+        if self.oracle is not None and earlier.oracle is not None:
+            oracle = self.oracle.delta(earlier.oracle)
+        else:
+            oracle = self.oracle
+        return PerfReport(
+            oracle=oracle,
+            insertion=self.insertion.delta(earlier.insertion),
+            validation=self.validation.delta(earlier.validation),
+            watchdog=self.watchdog.delta(earlier.watchdog),
+        )
+
+
+@dataclass
+class FramePerf:
+    """One dispatch frame's perf breakdown (all fields are *per-frame*).
+
+    The counter fields are :meth:`PerfSnapshot.since` deltas bracketing
+    the frame, so frame N's numbers exclude frames 1..N-1 and any
+    pre-dispatcher process activity.  The timing fields are monotonic
+    wall-clock sections measured inside the frame:
+
+    - ``wall_seconds`` — the whole ``dispatch_frame`` call;
+    - ``solve_seconds`` — the solver (all watchdog tiers included);
+    - ``tier_seconds`` — solver time by tier name (one entry without a
+      watchdog, one per attempted tier with one);
+    - ``validate_seconds`` — the opt-in ``validate_frames`` audit;
+    - ``roll_seconds`` — rolling every vehicle to the next clock;
+    - ``disruption_seconds`` — time spent in ``Dispatcher.inject`` since
+      the previous frame (disruptions strike *between* frames; their
+      repair cost is attributed to the frame that follows them).
+    """
+
+    insertion: InsertionStats
+    validation: ValidationStats
+    watchdog: WatchdogStats
+    oracle: Optional[OracleStats] = None
+    wall_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    validate_seconds: float = 0.0
+    roll_seconds: float = 0.0
+    disruption_seconds: float = 0.0
+    tier_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_reports(
+        cls, interval: PerfReport, **timings: Any
+    ) -> "FramePerf":
+        """Build from a :meth:`PerfSnapshot.since` interval + timings."""
+        return cls(
+            insertion=interval.insertion,
+            validation=interval.validation,
+            watchdog=interval.watchdog,
+            oracle=interval.oracle,
+            **timings,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "insertion": self.insertion.as_dict(),
+            "validation": self.validation.as_dict(),
+            "watchdog": self.watchdog.as_dict(),
+            "oracle": self.oracle.as_dict() if self.oracle else None,
+            "wall_seconds": self.wall_seconds,
+            "solve_seconds": self.solve_seconds,
+            "validate_seconds": self.validate_seconds,
+            "roll_seconds": self.roll_seconds,
+            "disruption_seconds": self.disruption_seconds,
+            "tier_seconds": dict(self.tier_seconds),
+        }
 
 
 def reset_insertion_stats() -> None:

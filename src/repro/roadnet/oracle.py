@@ -27,6 +27,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Set
 
 import numpy as np
 
+from repro.obs import trace as _trace
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.shortest_path import INF, bidirectional_dijkstra, dijkstra
 
@@ -249,19 +250,24 @@ class DistanceOracle:
         :meth:`fast_cost_fn` closures must not use them across an epoch
         change — the closure reads the pre-invalidation table.
         """
-        self._source_cache.clear()
-        self._pair_cache.clear()
-        self._row_cache.clear()
-        self._apsp = None
-        self._apsp_view = None
-        self._apsp_index = None
-        self._apsp_nodes = []
-        self._apsp_n = 0
-        self.fast_path = False
-        self.epoch += 1
-        if recompute_pinned and self._pinned_sources:
-            for source in sorted(self._pinned_sources):
-                self.costs_from(source)
+        with _trace.span(
+            "oracle.invalidate",
+            pinned=len(self._pinned_sources),
+            recompute_pinned=recompute_pinned,
+        ):
+            self._source_cache.clear()
+            self._pair_cache.clear()
+            self._row_cache.clear()
+            self._apsp = None
+            self._apsp_view = None
+            self._apsp_index = None
+            self._apsp_nodes = []
+            self._apsp_n = 0
+            self.fast_path = False
+            self.epoch += 1
+            if recompute_pinned and self._pinned_sources:
+                for source in sorted(self._pinned_sources):
+                    self.costs_from(source)
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
@@ -289,6 +295,10 @@ class DistanceOracle:
 
     # ------------------------------------------------------------------
     def _build_apsp(self) -> None:
+        with _trace.span("oracle.build_apsp", nodes=len(self.network)):
+            self._build_apsp_inner()
+
+    def _build_apsp_inner(self) -> None:
         nodes = sorted(self.network.nodes())
         n = len(nodes)
         contiguous = nodes == list(range(n))

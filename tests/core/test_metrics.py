@@ -4,13 +4,25 @@ import math
 
 import pytest
 
-from repro.core.metrics import compute_metrics, format_metrics
+from repro.core.dispatch import Dispatcher
+from repro.core.metrics import AssignmentMetrics, RiderMetrics, compute_metrics, format_metrics
 from repro.core.solver import solve
+from repro.core.vehicles import Vehicle
+from tests.conftest import make_rider
 
 
 @pytest.fixture
 def solved(line_instance):
     return solve(line_instance, method="eg")
+
+
+def rider_metrics(onboard=1.0, shortest=1.0, **kwargs):
+    defaults = dict(
+        rider_id=0, vehicle_id=0, pickup_time=0.0, dropoff_time=1.0,
+        onboard_cost=onboard, shortest_cost=shortest, co_rider_ids=(),
+    )
+    defaults.update(kwargs)
+    return RiderMetrics(**defaults)
 
 
 class TestComputeMetrics:
@@ -64,6 +76,147 @@ class TestComputeMetrics:
         assert metrics.mean_detour_ratio == 0.0
         assert metrics.sharing_rate == 0.0
         assert metrics.active_vehicles == 0
+
+
+class TestZeroLengthTrips:
+    def test_zero_length_trip_sigma_is_one(self):
+        """Regression: source == destination (legal after a disruption
+        recomputes a stranded rider's origin) made detour_ratio return
+        inf, poisoning every fleet-level mean it fed."""
+        rider = rider_metrics(onboard=0.0, shortest=0.0)
+        assert rider.detour_ratio == 1.0
+
+    def test_zero_length_trip_does_not_poison_fleet_means(self):
+        metrics = AssignmentMetrics(riders=[
+            rider_metrics(rider_id=0, onboard=2.0, shortest=1.0),
+            rider_metrics(rider_id=1, onboard=0.0, shortest=0.0),
+        ])
+        assert math.isfinite(metrics.mean_detour_ratio)
+        assert metrics.mean_detour_ratio == pytest.approx(1.5)
+        # ... and the histogram puts the zero-length trip in the first
+        # bin instead of the inf overflow bucket
+        histogram = metrics.detour_histogram()
+        assert histogram[0] == (1.0, 1)
+        assert histogram[-1] == (math.inf, 0)
+
+    def test_negative_shortest_cost_treated_as_zero_length(self):
+        assert rider_metrics(onboard=1.0, shortest=-1.0).detour_ratio == 1.0
+
+
+class TestDetourHistogramEdges:
+    def test_sigma_exactly_on_an_edge_falls_in_that_bin(self):
+        """A sigma of exactly 1.1 belongs to the 1.1 bin, tolerating the
+        float noise of onboard/shortest division."""
+        metrics = AssignmentMetrics(riders=[
+            rider_metrics(rider_id=0, onboard=1.1, shortest=1.0),
+        ])
+        histogram = dict(metrics.detour_histogram())
+        assert histogram[1.1] == 1
+        assert histogram[1.0] == 0
+        assert histogram[1.25] == 0
+
+    def test_float_noise_below_an_edge_still_counts(self):
+        # 0.11 / 0.1 = 1.1000000000000001 in binary floats
+        metrics = AssignmentMetrics(riders=[
+            rider_metrics(rider_id=0, onboard=0.11, shortest=0.1),
+        ])
+        assert dict(metrics.detour_histogram())[1.1] == 1
+
+    def test_overflow_bucket(self):
+        metrics = AssignmentMetrics(riders=[
+            rider_metrics(rider_id=0, onboard=5.0, shortest=1.0),
+        ])
+        histogram = metrics.detour_histogram()
+        assert histogram[-1] == (math.inf, 1)
+        assert sum(c for _, c in histogram) == 1
+
+    def test_custom_edges(self):
+        metrics = AssignmentMetrics(riders=[
+            rider_metrics(rider_id=0, onboard=1.3, shortest=1.0),
+            rider_metrics(rider_id=1, onboard=2.5, shortest=1.0),
+        ])
+        histogram = metrics.detour_histogram(edges=(1.5, 2.0))
+        assert histogram == [(1.5, 1), (2.0, 0), (math.inf, 1)]
+
+
+class TestCarriedOverRiders:
+    def _dispatcher(self, line_network):
+        fleet = [Vehicle(vehicle_id=0, location=0, capacity=2)]
+        return Dispatcher(
+            line_network, fleet, method="eg", frame_length=2.0, seed=1
+        )
+
+    def test_carried_rider_is_partially_accounted(self, line_network):
+        """Regression: a rider picked up in frame 1 and still onboard in
+        frame 2 has no pickup stop in frame 2's schedule; compute_metrics
+        used to abort on the missing stop index (or silently drop the
+        rider).  They must appear, flagged carried_over, with the
+        residual leg priced from the sequence start."""
+        dispatcher = self._dispatcher(line_network)
+        # the EG plan interleaves: P0@1 P1@2 D1@3 D0@4.  At the 2-minute
+        # boundary the vehicle is mid-leg towards D1 with rider 0 onboard
+        # and rider 0's drop-off still committed beyond the anchor.
+        report1 = dispatcher.dispatch_frame([
+            make_rider(0, source=1, destination=4,
+                       pickup_deadline=3.0, dropoff_deadline=20.0),
+            make_rider(1, source=2, destination=3,
+                       pickup_deadline=4.0, dropoff_deadline=20.0),
+        ])
+        assert report1.num_served == 2
+        report2 = dispatcher.dispatch_frame([])
+        seq = report2.assignment.schedules[0]
+        assert 0 in seq.initial_onboard
+        pickup_idx, dropoff_idx = seq.stop_indices(0)
+        assert pickup_idx is None and dropoff_idx is not None
+
+        metrics = compute_metrics(report2.assignment)
+        assert metrics.num_served == 1
+        (rider,) = metrics.riders
+        assert rider.rider_id == 0
+        assert rider.carried_over
+        # partial accounting: the residual leg from the sequence start
+        assert rider.pickup_time == pytest.approx(seq.start_time)
+        assert rider.dropoff_time == pytest.approx(seq.arrive[dropoff_idx])
+        assert rider.onboard_cost > 0.0
+        assert rider.onboard_cost <= rider.shortest_cost + 1e-9
+        assert metrics.vehicle_rider_counts[0] == 1
+        assert metrics.active_vehicles == 1
+
+    def test_fresh_riders_are_not_flagged(self, solved):
+        metrics = compute_metrics(solved)
+        assert not any(r.carried_over for r in metrics.riders)
+
+    def test_rider_without_dropoff_is_skipped(self, line_network):
+        """A rider whose whole trip executed in earlier frames (neither
+        stop left in the residual schedule) is skipped, not crashed on."""
+        dispatcher = self._dispatcher(line_network)
+        dispatcher.dispatch_frame([
+            make_rider(0, source=1, destination=4,
+                       pickup_deadline=3.0, dropoff_deadline=20.0),
+        ])
+        # roll empty frames until the trip completes
+        last = None
+        for _ in range(10):
+            last = dispatcher.dispatch_frame([])
+            if not dispatcher.fleet[0].onboard:
+                break
+        assert dispatcher.fleet[0].onboard == ()
+        metrics = compute_metrics(last.assignment)
+        # nothing measurable remains, and nothing raised
+        assert metrics.num_served == 0
+
+    def test_carried_rider_metrics_across_whole_run(self, line_network):
+        """Every frame of a multi-frame run must be metric-safe."""
+        dispatcher = self._dispatcher(line_network)
+        reports = [dispatcher.dispatch_frame([
+            make_rider(0, source=1, destination=4,
+                       pickup_deadline=3.0, dropoff_deadline=20.0),
+        ])]
+        for _ in range(6):
+            reports.append(dispatcher.dispatch_frame([]))
+        for report in reports:
+            metrics = compute_metrics(report.assignment)
+            assert all(math.isfinite(r.detour_ratio) for r in metrics.riders)
 
 
 class TestFormatMetrics:

@@ -1,0 +1,241 @@
+"""Unit tests for repro.obs.trace (recorder) and repro.obs.schema."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    TRACE_VERSION,
+    Tracer,
+    start_trace,
+    stop_trace,
+    validate_event,
+    validate_trace,
+)
+from repro.obs import trace as trace_mod
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_tracer():
+    """Every test starts and ends with tracing disabled."""
+    stop_trace()
+    yield
+    stop_trace()
+
+
+def events_of(stream: io.StringIO):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert trace_mod.current() is None
+        assert not trace_mod.enabled()
+
+    def test_span_returns_shared_null_span(self):
+        handle = trace_mod.span("anything", frame=3, attr=1)
+        assert handle is NULL_SPAN
+        with handle as sp:
+            assert sp is NULL_SPAN
+            sp.annotate(more=2)  # no-op, no error
+
+    def test_instant_and_counter_are_noops(self):
+        trace_mod.instant("x", value=1)
+        trace_mod.counter("y", 2.0)
+
+    def test_null_span_does_not_swallow_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with trace_mod.span("s"):
+                raise RuntimeError("boom")
+
+
+class TestTracer:
+    def test_requires_exactly_one_sink(self):
+        with pytest.raises(ValueError):
+            Tracer()
+        with pytest.raises(ValueError):
+            Tracer(path="x.jsonl", stream=io.StringIO())
+
+    def test_meta_header_first(self):
+        stream = io.StringIO()
+        tracer = Tracer(stream=stream, meta={"scenario": "unit"})
+        tracer.close()
+        events = events_of(stream)
+        assert events[0]["type"] == "meta"
+        assert events[0]["version"] == TRACE_VERSION
+        assert events[0]["scenario"] == "unit"
+
+    def test_span_emitted_on_exit(self):
+        stream = io.StringIO()
+        tracer = Tracer(stream=stream)
+        with tracer.span("work", riders=5) as sp:
+            sp.annotate(served=3)
+        tracer.close()
+        (span,) = [e for e in events_of(stream) if e["type"] == "span"]
+        assert span["name"] == "work"
+        assert span["attrs"] == {"riders": 5, "served": 3}
+        assert span["dur"] >= 0.0
+        assert span["ts"] >= 0.0
+        assert span["depth"] == 0
+
+    def test_nesting_depth_and_frame_inheritance(self):
+        stream = io.StringIO()
+        tracer = Tracer(stream=stream)
+        with tracer.span("outer", frame=7):
+            with tracer.span("inner"):  # inherits frame 7
+                with tracer.span("innermost", frame=9):
+                    pass
+            tracer.instant("mark")  # inherits frame 7 from the stack top
+        tracer.close()
+        by_name = {
+            e["name"]: e for e in events_of(stream) if e["type"] != "meta"
+        }
+        assert by_name["outer"]["depth"] == 0
+        assert by_name["inner"]["depth"] == 1
+        assert by_name["innermost"]["depth"] == 2
+        assert by_name["outer"]["frame"] == 7
+        assert by_name["inner"]["frame"] == 7
+        assert by_name["innermost"]["frame"] == 9  # explicit frame wins
+        assert by_name["mark"]["frame"] == 7
+
+    def test_crashed_span_still_recorded_with_error(self):
+        stream = io.StringIO()
+        tracer = Tracer(stream=stream)
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("nope")
+        tracer.close()
+        (span,) = [e for e in events_of(stream) if e["type"] == "span"]
+        assert span["attrs"]["error"] == "ValueError"
+
+    def test_counter_and_instant_events(self):
+        stream = io.StringIO()
+        tracer = Tracer(stream=stream)
+        tracer.instant("tick", frame=1, note="a")
+        tracer.counter("queue_depth", 4, frame=2)
+        tracer.close()
+        events = events_of(stream)
+        instant = next(e for e in events if e["type"] == "instant")
+        counter = next(e for e in events if e["type"] == "counter")
+        assert instant["name"] == "tick" and instant["frame"] == 1
+        assert counter["value"] == 4 and counter["frame"] == 2
+
+    def test_unjsonable_attrs_coerced_not_crashing(self):
+        stream = io.StringIO()
+        tracer = Tracer(stream=stream)
+        with tracer.span("s", payload=object()):
+            pass
+        tracer.close()
+        (span,) = [e for e in events_of(stream) if e["type"] == "span"]
+        assert isinstance(span["attrs"]["payload"], str)
+
+    def test_close_is_idempotent_and_counts_events(self):
+        stream = io.StringIO()
+        tracer = Tracer(stream=stream)
+        with tracer.span("a"):
+            pass
+        assert tracer.events_written == 2  # meta + span
+        assert tracer.close() is None  # stream sink has no path
+        assert tracer.closed
+        tracer.close()  # second close: no error
+        # post-close instrumentation is a silent no-op
+        tracer.instant("late")
+        with tracer.span("late2"):
+            pass
+        assert tracer.events_written == 2
+
+    def test_emitted_events_satisfy_the_schema(self):
+        stream = io.StringIO()
+        tracer = Tracer(stream=stream, meta={"k": 1})
+        with tracer.span("outer", frame=0):
+            tracer.instant("i", x=1)
+            tracer.counter("c", 3.5)
+        tracer.close()
+        events, problems = validate_trace(stream.getvalue().splitlines())
+        assert problems == []
+        assert [e["type"] for e in events] == [
+            "meta", "instant", "counter", "span"
+        ]
+
+
+class TestModuleSwitchboard:
+    def test_start_trace_installs_and_stop_uninstalls(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tracer = start_trace(path, meta={"who": "test"})
+        assert trace_mod.current() is tracer
+        assert trace_mod.enabled()
+        with trace_mod.span("via_module", frame=0):
+            trace_mod.instant("ping")
+        assert stop_trace() == path
+        assert trace_mod.current() is None
+        with open(path) as fh:
+            events, problems = validate_trace(fh)
+        assert problems == []
+        assert {e["type"] for e in events} == {"meta", "span", "instant"}
+
+    def test_start_trace_replaces_and_closes_old(self):
+        first = start_trace(stream=io.StringIO())
+        second = start_trace(stream=io.StringIO())
+        assert first.closed
+        assert trace_mod.current() is second
+
+    def test_stop_trace_when_disabled_returns_none(self):
+        assert stop_trace() is None
+
+
+class TestSchema:
+    def test_first_event_must_be_meta(self):
+        problems = validate_event(
+            {"type": "span", "name": "x", "ts": 0, "dur": 0,
+             "depth": 0, "attrs": {}},
+            first=True,
+        )
+        assert any("must be 'meta'" in p for p in problems)
+
+    def test_meta_only_first(self):
+        assert any(
+            "after the first line" in p
+            for p in validate_event({"type": "meta", "version": 1})
+        )
+
+    def test_missing_required_key(self):
+        problems = validate_event(
+            {"type": "span", "name": "x", "ts": 0, "depth": 0, "attrs": {}}
+        )
+        assert any("missing required key 'dur'" in p for p in problems)
+
+    def test_future_version_rejected(self):
+        problems = validate_event(
+            {"type": "meta", "version": TRACE_VERSION + 1}, first=True
+        )
+        assert any("newer than this reader" in p for p in problems)
+
+    def test_unknown_type_rejected(self):
+        assert validate_event({"type": "wat"}) == ["unknown event type 'wat'"]
+
+    def test_extra_keys_tolerated(self):
+        assert validate_event(
+            {"type": "instant", "name": "x", "ts": 0.5, "attrs": {},
+             "frame": None, "future_field": [1, 2]}
+        ) == []
+
+    def test_validate_trace_reports_line_numbers(self):
+        lines = [
+            json.dumps({"type": "meta", "version": TRACE_VERSION}),
+            "{not json",
+            json.dumps({"type": "counter", "name": "c", "ts": 1.0,
+                        "value": "high", "attrs": {}}),
+        ]
+        events, problems = validate_trace(lines)
+        assert len(events) == 1
+        assert any(p.startswith("line 2:") for p in problems)
+        assert any(
+            p.startswith("line 3:") and "not a number" in p for p in problems
+        )
+
+    def test_empty_trace_is_a_problem(self):
+        events, problems = validate_trace([])
+        assert events == []
+        assert problems == ["trace is empty (no events)"]

@@ -9,6 +9,9 @@ from repro.perf import (
     InsertionStats,
     OracleStats,
     PerfReport,
+    PerfSnapshot,
+    ValidationStats,
+    WatchdogStats,
     report,
     reset_insertion_stats,
 )
@@ -58,11 +61,155 @@ class TestOracleStats:
         oracle = DistanceOracle(small_grid)
         assert OracleStats.from_oracle(oracle).hit_rate == 0.0
 
+    def test_hit_rate_counts_dijkstras_as_misses(self, small_grid):
+        """Regression: hit_rate only subtracted bidirectional searches, so
+        a Dijkstra-serving LRU oracle reported ~1.0 even when every
+        point query had just paid a full single-source run."""
+        oracle = DistanceOracle(small_grid, apsp_threshold=0)
+        oracle.costs_from(0)  # one full Dijkstra
+        oracle.cost(0, 7)     # served from the source cache
+        stats = OracleStats.from_oracle(oracle)
+        assert stats.mode == "lru"
+        assert stats.dijkstra_count == 1 and stats.bidirectional_count == 0
+        # 1 query, 1 search: nothing was answered for free
+        assert stats.hit_rate == 0.0
+
+    def test_hit_rate_mixed_search_kinds(self, small_grid):
+        """Both search kinds count as misses; cache-served repeats as hits."""
+        oracle = DistanceOracle(small_grid, apsp_threshold=0)
+        oracle.costs_from(0)
+        oracle.cost(0, 7)   # source-cache hit, but pays for the Dijkstra
+        oracle.cost(3, 9)   # bidirectional search (miss)
+        oracle.cost(3, 9)   # pair-cache hit
+        oracle.cost(0, 12)  # source-cache hit
+        stats = OracleStats.from_oracle(oracle)
+        assert stats.searches == 2
+        # 4 counted queries, 2 searches -> half answered without graph work
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_clamped_at_zero(self, small_grid):
+        """costs_from-heavy phases can run more Dijkstras than counted
+        point queries; the rate clamps rather than going negative."""
+        oracle = DistanceOracle(small_grid, apsp_threshold=0)
+        oracle.costs_from(0)
+        oracle.costs_from(1)
+        oracle.cost(0, 7)
+        assert OracleStats.from_oracle(oracle).hit_rate == 0.0
+
+    def test_hit_rate_apsp_mode(self, small_grid):
+        """In APSP mode every query after the build is a table read: the
+        build's Dijkstras are precomputation, not per-query misses."""
+        oracle = DistanceOracle(small_grid)
+        oracle.cost(0, 7)  # triggers the build (25 Dijkstras)
+        oracle.cost(3, 9)
+        stats = OracleStats.from_oracle(oracle)
+        assert stats.mode == "apsp"
+        assert stats.dijkstra_count == len(small_grid)
+        assert stats.hit_rate == 1.0
+
+    def test_delta(self, small_grid):
+        oracle = DistanceOracle(small_grid, apsp_threshold=0)
+        oracle.cost(0, 7)
+        before = OracleStats.from_oracle(oracle)
+        oracle.cost(3, 9)
+        oracle.cost(3, 9)
+        delta = OracleStats.from_oracle(oracle).delta(before)
+        assert delta.query_count == 2
+        assert delta.bidirectional_count == 1
+        assert delta.pair_cache_hits == 1
+        assert delta.dijkstra_count == 0
+        # non-monotonic fields reflect the later state, not a difference
+        assert delta.mode == "lru"
+        assert delta.nodes == len(small_grid)
+
     def test_as_dict_includes_derived(self, small_grid):
         oracle = DistanceOracle(small_grid)
         oracle.cost(0, 7)
         data = OracleStats.from_oracle(oracle).as_dict()
         assert "searches" in data and "hit_rate" in data
+
+
+class TestWatchdogStats:
+    def test_record_tier_accounting(self):
+        stats = WatchdogStats()
+        stats.record("eg", 0, False)
+        stats.record("cf", 1, False)
+        stats.record("cf", 1, True)
+        stats.record("baseline", 2, True)
+        assert stats.frames == 4
+        assert stats.fallbacks == 3  # every tier_index > 0
+        assert stats.budget_exceeded == 2
+        assert stats.tier_uses == {"eg": 1, "cf": 2, "baseline": 1}
+
+    def test_record_primary_tier_is_not_a_fallback(self):
+        stats = WatchdogStats()
+        stats.record("eg", 0, False)
+        stats.record("eg", 0, False)
+        assert stats.fallbacks == 0
+        assert stats.tier_uses == {"eg": 2}
+
+    def test_delta_drops_zero_tiers(self):
+        stats = WatchdogStats()
+        stats.record("eg", 0, False)
+        before = stats.snapshot()
+        stats.record("cf", 1, True)
+        delta = stats.delta(before)
+        assert delta.frames == 1
+        assert delta.fallbacks == 1
+        assert delta.budget_exceeded == 1
+        # 'eg' saw no new uses in the interval: absent, not 0
+        assert delta.tier_uses == {"cf": 1}
+
+    def test_delta_of_identical_snapshots_is_empty(self):
+        stats = WatchdogStats()
+        stats.record("eg", 0, False)
+        delta = stats.snapshot().delta(stats.snapshot())
+        assert delta.frames == 0 and delta.tier_uses == {}
+
+
+class TestDeltas:
+    def test_insertion_delta(self):
+        before = InsertionStats(plans=3, pairs_evaluated=40,
+                                materializations=1, reference_calls=0)
+        after = InsertionStats(plans=10, pairs_evaluated=100,
+                               materializations=4, reference_calls=2)
+        delta = after.delta(before)
+        assert delta.as_dict() == {
+            "plans": 7,
+            "pairs_evaluated": 60,
+            "materializations": 3,
+            "reference_calls": 2,
+        }
+
+    def test_validation_delta(self):
+        before = ValidationStats(assignments=1, schedules=4, stops=20,
+                                 violations=0)
+        after = ValidationStats(assignments=3, schedules=9, stops=55,
+                                violations=2)
+        delta = after.delta(before)
+        assert (delta.assignments, delta.schedules,
+                delta.stops, delta.violations) == (2, 5, 35, 2)
+
+
+class TestPerfSnapshot:
+    def test_since_isolates_an_interval(self, small_grid):
+        oracle = DistanceOracle(small_grid, apsp_threshold=0)
+        oracle.cost(0, 7)  # pre-interval work
+        INSERTION_STATS.plans += 5
+        before = PerfSnapshot.capture(oracle)
+        oracle.cost(3, 9)
+        INSERTION_STATS.plans += 2
+        after = PerfSnapshot.capture(oracle)
+        rep = after.since(before)
+        assert isinstance(rep, PerfReport)
+        assert rep.oracle.query_count == 1
+        assert rep.insertion.plans == 2
+        INSERTION_STATS.plans -= 7  # undo the synthetic bumps
+
+    def test_capture_without_oracle(self):
+        snap = PerfSnapshot.capture()
+        assert snap.oracle is None
+        assert snap.since(snap).oracle is None
 
 
 class TestReport:
