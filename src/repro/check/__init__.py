@@ -17,6 +17,9 @@ redundant counterweight:
   :func:`fuzz_chaos_seed` layers seeded mid-horizon disruptions on top,
   asserting rider-ledger conservation and fleet-state integrity
   (:func:`validate_fleet_state`) after every event;
+  :func:`fuzz_prune_seed` differential-checks the spatio-temporal
+  candidate index (:mod:`repro.core.candidates`) against the full
+  all-pairs scan, frame-for-frame;
 - :mod:`repro.check.corruptions` plants known bug classes to prove the
   validator still catches them;
 - ``python -m repro.check`` drives it all from the command line (see
@@ -37,16 +40,20 @@ from repro.check.fuzz import (
     FuzzFailure,
     FuzzRunReport,
     MinimizedRepro,
+    PruneFuzzConfig,
+    PruneSeedReport,
     SeedReport,
     differential_check,
     fuzz_chaos_seed,
     fuzz_dispatch_seed,
+    fuzz_prune_seed,
     fuzz_seed,
     minimize_seed,
     random_instance,
     run_chaos_fuzz,
     run_dispatch_fuzz,
     run_fuzz,
+    run_prune_fuzz,
 )
 from repro.check.validator import (
     ValidationError,
@@ -69,6 +76,8 @@ __all__ = [
     "FuzzFailure",
     "FuzzRunReport",
     "MinimizedRepro",
+    "PruneFuzzConfig",
+    "PruneSeedReport",
     "SeedReport",
     "ValidationError",
     "ValidationReport",
@@ -77,12 +86,14 @@ __all__ = [
     "differential_check",
     "fuzz_chaos_seed",
     "fuzz_dispatch_seed",
+    "fuzz_prune_seed",
     "fuzz_seed",
     "minimize_seed",
     "random_instance",
     "run_chaos_fuzz",
     "run_dispatch_fuzz",
     "run_fuzz",
+    "run_prune_fuzz",
     "validate_assignment",
     "validate_fleet_state",
     "validate_schedule",

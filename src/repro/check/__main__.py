@@ -17,9 +17,14 @@ Modes
   perturbations, road closures) injected between frames, asserting
   rider-ledger conservation, no-vanishing-commitments, and full fleet
   re-validation after every event.
+- ``--prune``: differential-fuzz **candidate retrieval** — each seed's
+  dispatcher scenario runs once with the full all-pairs scan and once
+  through the spatio-temporal candidate index
+  (:mod:`repro.core.candidates`, audit armed), asserting identical
+  assignments frame-for-frame and zero unsound prunes.
 - ``--replay SEED``: re-run one seed verbosely (what CI prints for a
-  failing artifact); combine with ``--dispatch`` or ``--chaos`` to
-  replay the corresponding scenario kind.
+  failing artifact); combine with ``--dispatch``, ``--chaos`` or
+  ``--prune`` to replay the corresponding scenario kind.
 - ``--replay SEED --minimize``: shrink the failing seed to a minimal
   rider/vehicle subset and print the repro as JSON.
 
@@ -43,12 +48,14 @@ from repro.check.fuzz import (
     FuzzRunReport,
     fuzz_chaos_seed,
     fuzz_dispatch_seed,
+    fuzz_prune_seed,
     fuzz_seed,
     minimize_seed,
     random_instance,
     run_chaos_fuzz,
     run_dispatch_fuzz,
     run_fuzz,
+    run_prune_fuzz,
 )
 from repro.check.validator import validate_assignment
 from repro.obs import start_trace, stop_trace
@@ -135,6 +142,11 @@ def main(argv: Optional[List[str]] = None) -> int:
              "(breakdowns, cancellations, perturbations, closures)",
     )
     parser.add_argument(
+        "--prune", action="store_true",
+        help="differential-fuzz candidate retrieval: pruned dispatch "
+             "runs must match the full all-pairs scan frame-for-frame",
+    )
+    parser.add_argument(
         "--replay", type=int, default=None, metavar="SEED",
         help="re-run one seed verbosely instead of fuzzing",
     )
@@ -198,6 +210,25 @@ def _run(args: argparse.Namespace, verbose: bool) -> int:
         for failure in creport.failures:
             print(f"  FAIL {failure}")
         return 0 if creport.ok else 1
+
+    if args.replay is not None and args.prune:
+        preport = fuzz_prune_seed(args.replay)
+        print(
+            f"seed {preport.seed}: method={preport.method} "
+            f"mode={preport.mode} frames={preport.num_frames} "
+            f"vehicles={preport.num_vehicles} "
+            f"frame_length={preport.frame_length:.2f} "
+            f"max_retries={preport.max_retries}"
+        )
+        print(
+            f"  requests={preport.total_requests} "
+            f"served={preport.total_served} "
+            f"pairs={preport.pairs_considered} "
+            f"pruned={preport.pairs_pruned}"
+        )
+        for failure in preport.failures:
+            print(f"  FAIL {failure}")
+        return 0 if preport.ok else 1
 
     if args.replay is not None and args.dispatch:
         dreport = fuzz_dispatch_seed(args.replay)
@@ -276,6 +307,8 @@ def _run(args: argparse.Namespace, verbose: bool) -> int:
         run: FuzzRunReport = run_chaos_fuzz(
             seeds, stop_after=budget, on_seed=progress
         )
+    elif args.prune:
+        run = run_prune_fuzz(seeds, stop_after=budget, on_seed=progress)
     elif args.dispatch:
         run = run_dispatch_fuzz(seeds, stop_after=budget, on_seed=progress)
     else:
@@ -284,6 +317,8 @@ def _run(args: argparse.Namespace, verbose: bool) -> int:
 
     if args.chaos:
         what = "chaos scenarios"
+    elif args.prune:
+        what = "prune differentials"
     elif args.dispatch:
         what = "dispatcher scenarios"
     else:

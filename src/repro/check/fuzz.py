@@ -35,9 +35,18 @@ ledger conserves every rider ever issued, that no committed rider
 vanishes except through an explicit disruption outcome, and that every
 repaired fleet state passes the independent validator.
 
+A fourth harness (:func:`fuzz_prune_seed`) differential-checks
+**candidate retrieval** (:mod:`repro.core.candidates`): the same seeded
+multi-frame scenario runs once with the full all-pairs scan and once
+through the spatio-temporal candidate index (audit armed), asserting the
+two runs agree frame-for-frame — served riders, schedules stop by stop,
+carry-over queues and rider ledgers — and that no pruned pair survives
+an exact reachability re-check.
+
 Everything is deterministic in the seed, so any failure is replayable
 (``python -m repro.check --replay SEED`` /
-``--replay SEED --dispatch`` / ``--replay SEED --chaos``) and shrinkable
+``--replay SEED --dispatch`` / ``--replay SEED --chaos`` /
+``--replay SEED --prune``) and shrinkable
 (:func:`minimize_seed` greedily drops riders/vehicles while the failure
 persists) into a minimal repro.
 """
@@ -679,6 +688,338 @@ def run_dispatch_fuzz(
         if stop_after is not None and time.perf_counter() - start >= stop_after:
             break
         report = fuzz_dispatch_seed(seed, config)
+        run.reports.append(report)
+        if on_seed is not None:
+            on_seed(report)
+    return run
+
+
+# ----------------------------------------------------------------------
+# prune fuzzing: candidate retrieval differentials against the full scan
+# ----------------------------------------------------------------------
+@dataclass
+class PruneFuzzConfig:
+    """Shape of the randomized candidate-prune differential scenarios.
+
+    Each seed runs one multi-frame dispatch scenario *twice* — once with
+    the full all-pairs scan and once through the candidate index — and
+    asserts the runs are frame-for-frame identical.  The grid is larger
+    than the dispatch fuzzer's so the spatial buckets have something to
+    prune, and both dispatchers share the network and oracle so any
+    divergence is attributable to retrieval alone.
+    """
+
+    grid_rows: int = 8
+    grid_cols: int = 8
+    num_networks: int = 3
+    min_frames: int = 3
+    max_frames: int = 5
+    min_riders_per_frame: int = 3
+    max_riders_per_frame: int = 8
+    min_vehicles: int = 3
+    max_vehicles: int = 10
+    max_capacity: int = 3
+    methods: Tuple[str, ...] = ("eg", "ba", "cf", "gbs+eg")
+    modes: Tuple[str, ...] = ("spatial", "spatiotemporal")
+
+
+@dataclass
+class PruneSeedReport:
+    """Everything one candidate-prune differential trial produced."""
+
+    seed: int
+    method: str = ""
+    mode: str = ""
+    num_frames: int = 0
+    num_vehicles: int = 0
+    frame_length: float = 0.0
+    max_retries: int = 1
+    total_requests: int = 0
+    total_served: int = 0
+    pairs_considered: int = 0
+    pairs_pruned: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    # keep the FuzzRunReport aggregation happy
+    scenario: str = "prune"
+    num_riders: int = 0
+
+
+def fuzz_prune_seed(
+    seed: int, config: Optional[PruneFuzzConfig] = None
+) -> PruneSeedReport:
+    """Differential-check candidate retrieval against the full scan.
+
+    One seed drives the same multi-frame dispatch scenario through two
+    dispatchers over the same network, oracle, fleet and request stream —
+    one in ``candidate_mode="full"``, one in a pruning mode (the seed
+    picks ``"spatial"`` or ``"spatiotemporal"``) with the audit hook
+    armed.  At every frame boundary the two runs must agree exactly:
+
+    - served rider ids, frame utility, and expiry counts;
+    - every vehicle's committed schedule, stop by stop, with arrival
+      times within tolerance;
+    - the carry-over queue (riders and spent retry budgets);
+    - the rider-status ledger;
+
+    and the audit counter ``pruned_in_error`` must stay zero (no pruned
+    pair survives an exact reachability re-check).  Candidate pruning is
+    proven sound (:mod:`repro.core.candidates`), so any divergence is a
+    bug in the index's incremental maintenance, not an accepted
+    approximation.
+    """
+    with _trace.span("fuzz.seed", kind="prune", seed=seed) as seed_span:
+        report = _fuzz_prune_seed_impl(seed, config)
+        seed_span.annotate(ok=report.ok, failures=len(report.failures))
+    return report
+
+
+def _fuzz_prune_seed_impl(
+    seed: int, config: Optional[PruneFuzzConfig]
+) -> PruneSeedReport:
+    from repro.core.candidates import build_candidate_index
+    from repro.perf import CANDIDATE_STATS
+
+    config = config or PruneFuzzConfig()
+    rng = np.random.default_rng(seed)
+    net_config = FuzzConfig(
+        grid_rows=config.grid_rows,
+        grid_cols=config.grid_cols,
+        num_networks=config.num_networks,
+    )
+    network, oracle = _network_for(net_config, seed)
+
+    method = config.methods[int(rng.integers(len(config.methods)))]
+    mode = config.modes[int(rng.integers(len(config.modes)))]
+    alpha, beta = _WEIGHT_PROFILES[int(rng.integers(len(_WEIGHT_PROFILES)))]
+    num_frames = int(rng.integers(config.min_frames, config.max_frames + 1))
+    num_vehicles = int(
+        rng.integers(config.min_vehicles, config.max_vehicles + 1)
+    )
+    frame_length = float(rng.uniform(3.0, 8.0))
+    max_retries = int(rng.integers(1, 5))
+    fleet = [
+        Vehicle(
+            vehicle_id=j,
+            location=int(rng.integers(network.num_nodes)),
+            capacity=int(rng.integers(1, config.max_capacity + 1)),
+        )
+        for j in range(num_vehicles)
+    ]
+    # the whole request stream is drawn up front so both dispatchers see
+    # byte-identical frames (the rng is shared state)
+    frames: List[List[Rider]] = []
+    rider_id = 0
+    clock = 0.0
+    for _ in range(num_frames):
+        count = int(
+            rng.integers(
+                config.min_riders_per_frame, config.max_riders_per_frame + 1
+            )
+        )
+        requests = _dispatch_requests(
+            network, oracle, rng, count, clock, frame_length, rider_id
+        )
+        rider_id += len(requests)
+        clock += frame_length
+        frames.append(requests)
+
+    plan = _plan_for(network) if method.startswith("gbs") else None
+
+    def make_dispatcher(candidate_mode: str) -> Dispatcher:
+        kwargs = {}
+        if candidate_mode != "full":
+            kwargs["candidate_index"] = build_candidate_index(
+                network, oracle=oracle, mode=candidate_mode, audit=True
+            )
+        return Dispatcher(
+            network,
+            fleet,
+            method=method,
+            frame_length=frame_length,
+            plan=plan,
+            alpha=alpha,
+            beta=beta,
+            oracle=oracle,
+            seed=seed,
+            max_retries=max_retries,
+            candidate_mode=candidate_mode,
+            **kwargs,
+        )
+
+    full = make_dispatcher("full")
+    pruned = make_dispatcher(mode)
+    report = PruneSeedReport(
+        seed=seed,
+        method=method,
+        mode=mode,
+        num_frames=num_frames,
+        num_vehicles=num_vehicles,
+        frame_length=frame_length,
+        max_retries=max_retries,
+        num_riders=rider_id,
+    )
+    failures = report.failures
+
+    def fail(stage: str, detail: str) -> None:
+        failures.append(
+            FuzzFailure(seed=seed, stage=stage, method=method, detail=detail)
+        )
+
+    stats_before = CANDIDATE_STATS.snapshot()
+    for frame, requests in enumerate(frames):
+        try:
+            full_report = full.dispatch_frame(list(requests))
+        except DispatchError as exc:
+            fail(
+                "prune",
+                f"frame {frame}: full scan raised DispatchError on "
+                f"vehicle {exc.vehicle_id}: {exc.violations[:2]}",
+            )
+            break
+        try:
+            pruned_report = pruned.dispatch_frame(list(requests))
+        except DispatchError as exc:
+            fail(
+                "prune",
+                f"frame {frame}: {mode} mode raised DispatchError on "
+                f"vehicle {exc.vehicle_id}: {exc.violations[:2]}",
+            )
+            break
+        _compare_prune_frames(
+            frame, mode, full, pruned, full_report, pruned_report, fail
+        )
+        if failures:
+            break
+
+    stats = CANDIDATE_STATS.snapshot().delta(stats_before)
+    report.pairs_considered = stats.pairs_considered
+    report.pairs_pruned = stats.pairs_pruned
+    if stats.pruned_in_error:
+        fail(
+            "prune_audit",
+            f"{stats.pruned_in_error} pruned pair(s) survive the exact "
+            f"reachability re-check (unsound lower bound)",
+        )
+    report.total_requests = full.total_requests
+    report.total_served = full.total_served
+    return report
+
+
+def _compare_prune_frames(
+    frame: int,
+    mode: str,
+    full: Dispatcher,
+    pruned: Dispatcher,
+    full_report,
+    pruned_report,
+    fail: Callable[[str, str], None],
+) -> None:
+    """Assert one frame boundary is identical across the two runs."""
+    full_served = sorted(full_report.assignment.served_rider_ids())
+    pruned_served = sorted(pruned_report.assignment.served_rider_ids())
+    if full_served != pruned_served:
+        fail(
+            "prune",
+            f"frame {frame}: served riders diverge: full={full_served} "
+            f"{mode}={pruned_served}",
+        )
+        return
+    if abs(full_report.utility - pruned_report.utility) > _EPS:
+        fail(
+            "prune",
+            f"frame {frame}: utility diverges: "
+            f"full={full_report.utility:.9f} "
+            f"{mode}={pruned_report.utility:.9f}",
+        )
+    if full_report.num_expired != pruned_report.num_expired:
+        fail(
+            "prune",
+            f"frame {frame}: expiry counts diverge: "
+            f"full={full_report.num_expired} "
+            f"{mode}={pruned_report.num_expired}",
+        )
+    full_schedules = full_report.assignment.schedules
+    pruned_schedules = pruned_report.assignment.schedules
+    if set(full_schedules) != set(pruned_schedules):
+        fail(
+            "prune",
+            f"frame {frame}: scheduled vehicle sets diverge: "
+            f"full={sorted(full_schedules)} {mode}={sorted(pruned_schedules)}",
+        )
+        return
+    for vid in sorted(full_schedules):
+        seq_full = full_schedules[vid]
+        seq_pruned = pruned_schedules[vid]
+        stops_full = [
+            (s.rider.rider_id, s.kind.value, s.location)
+            for s in seq_full.stops
+        ]
+        stops_pruned = [
+            (s.rider.rider_id, s.kind.value, s.location)
+            for s in seq_pruned.stops
+        ]
+        if stops_full != stops_pruned:
+            fail(
+                "prune",
+                f"frame {frame}: vehicle {vid} schedules diverge: "
+                f"full={stops_full} {mode}={stops_pruned}",
+            )
+            return
+        for idx, (a_full, a_pruned) in enumerate(
+            zip(seq_full.arrive, seq_pruned.arrive)
+        ):
+            if abs(a_full - a_pruned) > _EPS:
+                fail(
+                    "prune",
+                    f"frame {frame}: vehicle {vid} arrival {idx} "
+                    f"diverges: full={a_full:.9f} {mode}={a_pruned:.9f}",
+                )
+                return
+    full_queue = [
+        (e.rider.rider_id, e.attempts) for e in full._carryover
+    ]
+    pruned_queue = [
+        (e.rider.rider_id, e.attempts) for e in pruned._carryover
+    ]
+    if full_queue != pruned_queue:
+        fail(
+            "prune",
+            f"frame {frame}: carry-over queues diverge: "
+            f"full={full_queue} {mode}={pruned_queue}",
+        )
+    if full.ledger != pruned.ledger:
+        diff = {
+            rid: (full.ledger.get(rid), pruned.ledger.get(rid))
+            for rid in set(full.ledger) | set(pruned.ledger)
+            if full.ledger.get(rid) != pruned.ledger.get(rid)
+        }
+        fail(
+            "prune",
+            f"frame {frame}: rider ledgers diverge: {diff}",
+        )
+
+
+def run_prune_fuzz(
+    seeds: Iterable[int],
+    config: Optional[PruneFuzzConfig] = None,
+    stop_after: Optional[float] = None,
+    on_seed: Optional[Callable[[PruneSeedReport], None]] = None,
+) -> "FuzzRunReport":
+    """Fuzz candidate-prune differential scenarios over a seed sequence."""
+    import time
+
+    config = config or PruneFuzzConfig()
+    run = FuzzRunReport()
+    start = time.perf_counter()
+    for seed in seeds:
+        if stop_after is not None and time.perf_counter() - start >= stop_after:
+            break
+        report = fuzz_prune_seed(seed, config)
         run.reports.append(report)
         if on_seed is not None:
             on_seed(report)

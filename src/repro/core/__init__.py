@@ -8,6 +8,12 @@ insertion (Section 3), and the four solvers plus the exact baseline
 from repro.core.assignment import Assignment
 from repro.core.bilateral import run_bilateral
 from repro.core.bounds import BoundReport, serviceable_riders, utility_upper_bound
+from repro.core.candidates import (
+    CANDIDATE_MODES,
+    CandidateIndex,
+    VehicleBuckets,
+    build_candidate_index,
+)
 from repro.core.cost_first import run_cost_first
 from repro.core.dispatch import Dispatcher, FrameReport
 from repro.core.metrics import (
@@ -63,6 +69,8 @@ __all__ = [
     "Assignment",
     "AssignmentMetrics",
     "BoundReport",
+    "CANDIDATE_MODES",
+    "CandidateIndex",
     "Dispatcher",
     "ExtendedUtilityModel",
     "FrameReport",
@@ -85,6 +93,7 @@ __all__ = [
     "UtilityComponent",
     "UtilityModel",
     "Vehicle",
+    "VehicleBuckets",
     "arrange_single_rider",
     "arrange_single_rider_reference",
     "compute_metrics",
@@ -93,6 +102,7 @@ __all__ = [
     "format_metrics",
     "punctuality_component",
     "arrange_single_rider_reordered",
+    "build_candidate_index",
     "can_serve",
     "estimate_best_k",
     "gbs_cost_derivative",

@@ -37,16 +37,28 @@ class Assignment:
     def schedule(self, vehicle_id: int) -> TransferSequence:
         return self.schedules[vehicle_id]
 
+    def _iter_schedules(self):
+        """(vehicle_id, sequence) pairs that can contribute anything.
+
+        When ``schedules`` is a :class:`~repro.core.instance.LazySchedules`
+        this skips pristine empty vehicles (no stops, nothing onboard):
+        they add zero utility, zero cost, no riders and no violations, so
+        every aggregate below is unchanged while large idle fleets stop
+        costing O(fleet) per call.
+        """
+        fast = getattr(self.schedules, "iter_active", None)
+        return fast() if fast is not None else self.schedules.items()
+
     def vehicle_of(self, rider_id: int) -> Optional[int]:
         """Vehicle serving a rider, or ``None`` when unassigned."""
-        for vehicle_id, seq in self.schedules.items():
+        for vehicle_id, seq in self._iter_schedules():
             if rider_id in {r.rider_id for r in seq.assigned_riders()}:
                 return vehicle_id
         return None
 
     def served_rider_ids(self) -> Set[int]:
         served: Set[int] = set()
-        for seq in self.schedules.values():
+        for _vid, seq in self._iter_schedules():
             served.update(r.rider_id for r in seq.assigned_riders())
         return served
 
@@ -63,14 +75,14 @@ class Assignment:
         """Definition 4 objective: sum of served riders' Eq. 1 utilities."""
         model = self.instance.utility_model()
         total = 0.0
-        for vehicle_id, seq in self.schedules.items():
+        for vehicle_id, seq in self._iter_schedules():
             vehicle = self.instance.vehicle(vehicle_id)
             total += model.schedule_utility(vehicle, seq)
         return total
 
     def total_travel_cost(self) -> float:
         """Sum of all vehicles' schedule travel costs."""
-        return sum(seq.total_cost for seq in self.schedules.values())
+        return sum(seq.total_cost for _vid, seq in self._iter_schedules())
 
     def utility_by_vehicle(self) -> Dict[int, float]:
         model = self.instance.utility_model()
@@ -88,7 +100,7 @@ class Assignment:
         """
         errors: List[str] = []
         seen: Dict[int, int] = {}
-        for vehicle_id, seq in self.schedules.items():
+        for vehicle_id, seq in self._iter_schedules():
             for msg in seq.validity_errors():
                 errors.append(f"vehicle {vehicle_id}: {msg}")
             for rider in seq.assigned_riders():

@@ -48,8 +48,13 @@ import numpy as np
 from repro.obs import trace as _trace
 from repro.perf import FramePerf, PerfReport, PerfSnapshot
 from repro.core.assignment import Assignment
+from repro.core.candidates import (
+    CANDIDATE_MODES,
+    CandidateIndex,
+    build_candidate_index,
+)
 from repro.core.grouping import GroupingPlan
-from repro.core.instance import URRInstance
+from repro.core.instance import LazySchedules, URRInstance
 from repro.core.requests import Rider
 from repro.core.schedule import Stop, StopKind, TransferSequence
 from repro.core.solver import FALLBACK_METHODS, solve, solve_anytime
@@ -272,6 +277,25 @@ class Dispatcher:
     fallbacks:
         Watchdog fallback tier chain (defaults to insertion greedy, then
         cost-first greedy).  Ignored without ``frame_budget``.
+    candidate_mode:
+        Candidate-retrieval mode, one of
+        :data:`~repro.core.candidates.CANDIDATE_MODES`.  ``"full"``
+        (default) scans every rider-vehicle pair; ``"spatial"`` and
+        ``"spatiotemporal"`` route retrieval through an incrementally
+        maintained :class:`~repro.core.candidates.CandidateIndex`
+        (area buckets, plus landmark lower bounds for the latter).  The
+        prunes are sound, so assignments are frame-for-frame identical
+        across all three modes — only the work changes.
+    candidate_index:
+        Optional prebuilt index (must share this dispatcher's oracle so
+        epoch changes are detected); built on demand when a pruning
+        ``candidate_mode`` is requested without one.
+    utility_matrix:
+        ``"synthetic"`` (default) samples a fresh per-frame
+        rider-vehicle preference matrix; ``"default"`` skips the O(m·n)
+        sampling and lets every pair fall back to the instance's
+        ``default_vehicle_utility`` — retrieval benchmarks use this so
+        matrix construction does not mask the matching cost.
     """
 
     def __init__(
@@ -291,6 +315,9 @@ class Dispatcher:
         validate_frames: bool = False,
         frame_budget: Optional[float] = None,
         fallbacks: Sequence[str] = FALLBACK_METHODS,
+        candidate_mode: str = "full",
+        candidate_index: Optional["CandidateIndex"] = None,
+        utility_matrix: str = "synthetic",
     ) -> None:
         ids = [v.vehicle_id for v in fleet]
         if len(set(ids)) != len(ids):
@@ -299,6 +326,16 @@ class Dispatcher:
             raise ValueError("fleet must contain at least one vehicle")
         if max_retries < 1:
             raise ValueError("max_retries must be >= 1")
+        if candidate_mode not in CANDIDATE_MODES:
+            raise ValueError(
+                f"unknown candidate mode {candidate_mode!r}; "
+                f"expected {CANDIDATE_MODES}"
+            )
+        if utility_matrix not in ("synthetic", "default"):
+            raise ValueError(
+                f"unknown utility_matrix {utility_matrix!r}; "
+                f"expected 'synthetic' or 'default'"
+            )
         self.network = network
         self.oracle = oracle or DistanceOracle(network)
         self.method = method
@@ -313,6 +350,8 @@ class Dispatcher:
         self.validate_frames = validate_frames
         self.frame_budget = frame_budget
         self.fallbacks = tuple(fallbacks)
+        self.candidate_mode = candidate_mode
+        self.utility_matrix = utility_matrix
         self.fleet: Dict[int, FleetVehicle] = {
             v.vehicle_id: FleetVehicle(
                 vehicle_id=v.vehicle_id,
@@ -324,6 +363,25 @@ class Dispatcher:
             )
             for v in fleet
         }
+        # candidate retrieval: build (or adopt) the index once and keep
+        # it synchronised with the fleet incrementally — never per frame
+        self.candidates: Optional["CandidateIndex"] = None
+        if candidate_mode != "full":
+            if candidate_index is None:
+                candidate_index = build_candidate_index(
+                    network, oracle=self.oracle, mode=candidate_mode
+                )
+            elif candidate_index.oracle is not self.oracle:
+                raise ValueError(
+                    "candidate_index must share the dispatcher's oracle "
+                    "(epoch changes would otherwise go undetected)"
+                )
+            candidate_index.mode = candidate_mode
+            candidate_index.resync(
+                (vid, fv.location, fv.ready_time)
+                for vid, fv in self.fleet.items()
+            )
+            self.candidates = candidate_index
         self.reports: List[FrameReport] = []
         self._frame_index = 0
         self._clock = 0.0
@@ -398,10 +456,10 @@ class Dispatcher:
 
             with _trace.span("dispatch.build_instance"):
                 instance = self._build_instance(batch)
-                baselines = {
-                    v.vehicle_id: instance.initial_sequence(v)
-                    for v in instance.vehicles
-                }
+                # the carried-in residual plans, materialized on demand:
+                # only touched/carried vehicles are ever built, so frame
+                # accounting stays O(touched) on large idle fleets
+                baselines = LazySchedules(instance)
             solve_start = time.perf_counter()
             if self.frame_budget is None:
                 with _trace.span("dispatch.solve", method=self.method):
@@ -423,7 +481,7 @@ class Dispatcher:
                         accept=lambda a: self._first_violation(instance, a),
                         baseline=lambda: Assignment(
                             instance=instance,
-                            schedules=dict(baselines),
+                            schedules=LazySchedules(instance),
                         ),
                     )
                 solver_tier = anytime.tier
@@ -450,15 +508,32 @@ class Dispatcher:
                 validate_seconds = time.perf_counter() - validate_start
 
             # incremental accounting: what this frame's insertions added
-            # over the carried-in residual plans
+            # over the carried-in residual plans.  Untouched vehicles keep
+            # their pristine initial sequence, so their delta is exactly
+            # zero — summing over the touched set is the full difference.
             model = instance.utility_model()
-            baseline_utility = sum(
-                model.schedule_utility(instance.vehicle(vid), seq)
-                for vid, seq in baselines.items()
-            )
-            baseline_cost = sum(seq.total_cost for seq in baselines.values())
-            frame_utility = assignment.total_utility() - baseline_utility
-            frame_cost = assignment.total_travel_cost() - baseline_cost
+            touched = getattr(assignment.schedules, "touched", None)
+            frame_utility = 0.0
+            frame_cost = 0.0
+            if touched is None:
+                baseline_utility = sum(
+                    model.schedule_utility(instance.vehicle(vid), seq)
+                    for vid, seq in baselines.items()
+                )
+                baseline_cost = sum(
+                    seq.total_cost for seq in baselines.values()
+                )
+                frame_utility = assignment.total_utility() - baseline_utility
+                frame_cost = assignment.total_travel_cost() - baseline_cost
+            else:
+                for vid in touched:
+                    seq = assignment.schedules[vid]
+                    base = baselines[vid]
+                    vehicle = instance.vehicle(vid)
+                    frame_utility += model.schedule_utility(
+                        vehicle, seq
+                    ) - model.schedule_utility(vehicle, base)
+                    frame_cost += seq.total_cost - base.total_cost
             served_ids = assignment.served_rider_ids() & batch_ids
             for rid in served_ids:
                 self.ledger[rid] = RiderStatus.COMMITTED
@@ -467,13 +542,36 @@ class Dispatcher:
             roll_start = time.perf_counter()
             with _trace.span("dispatch.roll"):
                 for vid, fv in self.fleet.items():
-                    seq = assignment.schedules.get(vid, baselines[vid])
+                    if (
+                        touched is not None
+                        and vid not in touched
+                        and not fv.committed_stops
+                        and not fv.onboard
+                    ):
+                        # untouched idle vehicle: its schedule is the
+                        # pristine empty sequence — nothing to walk, no
+                        # cost/served deltas; just retire a stale
+                        # finished-leg timestamp like _roll_vehicle would
+                        if (
+                            fv.ready_time is not None
+                            and fv.ready_time <= next_clock + _EPS
+                        ):
+                            fv.ready_time = None
+                        continue
+                    seq = assignment.schedules.get(vid)
+                    if seq is None:
+                        seq = baselines[vid]
                     fv.total_cost += seq.total_cost - baselines[vid].total_cost
                     fv.riders_served += sum(
                         1 for r in seq.assigned_riders()
                         if r.rider_id in batch_ids
                     )
                     self._roll_vehicle(fv, seq, next_clock)
+                if self.candidates is not None:
+                    # incremental index maintenance: move each vehicle to
+                    # its rolled-forward bucket (upsert, no rebuild)
+                    for vid, fv in self.fleet.items():
+                        self.candidates.update(vid, fv.location, fv.ready_time)
             roll_seconds = time.perf_counter() - roll_start
 
             with _trace.span("dispatch.carryover"):
@@ -550,6 +648,17 @@ class Dispatcher:
         ):
             engine = DisruptionEngine(self, **engine_kwargs)
             outcomes = engine.apply(events)
+            if self.candidates is not None:
+                # breakdowns shrink the fleet and perturbations/closures
+                # change the metric (oracle epoch): reconcile the index
+                # before the next frame prunes against stale bounds
+                with _trace.span(
+                    "dispatch.candidates.sync", frame=self._frame_index
+                ):
+                    self.candidates.resync(
+                        (vid, fv.location, fv.ready_time)
+                        for vid, fv in self.fleet.items()
+                    )
         # disruptions strike between frames; their repair cost is
         # attributed to the frame that follows them (FrameReport.perf)
         self._pending_disruption_seconds += time.perf_counter() - start
@@ -595,14 +704,26 @@ class Dispatcher:
         committed stops must survive, in order, in the new schedule.
         """
         offending: Dict[int, List[str]] = {}
+        peek = getattr(assignment.schedules, "peek", None)
         for vehicle in instance.vehicles:
-            seq = assignment.schedules.get(vehicle.vehicle_id)
-            if seq is None:
-                if vehicle.has_carried_state:
-                    offending[vehicle.vehicle_id] = [
-                        "carried-over plan missing from the assignment"
-                    ]
-                continue
+            if peek is not None:
+                seq = peek(vehicle.vehicle_id)
+                if seq is None and not vehicle.has_carried_state:
+                    # never materialized and nothing carried: the schedule
+                    # is the pristine empty sequence — trivially valid
+                    continue
+                if seq is None:
+                    # pristine but carrying commitments: audit the
+                    # materialized residual plan like any other
+                    seq = assignment.schedules[vehicle.vehicle_id]
+            else:
+                seq = assignment.schedules.get(vehicle.vehicle_id)
+                if seq is None:
+                    if vehicle.has_carried_state:
+                        offending[vehicle.vehicle_id] = [
+                            "carried-over plan missing from the assignment"
+                        ]
+                    continue
             errors = seq.validity_errors()
             errors.extend(self._commitment_errors(vehicle, seq))
             if errors:
@@ -610,7 +731,11 @@ class Dispatcher:
 
         duplicates: List[str] = []
         seen: Dict[int, int] = {}
-        for vid, seq in assignment.schedules.items():
+        for vid, seq in (
+            assignment.schedules.iter_active()
+            if hasattr(assignment.schedules, "iter_active")
+            else assignment.schedules.items()
+        ):
             for rider in seq.assigned_riders():
                 if rider.rider_id in seen and seen[rider.rider_id] != vid:
                     duplicates.append(
@@ -876,8 +1001,12 @@ class Dispatcher:
     # ------------------------------------------------------------------
     def _build_instance(self, riders: List[Rider]) -> URRInstance:
         vehicles = [fv.as_vehicle() for fv in self.fleet.values()]
-        rng = np.random.default_rng(self.seed + self._frame_index)
-        matrix = synthetic_vehicle_utilities(riders, vehicles, rng)
+        if self.utility_matrix == "synthetic":
+            rng = np.random.default_rng(self.seed + self._frame_index)
+            matrix = synthetic_vehicle_utilities(riders, vehicles, rng)
+        else:
+            # "default": every pair falls back to default_vehicle_utility
+            matrix = {}
         for rid, row in self._pinned_utilities.items():
             for vid, value in row.items():
                 matrix[(rid, vid)] = value
@@ -892,4 +1021,5 @@ class Dispatcher:
             start_time=self._clock,
             seed=self.seed + self._frame_index,
             oracle=self.oracle,
+            candidates=self.candidates,
         )

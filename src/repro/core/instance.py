@@ -9,8 +9,9 @@ of view — every solver builds fresh :class:`TransferSequence` objects.
 
 from __future__ import annotations
 
+from collections.abc import MutableMapping
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -21,6 +22,9 @@ from repro.core.vehicles import Vehicle
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.oracle import DistanceOracle
 from repro.social.graph import SocialNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.core.candidates import CandidateIndex
 
 
 @dataclass
@@ -52,6 +56,12 @@ class URRInstance:
         locations.
     seed:
         RNG seed consumed by randomized solver steps (BA's rider order).
+    candidates:
+        Optional :class:`~repro.core.candidates.CandidateIndex` tracking
+        this instance's vehicles.  When set, solvers retrieve each
+        rider's candidate vehicles through its sound spatio-temporal
+        prune instead of scanning the whole fleet (the result is
+        provably identical, see :mod:`repro.core.candidates`).
     """
 
     network: RoadNetwork
@@ -66,6 +76,7 @@ class URRInstance:
     seed: int = 0
     default_vehicle_utility: float = 0.5
     oracle: Optional[DistanceOracle] = None
+    candidates: Optional["CandidateIndex"] = None
 
     def __post_init__(self) -> None:
         if self.oracle is None:
@@ -212,4 +223,103 @@ class URRInstance:
         return (
             f"URRInstance(riders={self.num_riders}, vehicles={self.num_vehicles}, "
             f"alpha={self.alpha:g}, beta={self.beta:g})"
+        )
+
+
+class LazySchedules(MutableMapping):
+    """``vehicle_id -> TransferSequence`` map materialized on first access.
+
+    Behaves exactly like the eager ``{vid: instance.initial_sequence(v)}``
+    dict the solvers used to start from, except that a vehicle's initial
+    sequence is only *built* when somebody asks for it.  On large fleets
+    this is the difference between a frame costing O(fleet) and O(touched
+    vehicles): a 10k-vehicle dispatch frame with 30 requests typically
+    reads a few hundred schedules and writes a handful.
+
+    Two pieces of bookkeeping make the laziness observable to callers
+    that want to skip the untouched bulk:
+
+    - :attr:`touched` — vehicle ids ever *written* (``schedules[vid] =
+      seq``, i.e. solver commits and replacements).  Every other entry is
+      provably the vehicle's pristine initial sequence, so deltas against
+      the carried-in baseline are zero.
+    - :meth:`peek` — read without materializing (``None`` when the entry
+      has never been built).
+    - :meth:`iter_active` — iterate only the entries that can contribute
+      anything (materialized ones, plus pristine vehicles with carried
+      state, which are built on the fly).  Pristine vehicles without
+      carried state have empty schedules: zero utility, zero cost, no
+      riders, no violations — skipping them is exact.
+
+    Iteration, ``len`` and membership cover the *full* fleet (plus any
+    foreign ids written in), so ``dict(lazy)`` still materializes an
+    eager copy when needed.
+    """
+
+    __slots__ = ("_instance", "_data", "_ids", "touched")
+
+    def __init__(self, instance: URRInstance) -> None:
+        self._instance = instance
+        # key universe in fleet order; values are the Vehicle objects
+        # (or None for foreign ids written in after construction)
+        self._ids: Dict[int, Optional[Vehicle]] = {
+            v.vehicle_id: v for v in instance.vehicles
+        }
+        self._data: Dict[int, TransferSequence] = {}
+        self.touched: set = set()
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, vehicle_id: int) -> TransferSequence:
+        seq = self._data.get(vehicle_id)
+        if seq is None:
+            vehicle = self._ids[vehicle_id]  # KeyError for unknown ids
+            assert vehicle is not None  # foreign ids always have data
+            seq = self._instance.initial_sequence(vehicle)
+            self._data[vehicle_id] = seq
+        return seq
+
+    def __setitem__(self, vehicle_id: int, sequence: TransferSequence) -> None:
+        if vehicle_id not in self._ids:
+            self._ids[vehicle_id] = None
+        self._data[vehicle_id] = sequence
+        self.touched.add(vehicle_id)
+
+    def __delitem__(self, vehicle_id: int) -> None:
+        del self._ids[vehicle_id]
+        self._data.pop(vehicle_id, None)
+        self.touched.discard(vehicle_id)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ids)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, vehicle_id: object) -> bool:
+        return vehicle_id in self._ids
+
+    # ------------------------------------------------------------------
+    def peek(self, vehicle_id: int) -> Optional[TransferSequence]:
+        """The materialized sequence, or ``None`` without building one."""
+        return self._data.get(vehicle_id)
+
+    def iter_active(self) -> Iterator[Tuple[int, TransferSequence]]:
+        """(id, sequence) pairs that can contribute riders/utility/cost.
+
+        Yields every materialized entry plus pristine carried-state
+        vehicles (built here); skips pristine empty vehicles, whose
+        sequences are empty and contribute nothing to any aggregate.
+        """
+        data = self._data
+        for vehicle_id, vehicle in self._ids.items():
+            seq = data.get(vehicle_id)
+            if seq is not None:
+                yield vehicle_id, seq
+            elif vehicle is not None and vehicle.has_carried_state:
+                yield vehicle_id, self[vehicle_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LazySchedules({len(self._data)}/{len(self._ids)} materialized, "
+            f"{len(self.touched)} touched)"
         )

@@ -14,7 +14,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.perf import PerfReport, report as perf_report
 from repro.core.insertion import (
@@ -23,11 +23,14 @@ from repro.core.insertion import (
     arrange_single_rider,
     plan_insertion,
 )
-from repro.core.instance import URRInstance
+from repro.core.instance import LazySchedules, URRInstance
 from repro.core.requests import Rider
 from repro.core.schedule import TransferSequence
 from repro.core.utility import UtilityModel
 from repro.core.vehicles import Vehicle
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.candidates import CandidateIndex
 
 
 @dataclass
@@ -74,17 +77,18 @@ class SolverState:
         self.instance = instance
         self.model = model or instance.utility_model()
         self.validate = validate
-        self.schedules: Dict[int, TransferSequence] = {
-            v.vehicle_id: instance.initial_sequence(v) for v in instance.vehicles
-        }
+        # materialized on demand: a frame only ever builds the schedules
+        # it actually reads, so solver setup is O(touched), not O(fleet)
+        self.schedules: LazySchedules = LazySchedules(instance)
         # lazily filled: a carried-over vehicle starts with a non-empty
         # seeded schedule whose utility must be computed, not assumed 0
-        self._utility_cache: Dict[int, Optional[float]] = {
-            v.vehicle_id: (
-                0.0 if not self.schedules[v.vehicle_id].stops else None
-            )
-            for v in instance.vehicles
-        }
+        self._utility_cache: Dict[int, Optional[float]] = {}
+        # candidate-retrieval cache, keyed by vehicle-list identity: the
+        # id map and the "is this exactly the index's tracked fleet?"
+        # check are paid once per distinct list, not once per rider
+        self._candidate_view: Optional[
+            Tuple[Iterable[Vehicle], Dict[int, Vehicle], bool]
+        ] = None
 
     # ------------------------------------------------------------------
     def schedule(self, vehicle_id: int) -> TransferSequence:
@@ -189,7 +193,16 @@ class SolverState:
         ``t̄ + cost(l(c_j), s_i) <= rt_i^-`` OR the schedule already passes
         nearby later; we keep the simple location-based test plus a
         fallback on the schedule's stops.
+
+        When the instance carries a
+        :class:`~repro.core.candidates.CandidateIndex`, retrieval first
+        narrows ``vehicles`` through its sound spatio-temporal prune —
+        every vehicle this exact test would keep survives the prune, so
+        the returned list is identical either way (order included).
         """
+        index = self.instance.candidates
+        if index is not None:
+            vehicles = self._retrieve_candidates(rider, vehicles, index)
         cost = self.instance.cost
         deadline = rider.pickup_deadline
         result: List[Vehicle] = []
@@ -209,6 +222,29 @@ class SolverState:
                     result.append(vehicle)
                     break
         return result
+
+    def _retrieve_candidates(
+        self,
+        rider: Rider,
+        vehicles: Iterable[Vehicle],
+        index: "CandidateIndex",
+    ) -> List[Vehicle]:
+        """Narrow ``vehicles`` through the instance's candidate index."""
+        view = self._candidate_view
+        if view is None or view[0] is not vehicles:
+            roster = list(vehicles) if not isinstance(vehicles, list) else vehicles
+            by_id = {v.vehicle_id: v for v in roster}
+            tracked = by_id.keys() == index.tracked_ids()
+            view = (roster, by_id, tracked)
+            self._candidate_view = view
+        roster, by_id, tracked = view
+        return index.prune(
+            rider,
+            roster,
+            self.instance.start_time,
+            vehicles_by_id=by_id,
+            assume_tracked=tracked,
+        )
 
 
 #: Priority key for the greedy loop; smaller pops first (min-heap).

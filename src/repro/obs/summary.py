@@ -190,6 +190,14 @@ def summarize(trace: TraceData, top: int = 10) -> str:
             bidi = _get(perf, "oracle", "bidirectional_count")
             if dij is not None and bidi is not None:
                 searches = dij + bidi
+            # candidate retrieval (PR 6): returned / pruned pair counts,
+            # "-" on traces that predate the index or run mode "full"
+            cands = _get(perf, "candidates", "candidates_returned")
+            pruned = None
+            pruned_s = _get(perf, "candidates", "pairs_pruned_spatial")
+            pruned_t = _get(perf, "candidates", "pairs_pruned_temporal")
+            if pruned_s is not None and pruned_t is not None:
+                pruned = pruned_s + pruned_t
             rows.append([
                 str(f),
                 _fmt_seconds(span["dur"] if span else None),
@@ -199,6 +207,8 @@ def summarize(trace: TraceData, top: int = 10) -> str:
                 str(attrs.get("tier", "-")),
                 str(_get(perf, "insertion", "plans") or 0),
                 str(searches if searches is not None else "-"),
+                str(cands if cands is not None else "-"),
+                str(pruned if pruned is not None else "-"),
                 str(_get(perf, "validation", "schedules") or 0),
                 f"{attrs.get('served', '-')}/{attrs.get('batch', '-')}",
             ])
@@ -206,7 +216,7 @@ def summarize(trace: TraceData, top: int = 10) -> str:
         lines.append("per-frame breakdown:")
         lines.extend(_table(
             ["frame", "wall", "solve", "validate", "disrupt", "tier",
-             "plans", "searches", "validated", "served"],
+             "plans", "searches", "cands", "pruned", "validated", "served"],
             rows,
         ))
 

@@ -17,6 +17,11 @@ engine, solver state, dispatcher) reports through the same vocabulary:
 - :class:`WatchdogStats` — process-wide counters of the anytime solver
   watchdog (`repro.core.solver.solve_anytime`): guarded frames, fallback
   commits, budget overruns, per-tier usage;
+- :class:`CandidateStats` — process-wide counters of the candidate
+  retrieval layer (`repro.core.candidates`): retrieval calls,
+  rider-vehicle pairs considered, pairs pruned by the spatial and
+  temporal bounds, and (under audit) lower-bound prunes that an exact
+  cost check contradicts — always zero for a sound bound;
 - :class:`PerfReport` — the combined view exposed by
   ``SolverState.perf_report()``, ``URRInstance.perf_report()`` and
   ``Dispatcher.perf_report()``.
@@ -194,6 +199,80 @@ WATCHDOG_STATS = WatchdogStats()
 
 
 @dataclass
+class CandidateStats:
+    """Counters of the candidate retrieval layer (:mod:`repro.core.candidates`).
+
+    ``retrievals`` counts pruning calls (one per rider in the solvers'
+    retrieval path, one per trip group in the GBS fast filter),
+    ``pairs_considered`` the rider-vehicle pairs entering them, and the
+    two ``pairs_pruned_*`` fields how many of those the spatial
+    (area-centre triangle bound) and temporal (landmark lower bound)
+    filters discarded without an exact cost query.  ``pruned_in_error``
+    counts pruned pairs an exact-cost audit found feasible after all —
+    the bounds are sound, so any non-zero value is a bug (the ``--prune``
+    fuzzer asserts it stays zero; the audit itself is opt-in).
+    """
+
+    retrievals: int = 0
+    pairs_considered: int = 0
+    pairs_pruned_spatial: int = 0
+    pairs_pruned_temporal: int = 0
+    pruned_in_error: int = 0
+
+    @property
+    def pairs_pruned(self) -> int:
+        """Total pairs discarded before any exact cost query."""
+        return self.pairs_pruned_spatial + self.pairs_pruned_temporal
+
+    @property
+    def candidates_returned(self) -> int:
+        """Pairs that survived pruning and reached the exact filter."""
+        return self.pairs_considered - self.pairs_pruned
+
+    @property
+    def mean_candidates(self) -> float:
+        """Mean surviving candidate-set size per retrieval."""
+        if not self.retrievals:
+            return 0.0
+        return self.candidates_returned / self.retrievals
+
+    def reset(self) -> None:
+        self.retrievals = 0
+        self.pairs_considered = 0
+        self.pairs_pruned_spatial = 0
+        self.pairs_pruned_temporal = 0
+        self.pruned_in_error = 0
+
+    def snapshot(self) -> "CandidateStats":
+        return CandidateStats(**asdict(self))
+
+    def delta(self, since: "CandidateStats") -> "CandidateStats":
+        """Counters accumulated after ``since`` was snapshotted."""
+        return CandidateStats(
+            retrievals=self.retrievals - since.retrievals,
+            pairs_considered=self.pairs_considered - since.pairs_considered,
+            pairs_pruned_spatial=(
+                self.pairs_pruned_spatial - since.pairs_pruned_spatial
+            ),
+            pairs_pruned_temporal=(
+                self.pairs_pruned_temporal - since.pairs_pruned_temporal
+            ),
+            pruned_in_error=self.pruned_in_error - since.pruned_in_error,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = asdict(self)
+        data["pairs_pruned"] = self.pairs_pruned
+        data["candidates_returned"] = self.candidates_returned
+        data["mean_candidates"] = self.mean_candidates
+        return data
+
+
+#: Process-wide counters incremented by ``repro.core.candidates``.
+CANDIDATE_STATS = CandidateStats()
+
+
+@dataclass
 class OracleStats:
     """Snapshot of a :class:`~repro.roadnet.oracle.DistanceOracle`.
 
@@ -295,6 +374,9 @@ class PerfReport:
     watchdog: WatchdogStats = field(
         default_factory=lambda: WATCHDOG_STATS.snapshot()
     )
+    candidates: CandidateStats = field(
+        default_factory=lambda: CANDIDATE_STATS.snapshot()
+    )
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -302,6 +384,7 @@ class PerfReport:
             "insertion": self.insertion.as_dict(),
             "validation": self.validation.as_dict(),
             "watchdog": self.watchdog.as_dict(),
+            "candidates": self.candidates.as_dict(),
         }
 
 
@@ -312,6 +395,7 @@ def report(oracle: Any = None) -> PerfReport:
         insertion=INSERTION_STATS.snapshot(),
         validation=VALIDATION_STATS.snapshot(),
         watchdog=WATCHDOG_STATS.snapshot(),
+        candidates=CANDIDATE_STATS.snapshot(),
     )
 
 
@@ -332,6 +416,9 @@ class PerfSnapshot:
     validation: ValidationStats
     watchdog: WatchdogStats
     oracle: Optional[OracleStats] = None
+    candidates: CandidateStats = field(
+        default_factory=lambda: CANDIDATE_STATS.snapshot()
+    )
 
     @classmethod
     def capture(cls, oracle: Any = None) -> "PerfSnapshot":
@@ -343,6 +430,7 @@ class PerfSnapshot:
             oracle=OracleStats.from_oracle(oracle)
             if oracle is not None
             else None,
+            candidates=CANDIDATE_STATS.snapshot(),
         )
 
     def since(self, earlier: "PerfSnapshot") -> PerfReport:
@@ -356,6 +444,7 @@ class PerfSnapshot:
             insertion=self.insertion.delta(earlier.insertion),
             validation=self.validation.delta(earlier.validation),
             watchdog=self.watchdog.delta(earlier.watchdog),
+            candidates=self.candidates.delta(earlier.candidates),
         )
 
 
@@ -383,6 +472,7 @@ class FramePerf:
     validation: ValidationStats
     watchdog: WatchdogStats
     oracle: Optional[OracleStats] = None
+    candidates: CandidateStats = field(default_factory=CandidateStats)
     wall_seconds: float = 0.0
     solve_seconds: float = 0.0
     validate_seconds: float = 0.0
@@ -400,6 +490,7 @@ class FramePerf:
             validation=interval.validation,
             watchdog=interval.watchdog,
             oracle=interval.oracle,
+            candidates=interval.candidates,
             **timings,
         )
 
@@ -409,6 +500,7 @@ class FramePerf:
             "validation": self.validation.as_dict(),
             "watchdog": self.watchdog.as_dict(),
             "oracle": self.oracle.as_dict() if self.oracle else None,
+            "candidates": self.candidates.as_dict(),
             "wall_seconds": self.wall_seconds,
             "solve_seconds": self.solve_seconds,
             "validate_seconds": self.validate_seconds,
@@ -431,3 +523,8 @@ def reset_validation_stats() -> None:
 def reset_watchdog_stats() -> None:
     """Zero the process-wide watchdog counters (benchmarks/tests)."""
     WATCHDOG_STATS.reset()
+
+
+def reset_candidate_stats() -> None:
+    """Zero the process-wide candidate-retrieval counters (benchmarks/tests)."""
+    CANDIDATE_STATS.reset()

@@ -1,0 +1,425 @@
+"""Tests for the spatio-temporal candidate index (repro.core.candidates)."""
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import (
+    CANDIDATE_MODES,
+    CandidateIndex,
+    VehicleBuckets,
+    build_candidate_index,
+)
+from repro.core.dispatch import Dispatcher
+from repro.core.grouping import filter_vehicles_for_group, prepare_grouping
+from repro.core.instance import URRInstance
+from repro.core.requests import Rider
+from repro.core.scoring import SolverState
+from repro.core.vehicles import Vehicle
+from repro.perf import CANDIDATE_STATS
+from repro.roadnet.generators import grid_city
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.oracle import DistanceOracle
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_city(7, 7, seed=2, removal_fraction=0.0, arterial_every=None)
+
+
+@pytest.fixture(scope="module")
+def oracle(net):
+    return DistanceOracle(net)
+
+
+@pytest.fixture()
+def index(net, oracle):
+    return build_candidate_index(net, oracle=oracle, mode="spatiotemporal")
+
+
+def _random_fleet(net, rng, count, with_ready=True):
+    nodes = sorted(net.nodes())
+    fleet = []
+    for j in range(count):
+        ready = float(rng.uniform(0.0, 20.0)) if with_ready and rng.random() < 0.5 else None
+        fleet.append(
+            Vehicle(
+                vehicle_id=j,
+                location=int(rng.choice(nodes)),
+                capacity=3,
+                ready_time=ready,
+            )
+        )
+    return fleet
+
+
+def _random_riders(net, oracle, rng, count, clock=0.0, slack=(1.0, 60.0)):
+    nodes = sorted(net.nodes())
+    riders = []
+    for i in range(count):
+        s, d = (int(x) for x in rng.choice(nodes, 2, replace=False))
+        shortest = oracle.cost(s, d)
+        pickup = clock + float(rng.uniform(*slack))
+        riders.append(
+            Rider(
+                rider_id=i,
+                source=s,
+                destination=d,
+                pickup_deadline=pickup,
+                dropoff_deadline=pickup + 2.0 * shortest + 10.0,
+            )
+        )
+    return riders
+
+
+def _instance(net, oracle, riders, vehicles, candidates=None, start_time=0.0):
+    return URRInstance(
+        network=net,
+        riders=riders,
+        vehicles=vehicles,
+        oracle=oracle,
+        candidates=candidates,
+        start_time=start_time,
+    )
+
+
+class TestMaintenance:
+    def test_insert_update_remove(self, index):
+        index.insert(1, 0, None)
+        index.insert(2, 5, 3.0)
+        assert len(index) == 2
+        assert 1 in index and 2 in index
+        assert set(index.tracked_ids()) == {1, 2}
+        index.update(1, 12, 7.5)
+        assert len(index) == 2
+        index.remove(2)
+        assert 2 not in index
+        index.remove(2)  # unknown ids are ignored
+        assert len(index) == 1
+
+    def test_update_moves_between_buckets(self, net, index):
+        # find two adjacent nodes owned by different areas: a vehicle
+        # whose current edge straddles the boundary lands on either side
+        areas = index.areas
+        pair = None
+        for u, v, _cost in net.edges():
+            if areas.center_of(u) != areas.center_of(v):
+                pair = (u, v)
+                break
+        assert pair is not None, "7x7 grid must span multiple areas"
+        u, v = pair
+        index.insert(9, u, None)
+        entry_center = index._entries[9][3]
+        assert entry_center == areas.center_of(u)
+        index.update(9, v, None)
+        assert index._entries[9][3] == areas.center_of(v)
+        assert 9 not in index._buckets[entry_center].entries
+
+    def test_modes_validated(self, net, oracle):
+        assert CANDIDATE_MODES == ("full", "spatial", "spatiotemporal")
+        with pytest.raises(ValueError):
+            build_candidate_index(net, oracle=oracle, mode="psychic")
+
+    def test_stale_epoch_raises(self, net, index):
+        index.insert(1, 0, None)
+        rider = Rider(
+            rider_id=0, source=3, destination=8,
+            pickup_deadline=20.0, dropoff_deadline=90.0,
+        )
+        index.oracle.invalidate()
+        with pytest.raises(RuntimeError, match="resync"):
+            index.prune(rider, [Vehicle(vehicle_id=1, location=0, capacity=3)], 0.0)
+        index.resync([(1, 0, None)])
+        vehicles = [Vehicle(vehicle_id=1, location=0, capacity=3)]
+        assert index.prune(rider, vehicles, 0.0) == vehicles
+
+    def test_resync_drops_missing_vehicles(self, index):
+        index.insert(1, 0, None)
+        index.insert(2, 5, None)
+        index.resync([(1, 3, 2.0)])
+        assert set(index.tracked_ids()) == {1}
+
+
+class TestPruneEquality:
+    """The pruned candidate list equals the exact reachability filter."""
+
+    @pytest.mark.parametrize("mode", ["spatial", "spatiotemporal"])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_reachable_vehicles_identical(self, net, oracle, mode, seed):
+        rng = np.random.default_rng(seed)
+        vehicles = _random_fleet(net, rng, 12)
+        riders = _random_riders(net, oracle, rng, 20, slack=(0.5, 45.0))
+        index = build_candidate_index(net, oracle=oracle, mode=mode, audit=True)
+        for v in vehicles:
+            index.insert(v.vehicle_id, v.location, v.ready_time)
+        plain = SolverState(_instance(net, oracle, riders, vehicles))
+        pruned = SolverState(
+            _instance(net, oracle, riders, vehicles, candidates=index)
+        )
+        errors_before = CANDIDATE_STATS.pruned_in_error
+        for rider in riders:
+            expect = plain.reachable_vehicles(rider, vehicles)
+            got = pruned.reachable_vehicles(rider, vehicles)
+            assert got == expect  # same vehicles, same order
+        assert CANDIDATE_STATS.pruned_in_error == errors_before
+
+    def test_subset_path_identical(self, net, oracle, index):
+        rng = np.random.default_rng(11)
+        vehicles = _random_fleet(net, rng, 10)
+        for v in vehicles:
+            index.insert(v.vehicle_id, v.location, v.ready_time)
+        riders = _random_riders(net, oracle, rng, 10, slack=(0.5, 30.0))
+        subset = vehicles[::2]
+        plain = SolverState(_instance(net, oracle, riders, vehicles))
+        pruned = SolverState(
+            _instance(net, oracle, riders, vehicles, candidates=index)
+        )
+        for rider in riders:
+            assert pruned.reachable_vehicles(rider, subset) == (
+                plain.reachable_vehicles(rider, subset)
+            )
+
+    def test_untracked_vehicles_never_pruned_wrongly(self, net, oracle, index):
+        # a vehicle the index has never seen is bounded fresh, not dropped
+        rng = np.random.default_rng(5)
+        vehicles = _random_fleet(net, rng, 6)
+        riders = _random_riders(net, oracle, rng, 8)
+        plain = SolverState(_instance(net, oracle, riders, vehicles))
+        pruned = SolverState(
+            _instance(net, oracle, riders, vehicles, candidates=index)
+        )
+        for rider in riders:
+            assert pruned.reachable_vehicles(rider, vehicles) == (
+                plain.reachable_vehicles(rider, vehicles)
+            )
+
+    def test_full_mode_is_passthrough(self, net, oracle):
+        index = build_candidate_index(net, oracle=oracle, mode="full")
+        vehicles = [Vehicle(vehicle_id=1, location=0, capacity=3)]
+        index.insert(1, 0, None)
+        rider = Rider(
+            rider_id=0, source=48, destination=0,
+            pickup_deadline=0.001, dropoff_deadline=1.0,
+        )
+        assert index.prune(rider, vehicles, 0.0) == vehicles
+
+
+class TestEdgeCases:
+    def test_single_vehicle_fleet(self, net, oracle):
+        index = build_candidate_index(net, oracle=oracle)
+        index.insert(0, 24, None)
+        near = Rider(
+            rider_id=0, source=24, destination=0,
+            pickup_deadline=0.5, dropoff_deadline=60.0,
+        )
+        vehicles = [Vehicle(vehicle_id=0, location=24, capacity=1)]
+        assert index.prune(
+            near, vehicles, 0.0, vehicles_by_id={0: vehicles[0]},
+            assume_tracked=True,
+        ) == vehicles
+
+    def test_disconnected_component_is_singleton_area(self):
+        net = RoadNetwork()
+        for i in range(4):
+            net.add_edge(i, i + 1, 1.0)
+        net.add_edge(10, 11, 1.0)  # island, unreachable from the line
+        oracle = DistanceOracle(net)
+        index = build_candidate_index(net, oracle=oracle, cover=[0])
+        # island nodes own themselves (singleton areas), and a vehicle
+        # on the island is pruned for a mainland pickup: provably
+        # unreachable, and the exact filter agrees
+        index.insert(1, 10, None)
+        index.insert(2, 3, None)
+        rider = Rider(
+            rider_id=0, source=2, destination=4,
+            pickup_deadline=100.0, dropoff_deadline=200.0,
+        )
+        island = Vehicle(vehicle_id=1, location=10, capacity=2)
+        mainland = Vehicle(vehicle_id=2, location=3, capacity=2)
+        vehicles = [island, mainland]
+        got = index.prune(
+            rider, vehicles, 0.0,
+            vehicles_by_id={1: island, 2: mainland}, assume_tracked=True,
+        )
+        instance = _instance(net, oracle, [rider], vehicles)
+        expect = SolverState(instance).reachable_vehicles(rider, vehicles)
+        assert got == expect == [mainland]
+
+    def test_empty_bucket_area(self, net, oracle):
+        # every area with no vehicles must contribute nothing (and not crash)
+        index = build_candidate_index(net, oracle=oracle)
+        index.insert(0, 0, None)
+        assert index.areas.num_areas > 1
+        rider = Rider(
+            rider_id=0, source=0, destination=48,
+            pickup_deadline=50.0, dropoff_deadline=500.0,
+        )
+        v = Vehicle(vehicle_id=0, location=0, capacity=3)
+        assert index.prune(
+            rider, [v], 0.0, vehicles_by_id={0: v}, assume_tracked=True
+        ) == [v]
+
+    def test_order_preserved_after_churn(self, net, oracle):
+        # removals and re-insertions must not reorder the survivors
+        index = build_candidate_index(net, oracle=oracle, mode="spatial")
+        vehicles = [
+            Vehicle(vehicle_id=j, location=j, capacity=3) for j in range(8)
+        ]
+        for v in vehicles:
+            index.insert(v.vehicle_id, v.location, None)
+        index.remove(3)
+        del vehicles[3]
+        for v in vehicles:
+            index.update(v.vehicle_id, v.location + 1, None)
+        rider = Rider(
+            rider_id=0, source=20, destination=0,
+            pickup_deadline=1000.0, dropoff_deadline=2000.0,
+        )
+        got = index.prune(
+            rider, vehicles, 0.0,
+            vehicles_by_id={v.vehicle_id: v for v in vehicles},
+            assume_tracked=True,
+        )
+        assert got == vehicles
+
+
+class TestGroupFilterRegression:
+    """filter_vehicles_for_group via buckets == the full scan, always."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_never_returns_excluded_vehicle(self, net, oracle, seed):
+        rng = np.random.default_rng(seed)
+        plan = prepare_grouping(net, k=8)
+        vehicles = _random_fleet(net, rng, 15, with_ready=False)
+        riders = _random_riders(net, oracle, rng, 12, slack=(0.5, 25.0))
+        instance = _instance(net, oracle, riders, vehicles)
+        state = SolverState(instance)
+        buckets = VehicleBuckets(plan.areas, plan.oracle, vehicles)
+        by_area = {}
+        cost = instance.cost
+        for r in riders:
+            if cost(r.source, r.destination) <= plan.short_trip_bound:
+                by_area.setdefault(
+                    plan.areas.center_of(r.source), []
+                ).append(r)
+        assert by_area, "seeded riders must produce short-trip groups"
+        for center, group in sorted(by_area.items()):
+            full = filter_vehicles_for_group(
+                state, plan, center, group, vehicles
+            )
+            fast = filter_vehicles_for_group(
+                state, plan, center, group, vehicles, buckets=buckets
+            )
+            assert fast == full  # same vehicles, same order
+            # the headline guarantee: nothing the full scan excludes
+            assert not (set(v.vehicle_id for v in fast)
+                        - set(v.vehicle_id for v in full))
+
+    def test_foreign_vehicle_list_falls_back(self, net, oracle):
+        # buckets built for another list must not be consulted
+        plan = prepare_grouping(net, k=8)
+        rng = np.random.default_rng(3)
+        vehicles = _random_fleet(net, rng, 5, with_ready=False)
+        other = list(vehicles)
+        buckets = VehicleBuckets(plan.areas, plan.oracle, other)
+        riders = _random_riders(net, oracle, rng, 4, slack=(5.0, 30.0))
+        state = SolverState(_instance(net, oracle, riders, vehicles))
+        center = plan.areas.center_of(riders[0].source)
+        full = filter_vehicles_for_group(
+            state, plan, center, riders, vehicles
+        )
+        fast = filter_vehicles_for_group(
+            state, plan, center, riders, vehicles, buckets=buckets
+        )
+        assert fast == full
+
+
+class TestDispatcherIntegration:
+    def test_frame_perf_counters_recorded(self, net, oracle):
+        rng = np.random.default_rng(4)
+        fleet = _random_fleet(net, rng, 8, with_ready=False)
+        d = Dispatcher(
+            net, fleet, method="eg", frame_length=20.0, oracle=oracle,
+            candidate_mode="spatiotemporal",
+        )
+        report = d.dispatch_frame(
+            _random_riders(net, oracle, rng, 10, slack=(2.0, 50.0))
+        )
+        cand = report.perf.candidates
+        assert cand.retrievals > 0
+        assert cand.pairs_considered >= cand.pairs_pruned
+        assert cand.pruned_in_error == 0
+        assert "candidates" in report.perf.as_dict()
+
+    def test_modes_agree_end_to_end(self, net, oracle):
+        rng = np.random.default_rng(9)
+        fleet = _random_fleet(net, rng, 6, with_ready=False)
+        streams = [
+            _random_riders(net, oracle, rng, 7, clock=c, slack=(2.0, 45.0))
+            for c in (0.0, 20.0, 40.0)
+        ]
+        # re-id across frames (dispatcher requires run-unique rider ids)
+        rid = 0
+        frames = []
+        for stream in streams:
+            frames.append(
+                [
+                    Rider(
+                        rider_id=rid + i, source=r.source,
+                        destination=r.destination,
+                        pickup_deadline=r.pickup_deadline,
+                        dropoff_deadline=r.dropoff_deadline,
+                    )
+                    for i, r in enumerate(stream)
+                ]
+            )
+            rid += len(stream)
+        outcomes = {}
+        for mode in CANDIDATE_MODES:
+            d = Dispatcher(
+                net, fleet, method="eg", frame_length=20.0, oracle=oracle,
+                seed=1, candidate_mode=mode,
+            )
+            log = []
+            for frame in frames:
+                rep = d.dispatch_frame(list(frame))
+                log.append(
+                    (
+                        sorted(rep.assignment.served_rider_ids()),
+                        round(rep.utility, 9),
+                    )
+                )
+            outcomes[mode] = log
+        assert outcomes["full"] == outcomes["spatial"]
+        assert outcomes["full"] == outcomes["spatiotemporal"]
+
+    def test_breakdown_resync_drops_vehicle(self, net, oracle):
+        from repro.core.disruptions import VehicleBreakdown
+
+        rng = np.random.default_rng(6)
+        fleet = _random_fleet(net, rng, 3, with_ready=False)
+        d = Dispatcher(
+            net, fleet, method="cf", frame_length=20.0, oracle=oracle,
+            candidate_mode="spatiotemporal",
+        )
+        d.dispatch_frame(_random_riders(net, oracle, rng, 4, slack=(5.0, 40.0)))
+        victim = fleet[0].vehicle_id
+        d.inject([VehicleBreakdown(vehicle_id=victim)])
+        assert victim not in d.candidates
+        assert set(d.candidates.tracked_ids()) == set(d.fleet)
+
+    def test_mismatched_oracle_rejected(self, net, oracle):
+        foreign = build_candidate_index(net, oracle=DistanceOracle(net))
+        fleet = [Vehicle(vehicle_id=0, location=0, capacity=2)]
+        with pytest.raises(ValueError, match="oracle"):
+            Dispatcher(
+                net, fleet, oracle=oracle,
+                candidate_mode="spatial", candidate_index=foreign,
+            )
+
+    def test_prune_fuzz_seeds_clean(self):
+        from repro.check.fuzz import fuzz_prune_seed
+
+        for seed in range(3):
+            report = fuzz_prune_seed(seed)
+            assert report.ok, report.failures
+            assert report.pairs_considered > 0

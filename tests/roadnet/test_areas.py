@@ -91,3 +91,64 @@ class TestBuildAreas:
         spc = build_areas(small_grid, k=3, mode="shortest")
         apc = build_areas(small_grid, k=3, mode="all")
         assert spc.num_areas <= apc.num_areas
+
+
+class TestAreaIndexEdgeCases:
+    """Edge cases the candidate index leans on (see repro.core.candidates)."""
+
+    def test_empty_area_never_materializes(self, small_grid):
+        # every area produced by build_areas has at least its center;
+        # the candidate index may hold *buckets* with zero vehicles, but
+        # the partition itself never yields an empty area
+        index = build_areas(small_grid, k=3)
+        for area in index.areas:
+            assert len(area) >= 1
+            assert area.center in area
+
+    def test_island_component_self_owns(self):
+        # nodes unreachable from any area seed become singleton areas
+        # whose center is themselves, so center_of() stays total
+        net = RoadNetwork()
+        for i in range(4):
+            net.add_edge(i, i + 1, 1.0)
+        net.add_edge(10, 11, 1.0)
+        index = build_areas(net, k=2, cover=[0])
+        for island in (10, 11):
+            assert index.center_of(island) == island
+            assert index.distance_to_center(island) == 0.0
+        members = set()
+        for area in index.areas:
+            members |= area.members
+        assert members == set(net.nodes())
+
+    def test_straddling_edge_endpoints_stay_consistent(self, small_grid):
+        # a vehicle mid-edge is anchored at one endpoint; when the edge
+        # straddles two areas, each endpoint must resolve to its own
+        # area's center with a finite distance bound
+        index = build_areas(small_grid, k=4)
+        oracle = DistanceOracle(small_grid)
+        straddlers = [
+            (u, v)
+            for u, v, _cost in small_grid.edges()
+            if index.center_of(u) != index.center_of(v)
+        ]
+        assert straddlers, "k=4 on a 5x5 grid must produce boundary edges"
+        for u, v in straddlers:
+            for node in (u, v):
+                center = index.center_of(node)
+                assert node in index.area_of(node)
+                assert index.distance_to_center(node) == pytest.approx(
+                    oracle.cost(center, node)
+                )
+
+    def test_single_node_network(self):
+        net = RoadNetwork()
+        net.add_node(7)
+        index = build_areas(net, k=1)
+        assert index.num_areas == 1
+        assert index.center_of(7) == 7
+
+    def test_unknown_node_raises(self, small_grid):
+        index = build_areas(small_grid, k=3)
+        with pytest.raises(KeyError):
+            index.center_of(10_000)
