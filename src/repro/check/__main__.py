@@ -22,9 +22,16 @@ Modes
   through the spatio-temporal candidate index
   (:mod:`repro.core.candidates`, audit armed), asserting identical
   assignments frame-for-frame and zero unsound prunes.
+- ``--dispatch-shards``: differential-fuzz **sharded dispatch** — each
+  seed's scenario runs unsharded, sharded with a serial executor and
+  sharded over worker processes (:mod:`repro.core.shards`), asserting
+  worker-count invariance always, exact equality with the unsharded run
+  on conflict-free frames, per-frame never-worse-than-carried-in on the
+  rest, and no aggregate service loss across the seed set.
 - ``--replay SEED``: re-run one seed verbosely (what CI prints for a
-  failing artifact); combine with ``--dispatch``, ``--chaos`` or
-  ``--prune`` to replay the corresponding scenario kind.
+  failing artifact); combine with ``--dispatch``, ``--chaos``,
+  ``--prune`` or ``--dispatch-shards`` to replay the corresponding
+  scenario kind.
 - ``--replay SEED --minimize``: shrink the failing seed to a minimal
   rider/vehicle subset and print the repro as JSON.
 
@@ -44,18 +51,22 @@ from repro.core.solver import solve
 from repro.perf import VALIDATION_STATS
 from repro.check.corruptions import CORRUPTIONS
 from repro.check.fuzz import (
+    ChaosFuzzConfig,
     FuzzConfig,
     FuzzRunReport,
+    ShardFuzzConfig,
     fuzz_chaos_seed,
     fuzz_dispatch_seed,
     fuzz_prune_seed,
     fuzz_seed,
+    fuzz_shard_seed,
     minimize_seed,
     random_instance,
     run_chaos_fuzz,
     run_dispatch_fuzz,
     run_fuzz,
     run_prune_fuzz,
+    run_shard_fuzz,
 )
 from repro.check.validator import validate_assignment
 from repro.obs import start_trace, stop_trace
@@ -147,6 +158,18 @@ def main(argv: Optional[List[str]] = None) -> int:
              "runs must match the full all-pairs scan frame-for-frame",
     )
     parser.add_argument(
+        "--dispatch-shards", action="store_true",
+        help="differential-fuzz sharded dispatch: serial and "
+             "process-pool runs must match frame-for-frame, and must "
+             "match unsharded dispatch on conflict-free frames",
+    )
+    parser.add_argument(
+        "--shard-workers", type=int, default=None, metavar="N",
+        help="worker-process count for the sharded leg (default 4 for "
+             "--dispatch-shards); with --chaos, routes chaos scenarios "
+             "through sharded dispatch with N workers",
+    )
+    parser.add_argument(
         "--replay", type=int, default=None, metavar="SEED",
         help="re-run one seed verbosely instead of fuzzing",
     )
@@ -191,9 +214,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _run(args: argparse.Namespace, verbose: bool) -> int:
 
+    # shared by the --dispatch-shards and --chaos sharded legs
+    shard_config = ShardFuzzConfig()
+    if args.shard_workers is not None:
+        shard_config.shard_workers = args.shard_workers
+    chaos_config = ChaosFuzzConfig()
+    if args.shard_workers is not None and args.chaos:
+        chaos_config.shard_workers = args.shard_workers
+
     # ------------------------------------------------------------------
     if args.replay is not None and args.chaos:
-        creport = fuzz_chaos_seed(args.replay)
+        creport = fuzz_chaos_seed(args.replay, chaos_config)
         print(
             f"seed {creport.seed}: method={creport.method} "
             f"frames={creport.num_frames} vehicles={creport.num_vehicles} "
@@ -210,6 +241,26 @@ def _run(args: argparse.Namespace, verbose: bool) -> int:
         for failure in creport.failures:
             print(f"  FAIL {failure}")
         return 0 if creport.ok else 1
+
+    if args.replay is not None and args.dispatch_shards:
+        sreport = fuzz_shard_seed(args.replay, shard_config)
+        print(
+            f"seed {sreport.seed}: method={sreport.method} "
+            f"frames={sreport.num_frames} vehicles={sreport.num_vehicles} "
+            f"frame_length={sreport.frame_length:.2f} "
+            f"max_retries={sreport.max_retries} "
+            f"shards={sreport.shard_count} workers={sreport.shard_workers}"
+        )
+        print(
+            f"  requests={sreport.total_requests} "
+            f"served={sreport.total_served} "
+            f"baseline_served={sreport.baseline_served} "
+            f"strict_frames={sreport.strict_frames} "
+            f"conflict_frames={sreport.conflict_frames}"
+        )
+        for failure in sreport.failures:
+            print(f"  FAIL {failure}")
+        return 0 if sreport.ok else 1
 
     if args.replay is not None and args.prune:
         preport = fuzz_prune_seed(args.replay)
@@ -305,10 +356,14 @@ def _run(args: argparse.Namespace, verbose: bool) -> int:
 
     if args.chaos:
         run: FuzzRunReport = run_chaos_fuzz(
-            seeds, stop_after=budget, on_seed=progress
+            seeds, chaos_config, stop_after=budget, on_seed=progress
         )
     elif args.prune:
         run = run_prune_fuzz(seeds, stop_after=budget, on_seed=progress)
+    elif args.dispatch_shards:
+        run = run_shard_fuzz(
+            seeds, shard_config, stop_after=budget, on_seed=progress
+        )
     elif args.dispatch:
         run = run_dispatch_fuzz(seeds, stop_after=budget, on_seed=progress)
     else:
@@ -319,6 +374,8 @@ def _run(args: argparse.Namespace, verbose: bool) -> int:
         what = "chaos scenarios"
     elif args.prune:
         what = "prune differentials"
+    elif args.dispatch_shards:
+        what = "shard differentials"
     elif args.dispatch:
         what = "dispatcher scenarios"
     else:

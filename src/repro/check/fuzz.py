@@ -76,6 +76,7 @@ from repro.core.insertion import (
     arrange_single_rider_reference,
 )
 from repro.core.instance import URRInstance
+from repro.core.scoring import SolverState
 from repro.core.solver import METHODS, solve
 from repro.obs import trace as _trace
 from repro.roadnet.generators import grid_city
@@ -429,12 +430,16 @@ def _dispatch_requests(
     clock: float,
     frame_length: float,
     id_start: int,
+    pickup_slack: Tuple[float, float] = (0.5, 3.5),
 ) -> List[Rider]:
     """``count`` seeded requests revealed at ``clock``.
 
-    Deadlines live on the absolute dispatcher clock; pickup slack spans
-    one to several frames so riders are regularly carried over, and the
-    drop-off detour factor keeps shared rides feasible.
+    Deadlines live on the absolute dispatcher clock; the default pickup
+    slack spans one to several frames so riders are regularly carried
+    over, and the drop-off detour factor keeps shared rides feasible.
+    The shard fuzzer narrows ``pickup_slack`` on its tight-locality
+    seeds so only nearby vehicles qualify and conflict-free frames
+    actually occur.
     """
     riders: List[Rider] = []
     n = network.num_nodes
@@ -444,7 +449,7 @@ def _dispatch_requests(
         while destination == source:
             destination = int(rng.integers(n))
         shortest = oracle.cost(source, destination)
-        pickup = clock + float(rng.uniform(0.5, 3.5)) * frame_length
+        pickup = clock + float(rng.uniform(*pickup_slack)) * frame_length
         riders.append(
             Rider(
                 rider_id=id_start + i,
@@ -1027,6 +1032,350 @@ def run_prune_fuzz(
 
 
 # ----------------------------------------------------------------------
+# shard fuzzing: sharded dispatch differentials against the global solve
+# ----------------------------------------------------------------------
+@dataclass
+class ShardFuzzConfig:
+    """Shape of the randomized shard-equivalence differential scenarios.
+
+    Each seed runs one multi-frame dispatch scenario *three* times over
+    the same network, oracle, fleet and request stream — unsharded,
+    sharded with ``shard_workers=1`` (serial executor) and sharded with
+    ``shard_workers`` worker processes — and asserts the equivalence
+    contract of :mod:`repro.core.shards`:
+
+    - serial and process runs are frame-for-frame identical, always and
+      for every method (the partition is fixed by ``shard_count``, so
+      worker count cannot change results);
+    - while no frame has had a *boundary conflict* (some batch rider
+      with a coarse-reachable vehicle outside its own shard), sharded
+      frames equal unsharded frames exactly for the deterministic
+      methods (eg / cf / gbs+eg — BA's rng rider order does not
+      decompose across shards);
+    - on conflict frames every sharded frame is never worse than its
+      carried-in baseline: incremental frame utility stays
+      non-negative, and the frame passes full assignment validation
+      (``validate_frames``), so merge and reconciliation can only add
+      service on top of the residual plans, never corrupt them.
+
+    Individual conflict-laden seeds may end a rider or two ahead *or*
+    behind the unsharded run — the partition legitimately allocates
+    vehicles differently, and the divergence compounds across carried
+    state.  What must not happen is systematic degradation, so
+    :func:`run_shard_fuzz` additionally asserts the *aggregate* riders
+    served across the whole seed set is no worse than the unsharded
+    aggregate (reported under the synthetic seed ``-1``).
+    """
+
+    grid_rows: int = 8
+    grid_cols: int = 8
+    num_networks: int = 3
+    min_frames: int = 3
+    max_frames: int = 5
+    min_riders_per_frame: int = 3
+    max_riders_per_frame: int = 8
+    min_vehicles: int = 4
+    max_vehicles: int = 10
+    max_capacity: int = 3
+    methods: Tuple[str, ...] = ("eg", "ba", "cf", "gbs+eg")
+    #: strict unsharded-equality applies to these only (BA's rng rider
+    #: order is a global draw and cannot decompose across shards)
+    strict_methods: Tuple[str, ...] = ("eg", "cf", "gbs+eg")
+    shard_workers: int = 4
+    shard_count: int = 4
+    #: fraction of seeds drawn with tight pickup deadlines (few
+    #: reachable vehicles per rider), the regime where conflict-free
+    #: frames — and thus the strict unsharded-equality branch — occur
+    p_tight: float = 0.5
+    tight_pickup_slack: Tuple[float, float] = (0.05, 0.45)
+
+
+@dataclass
+class ShardSeedReport:
+    """Everything one shard-equivalence differential trial produced."""
+
+    seed: int
+    method: str = ""
+    num_frames: int = 0
+    num_vehicles: int = 0
+    frame_length: float = 0.0
+    max_retries: int = 1
+    shard_count: int = 0
+    shard_workers: int = 0
+    strict_frames: int = 0
+    conflict_frames: int = 0
+    total_requests: int = 0
+    total_served: int = 0
+    baseline_served: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    # keep the FuzzRunReport aggregation happy
+    scenario: str = "shards"
+    num_riders: int = 0
+
+
+def _frame_has_boundary_conflict(
+    dispatcher: Dispatcher, requests: List[Rider]
+) -> bool:
+    """Would this frame's batch see any out-of-shard vehicle?
+
+    Evaluated against the dispatcher's *pre-frame* state (carried-in
+    schedules, current fleet positions) with the engine's own coarse
+    reachability test, so it is exactly the predicate under which
+    per-shard solves are guaranteed to compose to the global solve.
+    """
+    plan = dispatcher._shard_plan
+    assert plan is not None, "conflict predicate needs a sharded dispatcher"
+    batch = list(requests) + dispatcher.pending_requests
+    instance = dispatcher._build_instance(batch)
+    state = SolverState(instance)
+    for rider in batch:
+        home = plan.shard_of(rider.source)
+        for vehicle in state.reachable_vehicles(rider, instance.vehicles):
+            if plan.shard_of(vehicle.location) != home:
+                return True
+    return False
+
+
+def fuzz_shard_seed(
+    seed: int, config: Optional[ShardFuzzConfig] = None
+) -> ShardSeedReport:
+    """Differential-check sharded dispatch against the global solve.
+
+    See :class:`ShardFuzzConfig` for the three-way contract one trial
+    asserts.  Frame comparisons reuse the candidate-prune comparator
+    (:func:`_compare_prune_frames`): served ids, utility, expiry counts,
+    per-vehicle schedules stop-by-stop with arrival tolerances, the
+    carry-over queue and the rider ledger.  The unsharded comparison is
+    dropped from the first boundary-conflict frame onward (divergence
+    legitimately cascades through carried state); the serial-vs-process
+    comparison never is.
+    """
+    with _trace.span("fuzz.seed", kind="shards", seed=seed) as seed_span:
+        report = _fuzz_shard_seed_impl(seed, config)
+        seed_span.annotate(ok=report.ok, failures=len(report.failures))
+    return report
+
+
+def _fuzz_shard_seed_impl(
+    seed: int, config: Optional[ShardFuzzConfig]
+) -> ShardSeedReport:
+    config = config or ShardFuzzConfig()
+    rng = np.random.default_rng(seed)
+    net_config = FuzzConfig(
+        grid_rows=config.grid_rows,
+        grid_cols=config.grid_cols,
+        num_networks=config.num_networks,
+    )
+    network, oracle = _network_for(net_config, seed)
+
+    method = config.methods[int(rng.integers(len(config.methods)))]
+    alpha, beta = _WEIGHT_PROFILES[int(rng.integers(len(_WEIGHT_PROFILES)))]
+    num_frames = int(rng.integers(config.min_frames, config.max_frames + 1))
+    num_vehicles = int(
+        rng.integers(config.min_vehicles, config.max_vehicles + 1)
+    )
+    frame_length = float(rng.uniform(3.0, 8.0))
+    max_retries = int(rng.integers(1, 5))
+    tight = bool(rng.random() < config.p_tight)
+    pickup_slack = config.tight_pickup_slack if tight else (0.5, 3.5)
+    fleet = [
+        Vehicle(
+            vehicle_id=j,
+            location=int(rng.integers(network.num_nodes)),
+            capacity=int(rng.integers(1, config.max_capacity + 1)),
+        )
+        for j in range(num_vehicles)
+    ]
+    # the whole request stream is drawn up front so all three dispatchers
+    # see byte-identical frames (the rng is shared state)
+    frames: List[List[Rider]] = []
+    rider_id = 0
+    clock = 0.0
+    for _ in range(num_frames):
+        count = int(
+            rng.integers(
+                config.min_riders_per_frame, config.max_riders_per_frame + 1
+            )
+        )
+        requests = _dispatch_requests(
+            network, oracle, rng, count, clock, frame_length, rider_id,
+            pickup_slack=pickup_slack,
+        )
+        rider_id += len(requests)
+        clock += frame_length
+        frames.append(requests)
+
+    plan = _plan_for(network) if method.startswith("gbs") else None
+
+    def make_dispatcher(shard_workers: Optional[int]) -> Dispatcher:
+        kwargs = {}
+        if shard_workers is not None:
+            kwargs["shard_workers"] = shard_workers
+            kwargs["shard_count"] = config.shard_count
+            # the merge/reconciliation machinery is what's under test:
+            # independently validate every sharded frame it commits
+            kwargs["validate_frames"] = True
+        return Dispatcher(
+            network,
+            fleet,
+            method=method,
+            frame_length=frame_length,
+            plan=plan,
+            alpha=alpha,
+            beta=beta,
+            oracle=oracle,
+            seed=seed,
+            max_retries=max_retries,
+            **kwargs,
+        )
+
+    baseline = make_dispatcher(None)
+    serial = make_dispatcher(1)
+    procs = make_dispatcher(config.shard_workers)
+    report = ShardSeedReport(
+        seed=seed,
+        method=method,
+        num_frames=num_frames,
+        num_vehicles=num_vehicles,
+        frame_length=frame_length,
+        max_retries=max_retries,
+        shard_count=config.shard_count,
+        shard_workers=config.shard_workers,
+        num_riders=rider_id,
+    )
+    failures = report.failures
+
+    def fail(stage: str, detail: str) -> None:
+        failures.append(
+            FuzzFailure(seed=seed, stage=stage, method=method, detail=detail)
+        )
+
+    strict = method in config.strict_methods
+    try:
+        for frame, requests in enumerate(frames):
+            if _frame_has_boundary_conflict(serial, requests):
+                # carried state downstream of a conflict frame may
+                # legitimately differ from the unsharded run's, so the
+                # strict comparison is off for the rest of the scenario
+                report.conflict_frames += 1
+                strict = False
+            elif strict:
+                report.strict_frames += 1
+            try:
+                base_report = baseline.dispatch_frame(list(requests))
+            except DispatchError as exc:
+                fail(
+                    "shards",
+                    f"frame {frame}: unsharded run raised DispatchError on "
+                    f"vehicle {exc.vehicle_id}: {exc.violations[:2]}",
+                )
+                break
+            try:
+                serial_report = serial.dispatch_frame(list(requests))
+            except Exception as exc:
+                fail(
+                    "shards",
+                    f"frame {frame}: workers=1 raised "
+                    f"{type(exc).__name__}: {exc}",
+                )
+                break
+            try:
+                procs_report = procs.dispatch_frame(list(requests))
+            except Exception as exc:
+                fail(
+                    "shards",
+                    f"frame {frame}: workers={config.shard_workers} raised "
+                    f"{type(exc).__name__}: {exc}",
+                )
+                break
+            # conflict or not, a sharded frame may only *add* service on
+            # top of the carried-in residual plans
+            if serial_report.utility < -_EPS:
+                fail(
+                    "shard_frame",
+                    f"frame {frame}: sharded frame utility "
+                    f"{serial_report.utility:.9f} fell below the "
+                    f"carried-in baseline",
+                )
+                break
+            # worker count must never change results, conflict or not
+            _compare_prune_frames(
+                frame,
+                f"workers={config.shard_workers}",
+                serial,
+                procs,
+                serial_report,
+                procs_report,
+                fail,
+            )
+            if strict:
+                _compare_prune_frames(
+                    frame, "sharded", baseline, serial,
+                    base_report, serial_report, fail,
+                )
+            if failures:
+                break
+    finally:
+        serial.close()
+        procs.close()
+    report.total_requests = serial.total_requests
+    report.total_served = serial.total_served
+    report.baseline_served = baseline.total_served
+    return report
+
+
+def run_shard_fuzz(
+    seeds: Iterable[int],
+    config: Optional[ShardFuzzConfig] = None,
+    stop_after: Optional[float] = None,
+    on_seed: Optional[Callable[[ShardSeedReport], None]] = None,
+) -> "FuzzRunReport":
+    """Fuzz shard-equivalence differential scenarios over a seed sequence.
+
+    Besides the per-seed assertions, the whole run must not degrade
+    service systematically: the riders served by the sharded runs,
+    summed across every seed, must be at least the unsharded aggregate.
+    A shortfall is reported as a ``shard_service`` failure under the
+    synthetic seed ``-1``.
+    """
+    import time
+
+    config = config or ShardFuzzConfig()
+    run = FuzzRunReport()
+    start = time.perf_counter()
+    for seed in seeds:
+        if stop_after is not None and time.perf_counter() - start >= stop_after:
+            break
+        report = fuzz_shard_seed(seed, config)
+        run.reports.append(report)
+        if on_seed is not None:
+            on_seed(report)
+    total_sharded = sum(r.total_served for r in run.reports)
+    total_baseline = sum(r.baseline_served for r in run.reports)
+    if total_sharded < total_baseline:
+        aggregate = ShardSeedReport(seed=-1)
+        aggregate.failures.append(
+            FuzzFailure(
+                seed=-1,
+                stage="shard_service",
+                method="aggregate",
+                detail=(
+                    f"sharded runs served {total_sharded} riders across "
+                    f"{run.seeds_run} seed(s) < unsharded {total_baseline} "
+                    f"— boundary reconciliation is losing service"
+                ),
+            )
+        )
+        run.reports.append(aggregate)
+    return run
+
+
+# ----------------------------------------------------------------------
 # chaos fuzzing: disruptions layered over the dispatch fuzzer
 # ----------------------------------------------------------------------
 @dataclass
@@ -1063,6 +1412,13 @@ class ChaosFuzzConfig:
     p_closure: float = 0.2
     p_watchdog: float = 0.5
     watchdog_budget: float = 30.0
+    #: route frames through sharded dispatch (the watchdog is disabled
+    #: when set — frame budgets do not compose with sharded solves, but
+    #: chaos still exercises the pool-rebuild path: every applied
+    #: network disruption bumps the oracle epoch and forces the process
+    #: executor to re-ship its context)
+    shard_workers: Optional[int] = None
+    shard_count: int = 4
 
 
 @dataclass
@@ -1251,7 +1607,11 @@ def _fuzz_chaos_seed_impl(
     )
     frame_length = float(rng.uniform(3.0, 8.0))
     max_retries = int(rng.integers(1, 5))
+    # the gate variable is drawn unconditionally to keep the rng stream
+    # aligned across configs; sharded dispatch forces the watchdog off
     watchdog = bool(rng.random() < config.p_watchdog)
+    if config.shard_workers is not None:
+        watchdog = False
     fleet = [
         Vehicle(
             vehicle_id=j,
@@ -1260,6 +1620,12 @@ def _fuzz_chaos_seed_impl(
         )
         for j in range(num_vehicles)
     ]
+    shard_kwargs = {}
+    if config.shard_workers is not None:
+        shard_kwargs = {
+            "shard_workers": config.shard_workers,
+            "shard_count": config.shard_count,
+        }
     dispatcher = Dispatcher(
         network,
         fleet,
@@ -1271,6 +1637,7 @@ def _fuzz_chaos_seed_impl(
         seed=seed,
         max_retries=max_retries,
         frame_budget=config.watchdog_budget if watchdog else None,
+        **shard_kwargs,
     )
     report = ChaosSeedReport(
         seed=seed,
@@ -1381,6 +1748,7 @@ def _fuzz_chaos_seed_impl(
                     f"frame {frame}: vehicle {fv.vehicle_id}: {exc}",
                 )
 
+    dispatcher.close()
     report.total_requests = dispatcher.total_requests
     report.total_served = dispatcher.total_served
     report.num_riders = rider_id

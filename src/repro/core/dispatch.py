@@ -57,8 +57,15 @@ from repro.core.grouping import GroupingPlan
 from repro.core.instance import LazySchedules, URRInstance
 from repro.core.requests import Rider
 from repro.core.schedule import Stop, StopKind, TransferSequence
+from repro.core.shards import (
+    ShardContext,
+    ShardPlan,
+    build_shard_executor,
+    solve_sharded,
+)
 from repro.core.solver import FALLBACK_METHODS, solve, solve_anytime
 from repro.core.vehicles import Vehicle
+from repro.roadnet.areas import build_areas
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.oracle import DistanceOracle
 from repro.social.graph import SocialNetwork
@@ -296,6 +303,18 @@ class Dispatcher:
         sampling and lets every pair fall back to the instance's
         ``default_vehicle_utility`` — retrieval benchmarks use this so
         matrix construction does not mask the matching cost.
+    shard_workers:
+        ``None`` (default) solves each frame as one global instance.
+        An integer routes frames through the partition-solve-merge
+        pipeline of :mod:`repro.core.shards`: ``1`` solves the shards
+        sequentially in-process, ``>= 2`` fans them out over a
+        persistent worker-process pool.  The partition itself is fixed
+        by ``shard_count``, so results are identical for every worker
+        count.  Incompatible with ``frame_budget``.
+    shard_count:
+        Number of area-based shards each frame is split into (default
+        8).  Part of the result contract — changing it changes which
+        riders see which vehicles before reconciliation.
     """
 
     def __init__(
@@ -318,6 +337,8 @@ class Dispatcher:
         candidate_mode: str = "full",
         candidate_index: Optional["CandidateIndex"] = None,
         utility_matrix: str = "synthetic",
+        shard_workers: Optional[int] = None,
+        shard_count: int = 8,
     ) -> None:
         ids = [v.vehicle_id for v in fleet]
         if len(set(ids)) != len(ids):
@@ -336,6 +357,20 @@ class Dispatcher:
                 f"unknown utility_matrix {utility_matrix!r}; "
                 f"expected 'synthetic' or 'default'"
             )
+        if shard_workers is not None:
+            if shard_workers < 1:
+                raise ValueError("shard_workers must be >= 1")
+            if shard_count < 1:
+                raise ValueError("shard_count must be >= 1")
+            if frame_budget is not None:
+                # the watchdog's accept/fallback ladder is a single-solve
+                # protocol; a frame fanned out over shards has no single
+                # solver attempt to time-box or degrade
+                raise ValueError(
+                    "frame_budget cannot be combined with shard_workers: "
+                    "the anytime watchdog does not compose with sharded "
+                    "dispatch"
+                )
         self.network = network
         self.oracle = oracle or DistanceOracle(network)
         self.method = method
@@ -382,6 +417,21 @@ class Dispatcher:
                 for vid, fv in self.fleet.items()
             )
             self.candidates = candidate_index
+        # sharded dispatch: the partition is fixed at construction (a
+        # function of the network and shard_count only), so worker count
+        # never changes which shard a rider or vehicle lands in
+        self.shard_workers = shard_workers
+        self.shard_count = shard_count
+        self._shard_plan: Optional[ShardPlan] = None
+        self._shard_executor = None
+        if shard_workers is not None:
+            areas = (
+                self.candidates.areas
+                if self.candidates is not None
+                else build_areas(network, k=8)
+            )
+            self._shard_plan = ShardPlan(areas, shard_count)
+            self._shard_executor = build_shard_executor(shard_workers)
         self.reports: List[FrameReport] = []
         self._frame_index = 0
         self._clock = 0.0
@@ -461,7 +511,31 @@ class Dispatcher:
                 # accounting stays O(touched) on large idle fleets
                 baselines = LazySchedules(instance)
             solve_start = time.perf_counter()
-            if self.frame_budget is None:
+            if self._shard_plan is not None:
+                with _trace.span(
+                    "dispatch.solve",
+                    method=self.method,
+                    shards=self.shard_count,
+                ):
+                    context = ShardContext(
+                        network=self.network,
+                        oracle=self.oracle,
+                        social=self.social,
+                        plan=self.plan,
+                        epoch=self.oracle.epoch,
+                    )
+                    assignment, _partition = solve_sharded(
+                        instance,
+                        self._shard_plan,
+                        self._shard_executor,
+                        context,
+                        self.method,
+                    )
+                solver_tier, fallback_tier, budget_exceeded = (
+                    self.method, 0, False,
+                )
+                tier_seconds = {self.method: assignment.elapsed_seconds}
+            elif self.frame_budget is None:
                 with _trace.span("dispatch.solve", method=self.method):
                     assignment = solve(
                         instance, method=self.method, plan=self.plan
@@ -535,7 +609,10 @@ class Dispatcher:
                     ) - model.schedule_utility(vehicle, base)
                     frame_cost += seq.total_cost - base.total_cost
             served_ids = assignment.served_rider_ids() & batch_ids
-            for rid in served_ids:
+            # canonical order: ledger writes must not depend on set
+            # iteration order, or sharded and unsharded runs could
+            # diverge on anything downstream of insertion order
+            for rid in sorted(served_ids):
                 self.ledger[rid] = RiderStatus.COMMITTED
 
             next_clock = self._clock + self.frame_length
@@ -925,7 +1002,9 @@ class Dispatcher:
             live.update(r.rider_id for r in fv.onboard)
             live.update(s.rider.rider_id for s in fv.committed_stops)
         pinned: Dict[int, Dict[int, float]] = {}
-        for rid in live:
+        # sorted: the pinned overlay must be insertion-ordered the same
+        # way every run (set iteration order is not a contract)
+        for rid in sorted(live):
             row = self._pinned_utilities.get(rid)
             if row is None:
                 row = {
@@ -997,6 +1076,15 @@ class Dispatcher:
         (plus any disruption repair after the last frame).
         """
         return PerfSnapshot.capture(self.oracle).since(self._perf_baseline)
+
+    def close(self) -> None:
+        """Release the shard worker pool (no-op for unsharded dispatch).
+
+        Safe to call repeatedly; the dispatcher stays usable afterwards
+        (a fresh pool is spun up on the next sharded frame).
+        """
+        if self._shard_executor is not None:
+            self._shard_executor.close()
 
     # ------------------------------------------------------------------
     def _build_instance(self, riders: List[Rider]) -> URRInstance:

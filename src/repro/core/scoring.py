@@ -73,13 +73,18 @@ class SolverState:
         instance: URRInstance,
         model: Optional[UtilityModel] = None,
         validate: bool = False,
+        schedules: Optional[LazySchedules] = None,
     ) -> None:
         self.instance = instance
         self.model = model or instance.utility_model()
         self.validate = validate
         # materialized on demand: a frame only ever builds the schedules
-        # it actually reads, so solver setup is O(touched), not O(fleet)
-        self.schedules: LazySchedules = LazySchedules(instance)
+        # it actually reads, so solver setup is O(touched), not O(fleet).
+        # An existing map may be injected (shard reconciliation continues
+        # solving over the merged per-shard schedules).
+        self.schedules: LazySchedules = (
+            schedules if schedules is not None else LazySchedules(instance)
+        )
         # lazily filled: a carried-over vehicle starts with a non-empty
         # seeded schedule whose utility must be computed, not assumed 0
         self._utility_cache: Dict[int, Optional[float]] = {}
@@ -89,6 +94,22 @@ class SolverState:
         self._candidate_view: Optional[
             Tuple[Iterable[Vehicle], Dict[int, Vehicle], bool]
         ] = None
+
+    # ------------------------------------------------------------------
+    # pickling (sharded dispatch returns solver state from workers)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        state = self.__dict__.copy()
+        # the model closes over the instance's fast-path cost closure and
+        # the candidate view caches object identities; both rebuilt lazily
+        state["model"] = None
+        state["_candidate_view"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        if self.model is None:
+            self.model = self.instance.utility_model()
 
     # ------------------------------------------------------------------
     def schedule(self, vehicle_id: int) -> TransferSequence:

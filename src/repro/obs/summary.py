@@ -198,6 +198,12 @@ def summarize(trace: TraceData, top: int = 10) -> str:
             pruned_t = _get(perf, "candidates", "pairs_pruned_temporal")
             if pruned_s is not None and pruned_t is not None:
                 pruned = pruned_s + pruned_t
+            # sharded dispatch (PR 7): shard solves and boundary riders
+            # reconciled; "-" on traces from unsharded runs
+            shards = _get(perf, "shards", "shards_solved")
+            if not shards:
+                shards = None
+            reconciled = _get(perf, "shards", "reconciled_riders")
             rows.append([
                 str(f),
                 _fmt_seconds(span["dur"] if span else None),
@@ -210,13 +216,16 @@ def summarize(trace: TraceData, top: int = 10) -> str:
                 str(cands if cands is not None else "-"),
                 str(pruned if pruned is not None else "-"),
                 str(_get(perf, "validation", "schedules") or 0),
+                str(shards) if shards is not None else "-",
+                str(reconciled) if shards is not None else "-",
                 f"{attrs.get('served', '-')}/{attrs.get('batch', '-')}",
             ])
         lines.append("")
         lines.append("per-frame breakdown:")
         lines.extend(_table(
             ["frame", "wall", "solve", "validate", "disrupt", "tier",
-             "plans", "searches", "cands", "pruned", "validated", "served"],
+             "plans", "searches", "cands", "pruned", "validated", "shards",
+             "reconciled", "served"],
             rows,
         ))
 

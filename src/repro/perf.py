@@ -84,6 +84,13 @@ class InsertionStats:
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)
 
+    def absorb(self, delta: "InsertionStats") -> None:
+        """Add a worker process's interval into this (parent) counter set."""
+        self.plans += delta.plans
+        self.pairs_evaluated += delta.pairs_evaluated
+        self.materializations += delta.materializations
+        self.reference_calls += delta.reference_calls
+
 
 #: Process-wide counters incremented by ``repro.core.insertion``.
 INSERTION_STATS = InsertionStats()
@@ -126,6 +133,13 @@ class ValidationStats:
 
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)
+
+    def absorb(self, delta: "ValidationStats") -> None:
+        """Add a worker process's interval into this (parent) counter set."""
+        self.assignments += delta.assignments
+        self.schedules += delta.schedules
+        self.stops += delta.stops
+        self.violations += delta.violations
 
 
 #: Process-wide counters incremented by ``repro.check``.
@@ -192,6 +206,14 @@ class WatchdogStats:
             "budget_exceeded": self.budget_exceeded,
             "tier_uses": dict(self.tier_uses),
         }
+
+    def absorb(self, delta: "WatchdogStats") -> None:
+        """Add a worker process's interval into this (parent) counter set."""
+        self.frames += delta.frames
+        self.fallbacks += delta.fallbacks
+        self.budget_exceeded += delta.budget_exceeded
+        for tier, count in delta.tier_uses.items():
+            self.tier_uses[tier] = self.tier_uses.get(tier, 0) + count
 
 
 #: Process-wide counters incremented by ``repro.core.solver.solve_anytime``.
@@ -267,9 +289,82 @@ class CandidateStats:
         data["mean_candidates"] = self.mean_candidates
         return data
 
+    def absorb(self, delta: "CandidateStats") -> None:
+        """Add a worker process's interval into this (parent) counter set."""
+        self.retrievals += delta.retrievals
+        self.pairs_considered += delta.pairs_considered
+        self.pairs_pruned_spatial += delta.pairs_pruned_spatial
+        self.pairs_pruned_temporal += delta.pairs_pruned_temporal
+        self.pruned_in_error += delta.pruned_in_error
+
 
 #: Process-wide counters incremented by ``repro.core.candidates``.
 CANDIDATE_STATS = CandidateStats()
+
+
+@dataclass
+class ShardStats:
+    """Counters of the sharded dispatch pipeline (:mod:`repro.core.shards`).
+
+    ``frames_sharded`` counts frames routed through partition-solve-merge,
+    ``shards_solved`` the per-shard sub-solves inside them (including
+    empty shards that were skipped without solving — those are *not*
+    counted), and ``process_frames`` how many sharded frames ran on the
+    process-pool executor (the rest ran the in-process serial executor).
+    ``riders_sharded`` / ``vehicles_sharded`` count partition assignments,
+    ``boundary_riders`` the unserved riders whose candidate set crossed a
+    shard boundary, and ``reconciled_riders`` how many of those the
+    reconciliation pass actually served.
+    """
+
+    frames_sharded: int = 0
+    shards_solved: int = 0
+    process_frames: int = 0
+    riders_sharded: int = 0
+    vehicles_sharded: int = 0
+    boundary_riders: int = 0
+    reconciled_riders: int = 0
+
+    def reset(self) -> None:
+        self.frames_sharded = 0
+        self.shards_solved = 0
+        self.process_frames = 0
+        self.riders_sharded = 0
+        self.vehicles_sharded = 0
+        self.boundary_riders = 0
+        self.reconciled_riders = 0
+
+    def snapshot(self) -> "ShardStats":
+        return ShardStats(**asdict(self))
+
+    def delta(self, since: "ShardStats") -> "ShardStats":
+        """Counters accumulated after ``since`` was snapshotted."""
+        return ShardStats(
+            frames_sharded=self.frames_sharded - since.frames_sharded,
+            shards_solved=self.shards_solved - since.shards_solved,
+            process_frames=self.process_frames - since.process_frames,
+            riders_sharded=self.riders_sharded - since.riders_sharded,
+            vehicles_sharded=self.vehicles_sharded - since.vehicles_sharded,
+            boundary_riders=self.boundary_riders - since.boundary_riders,
+            reconciled_riders=self.reconciled_riders - since.reconciled_riders,
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+    def absorb(self, delta: "ShardStats") -> None:
+        """Add a worker process's interval into this (parent) counter set."""
+        self.frames_sharded += delta.frames_sharded
+        self.shards_solved += delta.shards_solved
+        self.process_frames += delta.process_frames
+        self.riders_sharded += delta.riders_sharded
+        self.vehicles_sharded += delta.vehicles_sharded
+        self.boundary_riders += delta.boundary_riders
+        self.reconciled_riders += delta.reconciled_riders
+
+
+#: Process-wide counters incremented by ``repro.core.shards``.
+SHARD_STATS = ShardStats()
 
 
 @dataclass
@@ -377,6 +472,9 @@ class PerfReport:
     candidates: CandidateStats = field(
         default_factory=lambda: CANDIDATE_STATS.snapshot()
     )
+    shards: ShardStats = field(
+        default_factory=lambda: SHARD_STATS.snapshot()
+    )
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -385,6 +483,7 @@ class PerfReport:
             "validation": self.validation.as_dict(),
             "watchdog": self.watchdog.as_dict(),
             "candidates": self.candidates.as_dict(),
+            "shards": self.shards.as_dict(),
         }
 
 
@@ -396,7 +495,25 @@ def report(oracle: Any = None) -> PerfReport:
         validation=VALIDATION_STATS.snapshot(),
         watchdog=WATCHDOG_STATS.snapshot(),
         candidates=CANDIDATE_STATS.snapshot(),
+        shards=SHARD_STATS.snapshot(),
     )
+
+
+def absorb_report(interval: PerfReport) -> None:
+    """Merge a worker process's interval into this process's globals.
+
+    The sharded dispatcher brackets each worker task with
+    :meth:`PerfSnapshot.capture` and ships the delta home; absorbing it
+    here makes the parent's own snapshot-delta brackets (per-frame and
+    per-run) count the shard work exactly once, as if it had run inline.
+    Oracle counters are absorbed separately by the dispatcher (the oracle
+    is an object, not a process-wide global).
+    """
+    INSERTION_STATS.absorb(interval.insertion)
+    VALIDATION_STATS.absorb(interval.validation)
+    WATCHDOG_STATS.absorb(interval.watchdog)
+    CANDIDATE_STATS.absorb(interval.candidates)
+    SHARD_STATS.absorb(interval.shards)
 
 
 # ----------------------------------------------------------------------
@@ -419,6 +536,9 @@ class PerfSnapshot:
     candidates: CandidateStats = field(
         default_factory=lambda: CANDIDATE_STATS.snapshot()
     )
+    shards: ShardStats = field(
+        default_factory=lambda: SHARD_STATS.snapshot()
+    )
 
     @classmethod
     def capture(cls, oracle: Any = None) -> "PerfSnapshot":
@@ -431,6 +551,7 @@ class PerfSnapshot:
             if oracle is not None
             else None,
             candidates=CANDIDATE_STATS.snapshot(),
+            shards=SHARD_STATS.snapshot(),
         )
 
     def since(self, earlier: "PerfSnapshot") -> PerfReport:
@@ -445,6 +566,7 @@ class PerfSnapshot:
             validation=self.validation.delta(earlier.validation),
             watchdog=self.watchdog.delta(earlier.watchdog),
             candidates=self.candidates.delta(earlier.candidates),
+            shards=self.shards.delta(earlier.shards),
         )
 
 
@@ -473,6 +595,7 @@ class FramePerf:
     watchdog: WatchdogStats
     oracle: Optional[OracleStats] = None
     candidates: CandidateStats = field(default_factory=CandidateStats)
+    shards: ShardStats = field(default_factory=ShardStats)
     wall_seconds: float = 0.0
     solve_seconds: float = 0.0
     validate_seconds: float = 0.0
@@ -491,6 +614,7 @@ class FramePerf:
             watchdog=interval.watchdog,
             oracle=interval.oracle,
             candidates=interval.candidates,
+            shards=interval.shards,
             **timings,
         )
 
@@ -501,6 +625,7 @@ class FramePerf:
             "watchdog": self.watchdog.as_dict(),
             "oracle": self.oracle.as_dict() if self.oracle else None,
             "candidates": self.candidates.as_dict(),
+            "shards": self.shards.as_dict(),
             "wall_seconds": self.wall_seconds,
             "solve_seconds": self.solve_seconds,
             "validate_seconds": self.validate_seconds,
@@ -528,3 +653,8 @@ def reset_watchdog_stats() -> None:
 def reset_candidate_stats() -> None:
     """Zero the process-wide candidate-retrieval counters (benchmarks/tests)."""
     CANDIDATE_STATS.reset()
+
+
+def reset_shard_stats() -> None:
+    """Zero the process-wide sharded-dispatch counters (benchmarks/tests)."""
+    SHARD_STATS.reset()

@@ -270,6 +270,20 @@ class DistanceOracle:
                     self.costs_from(source)
 
     # ------------------------------------------------------------------
+    # pickling (sharded dispatch ships oracles to worker processes)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        state = self.__dict__.copy()
+        # memoryviews cannot be pickled; rebuilt from the table on restore
+        state["_apsp_view"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        if self._apsp is not None:
+            self._apsp_view = memoryview(self._apsp)
+
+    # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
         """Counter snapshot (see :mod:`repro.perf` for the typed view)."""
         return {

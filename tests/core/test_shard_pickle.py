@@ -1,0 +1,189 @@
+"""Pickle round-trips for everything the shard process pool ships.
+
+The bar is *behavioural* equality, not field equality: a round-tripped
+instance must solve to the same plan, a round-tripped solver state must
+score and commit identically, and a round-tripped schedule must price
+identically once rebound to a cost function.  These are the invariants
+the :class:`~repro.core.shards.ProcessShardExecutor` relies on.
+"""
+
+import pickle
+
+import pytest
+
+import repro.core.shards as shards_mod
+from repro.core.candidates import build_candidate_index
+from repro.core.instance import URRInstance
+from repro.core.schedule import Stop
+from repro.core.scoring import SolverState
+from repro.core.shards import ShardContext, ShardTask, solve_shard
+from repro.core.solver import solve
+from repro.core.vehicles import Vehicle
+from repro.roadnet.oracle import DistanceOracle
+from tests.conftest import make_rider
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+class TestInstanceRoundTrip:
+    def test_instance_solves_identically(self, line_instance):
+        clone = roundtrip(line_instance)
+        original = solve(line_instance, method="eg")
+        replayed = solve(clone, method="eg")
+        assert replayed.served_rider_ids() == original.served_rider_ids()
+        assert replayed.total_utility() == pytest.approx(
+            original.total_utility()
+        )
+        for vid in (v.vehicle_id for v in line_instance.vehicles):
+            assert (
+                replayed.schedule(vid).locations()
+                == original.schedule(vid).locations()
+            )
+
+    def test_cost_closure_is_rebuilt(self, line_instance):
+        clone = roundtrip(line_instance)
+        assert clone.cost(0, 4) == pytest.approx(line_instance.cost(0, 4))
+
+    def test_oracle_round_trip_preserves_the_metric(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        clone = roundtrip(oracle)
+        for src, dst in [(0, 24), (3, 21), (12, 12)]:
+            assert clone.cost(src, dst) == pytest.approx(oracle.cost(src, dst))
+
+
+class TestVehicleRoundTrip:
+    def test_carried_over_state_survives(self):
+        onboard = make_rider(9, source=1, destination=3,
+                             pickup_deadline=5.0, dropoff_deadline=30.0)
+        vehicle = Vehicle(
+            vehicle_id=4,
+            location=2,
+            capacity=3,
+            ready_time=12.5,
+            onboard=[onboard],
+            committed_stops=[Stop.dropoff(onboard)],
+        )
+        clone = roundtrip(vehicle)
+        assert clone.vehicle_id == vehicle.vehicle_id
+        assert clone.location == vehicle.location
+        assert clone.capacity == vehicle.capacity
+        assert clone.ready_time == vehicle.ready_time
+        assert [r.rider_id for r in clone.onboard] == [9]
+        assert [s.rider.rider_id for s in clone.committed_stops] == [9]
+        assert clone.committed_stops[0].kind is vehicle.committed_stops[0].kind
+
+
+class TestScheduleRoundTrip:
+    @pytest.fixture
+    def committed(self, line_instance):
+        assignment = solve(line_instance, method="eg")
+        seq = assignment.schedule(0)
+        assert seq.assigned_riders()  # the test needs a non-trivial plan
+        return seq
+
+    def test_unbound_cost_is_loud(self, committed):
+        # the cost closure cannot cross a process boundary; using the
+        # restored sequence without rebinding must fail, not misprice
+        clone = roundtrip(committed)
+        with pytest.raises(RuntimeError):
+            clone.cost(0, 1)
+
+    def test_rebound_sequence_prices_identically(self, committed, line_instance):
+        clone = roundtrip(committed)
+        clone.bind_cost(line_instance.cost)
+        assert clone.total_cost == pytest.approx(committed.total_cost)
+        assert clone.locations() == committed.locations()
+        rid = committed.assigned_riders()[0].rider_id
+        assert (
+            clone.without_rider(rid).total_cost
+            == pytest.approx(committed.without_rider(rid).total_cost)
+        )
+
+
+class TestSolverStateRoundTrip:
+    def test_committed_state_scores_identically(self, line_instance):
+        state = SolverState(line_instance)
+        rider0, rider1 = line_instance.riders
+        vehicle = line_instance.vehicles[0]
+        first = state.evaluate(rider0, vehicle, with_utility=True)
+        assert first is not None
+        state.commit(first)
+
+        clone = roundtrip(state)
+        assert clone.total_utility() == pytest.approx(state.total_utility())
+        assert clone.schedule(0).locations() == state.schedule(0).locations()
+
+        # both halves must keep evolving in lockstep after the round trip
+        for half in (state, clone):
+            nxt = half.evaluate(rider1, vehicle, with_utility=True)
+            assert nxt is not None
+            half.commit(nxt)
+        assert clone.total_utility() == pytest.approx(state.total_utility())
+        assert clone.schedule(0).locations() == state.schedule(0).locations()
+
+
+class TestCandidateIndexRoundTrip:
+    def test_tracked_fleet_and_pruning_survive(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        index = build_candidate_index(small_grid, oracle=oracle)
+        fleet = [
+            Vehicle(vehicle_id=i, location=loc, capacity=2)
+            for i, loc in enumerate([0, 6, 12, 18, 24])
+        ]
+        for vehicle in fleet:
+            index.insert(vehicle.vehicle_id, vehicle.location, ready_time=0.0)
+
+        clone = roundtrip(index)
+        assert sorted(clone.tracked_ids()) == sorted(index.tracked_ids())
+
+        rider = make_rider(0, source=7, destination=17,
+                           pickup_deadline=4.0, dropoff_deadline=30.0)
+        kept = index.prune(rider, fleet, start_time=0.0)
+        replayed = clone.prune(rider, fleet, start_time=0.0)
+        assert (
+            [v.vehicle_id for v in replayed] == [v.vehicle_id for v in kept]
+        )
+
+
+class TestWorkerShipping:
+    """The actual executor path: context through the pool initializer,
+    the task through submit, in-process (no pool) for determinism."""
+
+    def test_shipped_solve_matches_inline_solve(self, line_instance):
+        context = ShardContext(
+            network=line_instance.network,
+            oracle=line_instance.oracle,
+            social=line_instance.social,
+        )
+        task = ShardTask(
+            shard_id=0,
+            method="eg",
+            riders=list(line_instance.riders),
+            vehicles=list(line_instance.vehicles),
+            vehicle_utilities=dict(line_instance.vehicle_utilities),
+            similarity_overrides=dict(line_instance.similarity_overrides),
+            alpha=line_instance.alpha,
+            beta=line_instance.beta,
+            start_time=line_instance.start_time,
+            seed=line_instance.seed,
+            default_vehicle_utility=line_instance.default_vehicle_utility,
+        )
+        inline = solve_shard(task, context, bracket=False)
+
+        saved = shards_mod._WORKER_CONTEXT
+        try:
+            shards_mod._set_worker_context(pickle.dumps(context))
+            shipped = shards_mod._solve_shard_task(roundtrip(task))
+        finally:
+            shards_mod._WORKER_CONTEXT = saved
+
+        assert shipped.perf is not None  # workers bracket their counters
+        assert sorted(shipped.schedules) == sorted(inline.schedules)
+        for vid, seq in inline.schedules.items():
+            assert shipped.schedules[vid].locations() == seq.locations()
+            assert (
+                {r.rider_id for r in shipped.schedules[vid].assigned_riders()}
+                == {r.rider_id for r in seq.assigned_riders()}
+            )
