@@ -17,6 +17,11 @@ Modes
   perturbations, road closures) injected between frames, asserting
   rider-ledger conservation, no-vanishing-commitments, and full fleet
   re-validation after every event.
+- ``--tiered`` (with ``--dispatch`` or ``--chaos``): run the
+  **tiered-oracle differential** — the same seeded scenario driven
+  through a tier-1 (CH + ALT) :class:`DistanceOracle` must match the
+  untiered run frame-for-frame and bit-for-bit on every sampled cost,
+  including across disruption-driven invalidation epochs.
 - ``--prune``: differential-fuzz **candidate retrieval** — each seed's
   dispatcher scenario runs once with the full all-pairs scan and once
   through the spatio-temporal candidate index
@@ -52,6 +57,7 @@ from repro.perf import VALIDATION_STATS
 from repro.check.corruptions import CORRUPTIONS
 from repro.check.fuzz import (
     ChaosFuzzConfig,
+    DispatchFuzzConfig,
     FuzzConfig,
     FuzzRunReport,
     ShardFuzzConfig,
@@ -164,6 +170,13 @@ def main(argv: Optional[List[str]] = None) -> int:
              "match unsharded dispatch on conflict-free frames",
     )
     parser.add_argument(
+        "--tiered", action="store_true",
+        help="with --dispatch or --chaos: run the tiered-oracle "
+             "differential — a tier-1 (CH + ALT) DistanceOracle must "
+             "match the untiered run frame-for-frame and bit-for-bit on "
+             "every sampled cost, including across disruption epochs",
+    )
+    parser.add_argument(
         "--shard-workers", type=int, default=None, metavar="N",
         help="worker-process count for the sharded leg (default 4 for "
              "--dispatch-shards); with --chaos, routes chaos scenarios "
@@ -221,6 +234,9 @@ def _run(args: argparse.Namespace, verbose: bool) -> int:
     chaos_config = ChaosFuzzConfig()
     if args.shard_workers is not None and args.chaos:
         chaos_config.shard_workers = args.shard_workers
+    if args.tiered:
+        chaos_config.tiered = True
+    dispatch_config = DispatchFuzzConfig(tiered=args.tiered)
 
     # ------------------------------------------------------------------
     if args.replay is not None and args.chaos:
@@ -282,7 +298,7 @@ def _run(args: argparse.Namespace, verbose: bool) -> int:
         return 0 if preport.ok else 1
 
     if args.replay is not None and args.dispatch:
-        dreport = fuzz_dispatch_seed(args.replay)
+        dreport = fuzz_dispatch_seed(args.replay, dispatch_config)
         print(
             f"seed {dreport.seed}: method={dreport.method} "
             f"frames={dreport.num_frames} vehicles={dreport.num_vehicles} "
@@ -365,7 +381,9 @@ def _run(args: argparse.Namespace, verbose: bool) -> int:
             seeds, shard_config, stop_after=budget, on_seed=progress
         )
     elif args.dispatch:
-        run = run_dispatch_fuzz(seeds, stop_after=budget, on_seed=progress)
+        run = run_dispatch_fuzz(
+            seeds, dispatch_config, stop_after=budget, on_seed=progress
+        )
     else:
         run = run_fuzz(seeds, stop_after=budget, on_seed=progress)
     elapsed = time.perf_counter() - start
@@ -377,7 +395,10 @@ def _run(args: argparse.Namespace, verbose: bool) -> int:
     elif args.dispatch_shards:
         what = "shard differentials"
     elif args.dispatch:
-        what = "dispatcher scenarios"
+        what = (
+            "tiered-oracle differentials" if args.tiered
+            else "dispatcher scenarios"
+        )
     else:
         what = "seeds"
     print(

@@ -43,6 +43,15 @@ two runs agree frame-for-frame — served riders, schedules stop by stop,
 carry-over queues and rider ledgers — and that no pruned pair survives
 an exact reachability re-check.
 
+The dispatch and chaos harnesses also run in a **tiered** mode
+(``DispatchFuzzConfig.tiered`` / ``ChaosFuzzConfig.tiered``,
+``python -m repro.check --dispatch --tiered`` / ``--chaos --tiered``):
+the same seeded scenario is driven through a tier-1
+(CH + ALT) :class:`~repro.roadnet.oracle.DistanceOracle` and must match
+the untiered run frame-for-frame, with a direct bitwise cost sweep on
+top — tiered and untiered oracles must return ``==`` floats for every
+sampled pair, including across chaos-driven invalidation epochs.
+
 Everything is deterministic in the seed, so any failure is replayable
 (``python -m repro.check --replay SEED`` /
 ``--replay SEED --dispatch`` / ``--replay SEED --chaos`` /
@@ -53,6 +62,7 @@ persists) into a minimal repro.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -382,7 +392,15 @@ def fuzz_seed(seed: int, config: Optional[FuzzConfig] = None) -> SeedReport:
 # ----------------------------------------------------------------------
 @dataclass
 class DispatchFuzzConfig:
-    """Shape of the randomized multi-frame dispatcher scenarios."""
+    """Shape of the randomized multi-frame dispatcher scenarios.
+
+    With ``tiered`` set, each seed becomes a differential trial instead:
+    the same pre-drawn multi-frame scenario runs through two dispatchers —
+    one on the untiered (APSP) oracle, one on a tier-1 (CH + ALT) oracle
+    forced via ``DistanceOracle(tier=1)`` — and the runs must agree
+    frame-for-frame, with a direct bitwise cost sweep on top (tiered and
+    untiered oracles must return ``==`` floats for every sampled pair).
+    """
 
     grid_rows: int = 6
     grid_cols: int = 6
@@ -396,6 +414,7 @@ class DispatchFuzzConfig:
     max_capacity: int = 3
     methods: Tuple[str, ...] = ("eg", "ba", "cf", "gbs+eg")
     audit_event_fields: bool = True
+    tiered: bool = False
 
 
 @dataclass
@@ -571,9 +590,17 @@ def fuzz_dispatch_seed(
       and unspent retry budgets;
     - per-frame accounting conserves riders
       (``served + expired + carried forward = offered``).
+
+    With ``config.tiered`` the seed instead runs the tiered-oracle
+    differential (see :func:`_fuzz_dispatch_tiered_impl`).
     """
-    with _trace.span("fuzz.seed", kind="dispatch", seed=seed) as seed_span:
-        report = _fuzz_dispatch_seed_impl(seed, config)
+    tiered = config is not None and config.tiered
+    kind = "dispatch-tiered" if tiered else "dispatch"
+    with _trace.span("fuzz.seed", kind=kind, seed=seed) as seed_span:
+        if tiered:
+            report = _fuzz_dispatch_tiered_impl(seed, config)
+        else:
+            report = _fuzz_dispatch_seed_impl(seed, config)
         seed_span.annotate(ok=report.ok, failures=len(report.failures))
     return report
 
@@ -674,6 +701,171 @@ def _fuzz_dispatch_seed_impl(
             f"served {dispatcher.total_served} riders out of "
             f"{dispatcher.total_requests} submitted",
         )
+    return report
+
+
+def _tiered_cost_sweep(
+    network: RoadNetwork,
+    tiered: DistanceOracle,
+    untiered: DistanceOracle,
+    sweep_rng: np.random.Generator,
+    count: int,
+    fail: Callable[[str, str], None],
+    where: str,
+) -> None:
+    """Direct bitwise differential on sampled node pairs.
+
+    Tier-1 bit-identity is a hard contract (the CH unpacks and re-sums
+    original edges from the source), so tiered and untiered oracles must
+    return ``==`` floats — not approx — for every pair; only matching
+    infinities are allowed to differ as objects.
+    """
+    nodes = sorted(network.nodes())
+    for _ in range(count):
+        u = int(nodes[int(sweep_rng.integers(len(nodes)))])
+        v = int(nodes[int(sweep_rng.integers(len(nodes)))])
+        a = tiered.cost(u, v)
+        b = untiered.cost(u, v)
+        if a != b and not (math.isinf(a) and math.isinf(b)):
+            fail(
+                "tiered_cost",
+                f"{where}: cost({u}, {v}) diverges bitwise: "
+                f"tiered={a!r} untiered={b!r}",
+            )
+            return
+
+
+def _fuzz_dispatch_tiered_impl(
+    seed: int, config: DispatchFuzzConfig
+) -> DispatchSeedReport:
+    """One tiered-oracle differential trial.
+
+    The same pre-drawn multi-frame scenario runs through two dispatchers
+    over the same network and fleet — one on the shared untiered oracle,
+    one on a fresh ``DistanceOracle(tier=1)`` — and every frame boundary
+    must agree exactly (served riders, schedules stop by stop, carry-over
+    queues, rider ledgers; the comparator is shared with the prune
+    fuzzer).  A direct bitwise cost sweep from a private rng follows, so
+    the oracle contract is checked even on pairs the scenario never
+    touched.
+    """
+    rng = np.random.default_rng(seed)
+    net_config = FuzzConfig(
+        grid_rows=config.grid_rows,
+        grid_cols=config.grid_cols,
+        num_networks=config.num_networks,
+    )
+    network, oracle = _network_for(net_config, seed)
+
+    method = config.methods[int(rng.integers(len(config.methods)))]
+    alpha, beta = _WEIGHT_PROFILES[int(rng.integers(len(_WEIGHT_PROFILES)))]
+    num_frames = int(rng.integers(config.min_frames, config.max_frames + 1))
+    num_vehicles = int(
+        rng.integers(config.min_vehicles, config.max_vehicles + 1)
+    )
+    frame_length = float(rng.uniform(3.0, 8.0))
+    max_retries = int(rng.integers(1, 5))
+    fleet = [
+        Vehicle(
+            vehicle_id=j,
+            location=int(rng.integers(network.num_nodes)),
+            capacity=int(rng.integers(1, config.max_capacity + 1)),
+        )
+        for j in range(num_vehicles)
+    ]
+    # the whole request stream is drawn up front so both dispatchers see
+    # byte-identical frames (the rng is shared state)
+    frames: List[List[Rider]] = []
+    rider_id = 0
+    clock = 0.0
+    for _ in range(num_frames):
+        count = int(
+            rng.integers(
+                config.min_riders_per_frame, config.max_riders_per_frame + 1
+            )
+        )
+        requests = _dispatch_requests(
+            network, oracle, rng, count, clock, frame_length, rider_id
+        )
+        rider_id += len(requests)
+        clock += frame_length
+        frames.append(requests)
+
+    plan = _plan_for(network) if method.startswith("gbs") else None
+    tiered_oracle = DistanceOracle(network, tier=1)
+
+    def make_dispatcher(dispatch_oracle: DistanceOracle) -> Dispatcher:
+        return Dispatcher(
+            network,
+            fleet,
+            method=method,
+            frame_length=frame_length,
+            plan=plan,
+            alpha=alpha,
+            beta=beta,
+            oracle=dispatch_oracle,
+            seed=seed,
+            max_retries=max_retries,
+        )
+
+    untiered_d = make_dispatcher(oracle)
+    tiered_d = make_dispatcher(tiered_oracle)
+    report = DispatchSeedReport(
+        seed=seed,
+        method=method,
+        num_frames=num_frames,
+        num_vehicles=num_vehicles,
+        frame_length=frame_length,
+        max_retries=max_retries,
+        num_riders=rider_id,
+    )
+    failures = report.failures
+
+    def fail(stage: str, detail: str) -> None:
+        failures.append(
+            FuzzFailure(seed=seed, stage=stage, method=method, detail=detail)
+        )
+
+    for frame, requests in enumerate(frames):
+        try:
+            untiered_report = untiered_d.dispatch_frame(list(requests))
+        except DispatchError as exc:
+            fail(
+                "tiered",
+                f"frame {frame}: untiered run raised DispatchError on "
+                f"vehicle {exc.vehicle_id}: {exc.violations[:2]}",
+            )
+            break
+        try:
+            tiered_report = tiered_d.dispatch_frame(list(requests))
+        except DispatchError as exc:
+            fail(
+                "tiered",
+                f"frame {frame}: tier-1 run raised DispatchError on "
+                f"vehicle {exc.vehicle_id}: {exc.violations[:2]}",
+            )
+            break
+        _compare_prune_frames(
+            frame, "tiered", untiered_d, tiered_d, untiered_report,
+            tiered_report, fail,
+        )
+        if failures:
+            break
+
+    # the sweep draws from a private rng so it cannot disturb the
+    # scenario stream shared with the untiered config
+    sweep_rng = np.random.default_rng(seed ^ 0x7EED)
+    _tiered_cost_sweep(
+        network, tiered_oracle, oracle, sweep_rng, 200, fail, "post-run sweep"
+    )
+    if tiered_oracle.effective_tier != 1:
+        fail(
+            "tiered",
+            f"tier-1 oracle silently degraded to tier "
+            f"{tiered_oracle.effective_tier} (sweep not testing the CH)",
+        )
+    report.total_requests = untiered_d.total_requests
+    report.total_served = untiered_d.total_served
     return report
 
 
@@ -1419,6 +1611,12 @@ class ChaosFuzzConfig:
     #: executor to re-ship its context)
     shard_workers: Optional[int] = None
     shard_count: int = 4
+    #: force the dispatcher onto a tier-1 (CH + ALT) oracle and shadow it
+    #: with an untiered oracle on the same mutating network: after every
+    #: frame and every disruption boundary a bitwise cost sweep asserts
+    #: the two agree exactly, proving CH invalidation/rebuild keeps the
+    #: bit-identity contract across disruption epochs
+    tiered: bool = False
 
 
 @dataclass
@@ -1597,7 +1795,17 @@ def _fuzz_chaos_seed_impl(
     )
     base_network, _base_oracle = _network_for(net_config, seed)
     network = base_network.copy()
-    oracle = DistanceOracle(network)
+    if config.tiered:
+        oracle = DistanceOracle(network, tier=1)
+        # shadow untiered oracle on the same mutating network; swept from
+        # a private rng so the scenario stream stays aligned with the
+        # untiered config
+        shadow: Optional[DistanceOracle] = DistanceOracle(network)
+        sweep_rng = np.random.default_rng((seed << 1) ^ 0x5EED)
+    else:
+        oracle = DistanceOracle(network)
+        shadow = None
+        sweep_rng = None
 
     method = config.methods[int(rng.integers(len(config.methods)))]
     alpha, beta = _WEIGHT_PROFILES[int(rng.integers(len(_WEIGHT_PROFILES)))]
@@ -1655,6 +1863,19 @@ def _fuzz_chaos_seed_impl(
             FuzzFailure(seed=seed, stage=stage, method=method, detail=detail)
         )
 
+    shadow_epoch = oracle.epoch
+
+    def sweep(where: str) -> None:
+        """Bitwise tiered-vs-untiered sweep, re-syncing the shadow's
+        caches whenever chaos moved the dispatcher oracle's epoch."""
+        nonlocal shadow_epoch
+        if shadow is None:
+            return
+        if oracle.epoch != shadow_epoch:
+            shadow.invalidate()
+            shadow_epoch = oracle.epoch
+        _tiered_cost_sweep(network, oracle, shadow, sweep_rng, 40, fail, where)
+
     issued: set = set()
     rider_id = 0
     for frame in range(num_frames):
@@ -1701,6 +1922,7 @@ def _fuzz_chaos_seed_impl(
                 f"frame budget",
             )
         _check_ledger(dispatcher, issued, fail, f"frame {frame}")
+        sweep(f"frame {frame}")
 
         # disruption boundary (skipped after the final frame: nothing
         # downstream would exercise the repaired state)
@@ -1747,6 +1969,7 @@ def _fuzz_chaos_seed_impl(
                     "chaos_fleet",
                     f"frame {frame}: vehicle {fv.vehicle_id}: {exc}",
                 )
+        sweep(f"frame {frame} post-inject")
 
     dispatcher.close()
     report.total_requests = dispatcher.total_requests

@@ -246,8 +246,15 @@ class CandidateIndex:
         if self.oracle.epoch != self._epoch:
             self._epoch = self.oracle.epoch
             if self._landmarks is not None:
-                self._landmarks = LandmarkIndex(
-                    self.network, num_landmarks=self._num_landmarks
+                # prefer the oracle's epoch-fresh shared ALT index (tier 1);
+                # otherwise rebuild our own against the mutated network
+                shared = getattr(self.oracle, "shared_landmarks", lambda: None)()
+                self._landmarks = (
+                    shared
+                    if shared is not None
+                    else LandmarkIndex(
+                        self.network, num_landmarks=self._num_landmarks
+                    )
                 )
             # stale distances: drop every entry (orders survive) and let
             # the upserts below re-derive from the current metric
@@ -480,7 +487,14 @@ def build_candidate_index(
             and len(network)
             and getattr(network, "undirected", False)
         ):
-            landmarks = LandmarkIndex(network, num_landmarks=num_landmarks)
+            # a tier-1 oracle already maintains an ALT index for its
+            # lower_bound() — share it instead of building a second one
+            shared = getattr(oracle, "shared_landmarks", lambda: None)()
+            landmarks = (
+                shared
+                if shared is not None
+                else LandmarkIndex(network, num_landmarks=num_landmarks)
+            )
         span.annotate(
             areas=areas.num_areas,
             landmarks=len(landmarks.landmarks) if landmarks else 0,

@@ -373,6 +373,11 @@ class Dispatcher:
                 )
         self.network = network
         self.oracle = oracle or DistanceOracle(network)
+        if frame_budget is not None and self.oracle.rebuild_budget_s is None:
+            # let a tier-1 oracle degrade for one epoch instead of paying a
+            # CH re-contraction inside a budgeted frame (see
+            # DistanceOracle.rebuild_budget_s)
+            self.oracle.rebuild_budget_s = frame_budget
         self.method = method
         self.frame_length = frame_length
         self.plan = plan

@@ -412,6 +412,7 @@ def absorb_oracle_delta(
     oracle.query_count += delta.query_count
     oracle.dijkstra_count += delta.dijkstra_count
     oracle.bidirectional_count += delta.bidirectional_count
+    oracle.ch_query_count += delta.ch_query_count
     oracle.pair_cache_hits += delta.pair_cache_hits
     oracle.source_cache_hits += delta.source_cache_hits
 

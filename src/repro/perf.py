@@ -394,6 +394,9 @@ class OracleStats:
     pinned_sources: int = 0
     fast_path: bool = False
     epoch: int = 0
+    ch_query_count: int = 0
+    tier: int = 2
+    effective_tier: int = 2
 
     @classmethod
     def from_oracle(cls, oracle: Any) -> "OracleStats":
@@ -401,7 +404,7 @@ class OracleStats:
 
     @property
     def searches(self) -> int:
-        return self.dijkstra_count + self.bidirectional_count
+        return self.dijkstra_count + self.bidirectional_count + self.ch_query_count
 
     @property
     def hit_rate(self) -> float:
@@ -446,6 +449,9 @@ class OracleStats:
             pinned_sources=self.pinned_sources,
             fast_path=self.fast_path,
             epoch=self.epoch,
+            ch_query_count=self.ch_query_count - since.ch_query_count,
+            tier=self.tier,
+            effective_tier=self.effective_tier,
         )
 
     def as_dict(self) -> Dict[str, Any]:

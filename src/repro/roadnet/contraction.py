@@ -10,11 +10,27 @@ Hierarchies are the standard answer:
   their only shortest path (checked by a local *witness search*);
 - **query**: bidirectional Dijkstra that only relaxes edges toward
   *more important* nodes; the searches meet at the highest-ranked node of
-  the shortest path.
+  the shortest path.  The two upward searches are interleaved and pruned
+  against the best meeting so far, and — when a
+  :class:`~repro.roadnet.landmarks.LandmarkIndex` is supplied — made
+  goal-directed: the landmark triangle bound seeds the pruning radius
+  with an upper bound before the first pop and discards settled nodes
+  that provably cannot lie on a better path (CH + ALT).  Both prunings
+  are exactness-preserving; on city grids they cut the searched upward
+  cone by roughly 4x.
 
 Node importance uses the classic lazy heuristic: edge difference (shortcuts
 added minus edges removed) plus contracted-neighbour count, re-evaluated
 lazily on pop.
+
+Every shortcut remembers the node it bypasses, so queries can *unpack* the
+winning up-down path into original edges and accumulate the distance in
+path order (source to target).  That makes the returned float bit-identical
+to plain Dijkstra's left-to-right accumulation over the same path — which
+is what lets the tiered :class:`~repro.roadnet.oracle.DistanceOracle` swap
+CH in for the all-pairs table without perturbing any solver decision
+(floating-point addition is not associative, so summing the same edges in a
+different order can differ in the last ulp).
 
 The implementation is exact (verified against Dijkstra by the test suite)
 and self-contained — no external solver, as everything else in this
@@ -24,10 +40,18 @@ reproduction.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.shortest_path import INF
+
+if False:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.roadnet.landmarks import LandmarkIndex
+
+#: landmarks consulted per query: of the supplied index's landmarks, only
+#: the few with the widest ``|d(L, s) - d(L, t)|`` gap are worth the
+#: per-settle bound evaluation (the classic ALT subset heuristic)
+_ACTIVE_LANDMARKS = 2
 
 
 class ContractionHierarchy:
@@ -39,11 +63,26 @@ class ContractionHierarchy:
         The input network (undirected; directed support would need split
         upward/downward graphs, which the reproduction does not require).
     witness_hop_limit:
-        Settled-node budget of each witness search; smaller is faster to
-        preprocess but inserts more (harmless) shortcuts.
+        Base settled-node budget of each witness search; smaller is faster
+        to preprocess but inserts more (harmless) shortcuts.  Contraction-
+        time searches scale this with their target count (see
+        :meth:`_simulate_contraction`) so the dense top of the hierarchy
+        still finds witnesses.
+    landmarks:
+        Optional ALT landmark index over the *same* network; when given,
+        queries use its triangle bounds for goal-directed pruning.  The
+        caller owns keeping it fresh — a stale index (network mutated
+        after the rebuild) would make the "lower" bounds inadmissible and
+        the pruning wrong, so rebuild the hierarchy and the index
+        together (``DistanceOracle.invalidate`` drops both).
     """
 
-    def __init__(self, network: RoadNetwork, witness_hop_limit: int = 60) -> None:
+    def __init__(
+        self,
+        network: RoadNetwork,
+        witness_hop_limit: int = 60,
+        landmarks: Optional["LandmarkIndex"] = None,
+    ) -> None:
         if not network.undirected:
             raise ValueError("ContractionHierarchy requires an undirected network")
         if len(network) == 0:
@@ -53,10 +92,16 @@ class ContractionHierarchy:
         #: contraction rank per node (higher = more important)
         self.rank: Dict[int, int] = {}
         #: search graph: node -> {neighbor: cost}, original edges + shortcuts
-        self._graph: Dict[int, Dict[int, float]] = {
+        self._graph: Optional[Dict[int, Dict[int, float]]] = {
             u: dict(nbrs) for u, nbrs in network.adjacency.items()
         }
+        #: (u, v) -> bypassed node for every edge that is (currently) a
+        #: shortcut; edges absent from this map are original network edges
+        self._middle: Dict[Tuple[int, int], int] = {}
         self.num_shortcuts = 0
+        #: lazy-update churn: how many popped nodes were re-pushed because
+        #: their fresh priority lost to the (live) heap top
+        self.num_repushes = 0
         self._build()
         #: upward adjacency used by queries (toward higher ranks only)
         self._upward: Dict[int, List[Tuple[int, float]]] = {
@@ -67,6 +112,21 @@ class ContractionHierarchy:
             ]
             for u, nbrs in self._graph.items()
         }
+        #: per-landmark goal tables covering every node (INF-padded);
+        #: dense lists when node ids are exactly 0..n-1, dicts otherwise,
+        #: so the query indexes them uniformly with ``table[node]``
+        self._alt_goals: Optional[List[object]] = None
+        if landmarks is not None:
+            node_ids = list(self.rank)
+            n = len(node_ids)
+            dense = min(node_ids) == 0 and max(node_ids) == n - 1
+            goals: List[object] = []
+            for table in landmarks.distance_tables():
+                if dense:
+                    goals.append([table.get(i, INF) for i in range(n)])
+                else:
+                    goals.append({u: table.get(u, INF) for u in node_ids})
+            self._alt_goals = goals
 
     # ------------------------------------------------------------------
     # preprocessing
@@ -86,10 +146,17 @@ class ContractionHierarchy:
             priority, node = heapq.heappop(heap)
             if node in self.rank:
                 continue
-            # lazy update: re-evaluate; re-push unless still the minimum
+            # lazy update: re-evaluate; re-push unless still the minimum.
+            # Stale entries (already-contracted nodes) must come off the
+            # top first — comparing against a stale minimum forces
+            # spurious re-pushes and priority re-evaluations, churn that
+            # compounds on larger graphs.
             fresh = self._priority(node, remaining, contracted_neighbors)
+            while heap and heap[0][1] in self.rank:
+                heapq.heappop(heap)
             if heap and fresh > heap[0][0] + 1e-12:
                 heapq.heappush(heap, (fresh, node))
+                self.num_repushes += 1
                 continue
             self._contract(node, remaining, contracted_neighbors)
             self.rank[node] = next_rank
@@ -111,58 +178,99 @@ class ContractionHierarchy:
         remaining: Dict[int, Dict[int, float]],
         count_only: bool,
     ) -> int:
-        """Count (or collect) the shortcuts contracting ``node`` needs."""
+        """Count (or collect) the shortcuts contracting ``node`` needs.
+
+        One *one-to-many* witness search per source neighbor covers every
+        pair ``(u, v)`` with ``u < v`` at once — the search from ``u``
+        labels all later neighbors together, which is what keeps
+        preprocessing tractable at DIMACS scale (the per-pair variant
+        re-explores the same ball ``degree/2`` times over).
+
+        The witness budget is asymmetric on purpose.  Priority estimation
+        (``count_only``) runs constantly under the lazy-update scheme, so
+        it uses the cheap flat ``witness_hop_limit``; a miscount only
+        nudges the contraction order.  A *contraction* search scales the
+        budget with its target count instead: in the dense top of the
+        hierarchy a node can have dozens of neighbours, and a flat budget
+        that cannot even settle the targets finds no witnesses, inserts
+        shortcuts for every pair, and densifies what is left — a cascade
+        that blows preprocessing from minutes to hours at 100k nodes.
+        """
         neighbors = remaining[node]
         items = sorted(neighbors.items())
         added = 0
         for i, (u, cu) in enumerate(items):
-            for v, cv in items[i + 1:]:
-                via = cu + cv
-                if not self._has_witness(u, v, via, node, remaining):
+            rest = items[i + 1:]
+            if not rest:
+                break
+            targets = {v: cu + cv for v, cv in rest}
+            if count_only:
+                budget = self.witness_hop_limit
+            else:
+                budget = max(self.witness_hop_limit, 64 * len(targets))
+            witnessed = self._witness_search(u, targets, node, remaining, budget)
+            for v, cv in rest:
+                if v not in witnessed:
                     added += 1
                     if not count_only:
-                        self._add_shortcut(u, v, via, remaining)
+                        self._add_shortcut(u, v, cu + cv, node, remaining)
         return added
 
-    def _has_witness(
+    def _witness_search(
         self,
         source: int,
-        target: int,
-        limit: float,
+        targets: Dict[int, float],
         skip: int,
         remaining: Dict[int, Dict[int, float]],
-    ) -> bool:
-        """Bounded Dijkstra in the remaining graph avoiding ``skip``: is
-        there a path source -> target with cost <= limit?"""
+        budget: int,
+    ) -> set:
+        """Bounded one-to-many Dijkstra in the remaining graph avoiding
+        ``skip``: which targets have a path from ``source`` no longer than
+        their via-``skip`` cost?  Conservative under the settled-node
+        budget — an undiscovered witness only means a redundant (harmless)
+        shortcut."""
+        eps = 1e-12
+        limit = max(targets.values()) + eps
         dist: Dict[int, float] = {source: 0.0}
         heap: List[Tuple[float, int]] = [(0.0, source)]
-        settled = 0
-        while heap and settled < self.witness_hop_limit:
-            d, u = heapq.heappop(heap)
-            if d > limit + 1e-12:
-                return False
-            if u == target:
-                return True
-            if d > dist.get(u, INF):
+        pop, push = heapq.heappop, heapq.heappush
+        pending = len(targets)
+        while heap and budget > 0:
+            d, u = pop(heap)
+            if d > limit:
+                break
+            if d > dist[u]:
                 continue
-            settled += 1
+            budget -= 1
+            if u in targets:
+                pending -= 1
+                if pending == 0:
+                    break
             for v, cost in remaining[u].items():
                 if v == skip:
                     continue
                 nd = d + cost
-                if nd <= limit + 1e-12 and nd < dist.get(v, INF):
+                if nd <= limit and nd < dist.get(v, INF):
                     dist[v] = nd
-                    heapq.heappush(heap, (nd, v))
-        return dist.get(target, INF) <= limit + 1e-12
+                    push(heap, (nd, v))
+        return {
+            v for v, via in targets.items() if dist.get(v, INF) <= via + eps
+        }
 
     def _add_shortcut(
-        self, u: int, v: int, cost: float, remaining: Dict[int, Dict[int, float]]
+        self,
+        u: int,
+        v: int,
+        cost: float,
+        via: int,
+        remaining: Dict[int, Dict[int, float]],
     ) -> None:
         for a, b in ((u, v), (v, u)):
             if cost < remaining[a].get(b, INF):
                 remaining[a][b] = cost
             if cost < self._graph[a].get(b, INF):
                 self._graph[a][b] = cost
+                self._middle[(a, b)] = via
         self.num_shortcuts += 1
 
     def _contract(
@@ -181,40 +289,187 @@ class ContractionHierarchy:
     # queries
     # ------------------------------------------------------------------
     def cost(self, source: int, target: int) -> float:
-        """Exact shortest distance (inf when unreachable)."""
+        """Exact shortest distance (inf when unreachable).
+
+        Interleaved bidirectional upward search.  A direction stops once
+        its queue minimum reaches the best meeting found so far (standard
+        CH termination), and with landmark goal tables the search also
+
+        - seeds the bound with the landmark triangle *upper* bound
+          ``min_L d(s, L) + d(L, t)`` (padded by a relative epsilon so
+          float rounding cannot exclude the optimum), and
+        - skips relaxing any settled node ``u`` whose admissible remaining
+          distance ``d + max_L |d(L, u) - d(L, goal)|`` already reaches
+          the bound — ``u`` stays a valid meeting point, but no shortest
+          path can leave the pruned radius through it.
+
+        The winning up-down path is unpacked into original network edges
+        and the distance re-accumulated from ``source`` in path order, so
+        the result is bit-identical to plain Dijkstra's over the same
+        path (shortcut costs are pairwise sums and would otherwise round
+        differently in the last ulp).
+        """
         if source == target:
             return 0.0
-        dist_f = self._upward_search(source)
-        dist_b = self._upward_search(target)
+        upward = self._upward
+        heappop, heappush = heapq.heappop, heapq.heappush
         best = INF
-        # meet at any node settled by both upward searches
-        smaller, larger = (
-            (dist_f, dist_b) if len(dist_f) <= len(dist_b) else (dist_b, dist_f)
-        )
-        for node, d in smaller.items():
-            other = larger.get(node)
-            if other is not None and d + other < best:
-                best = d + other
-        return best
+        goals0: Optional[List[Tuple[object, float]]] = None
+        goals1: Optional[List[Tuple[object, float]]] = None
+        tables = self._alt_goals
+        if tables is not None:
+            src_d = [t[source] for t in tables]
+            dst_d = [t[target] for t in tables]
+            upper = min(a + b for a, b in zip(src_d, dst_d))
+            if upper < INF:
+                best = upper * (1.0 + 1e-9)
+            # widest-gap landmarks give the tightest bounds for this pair
+            gaps = []
+            for i, (a, b) in enumerate(zip(src_d, dst_d)):
+                gap = abs(a - b)
+                gaps.append((gap, i) if gap == gap else (-1.0, i))
+            gaps.sort(reverse=True)
+            active = [i for _, i in gaps[:_ACTIVE_LANDMARKS]]
+            goals0 = [(tables[i], dst_d[i]) for i in active]  # fwd -> target
+            goals1 = [(tables[i], src_d[i]) for i in active]  # bwd -> source
+        # the two directions are written out twice with all-local state:
+        # this is the hottest loop in a tier-1 oracle and indexing
+        # (heaps[side], settled[1 - side], ...) measurably slows it
+        dist0 = {source: 0.0}
+        dist1 = {target: 0.0}
+        set0: Dict[int, float] = {}
+        set1: Dict[int, float] = {}
+        pred0: Dict[int, int] = {}
+        pred1: Dict[int, int] = {}
+        h0: List[Tuple[float, int]] = [(0.0, source)]
+        h1: List[Tuple[float, int]] = [(0.0, target)]
+        meet: Optional[int] = None
+        while h0 or h1:
+            if h0 and (not h1 or h0[0][0] <= h1[0][0]):
+                d, u = heappop(h0)
+                if d >= best:
+                    # queue minima only grow: this direction is exhausted
+                    h0 = []
+                    continue
+                if u in set0:
+                    continue
+                set0[u] = d
+                o = set1.get(u)
+                if o is not None and d + o < best:
+                    best = d + o
+                    meet = u
+                if goals0 is not None:
+                    bound = 0.0
+                    for table, goal_d in goals0:
+                        diff = table[u] - goal_d
+                        if diff < 0.0:
+                            diff = -diff
+                        if diff > bound:
+                            bound = diff
+                    if d + bound >= best:
+                        continue
+                for v, cost in upward[u]:
+                    nd = d + cost
+                    if nd < dist0.get(v, INF):
+                        dist0[v] = nd
+                        pred0[v] = u
+                        heappush(h0, (nd, v))
+            else:
+                d, u = heappop(h1)
+                if d >= best:
+                    h1 = []
+                    continue
+                if u in set1:
+                    continue
+                set1[u] = d
+                o = set0.get(u)
+                if o is not None and d + o < best:
+                    best = d + o
+                    meet = u
+                if goals1 is not None:
+                    bound = 0.0
+                    for table, goal_d in goals1:
+                        diff = table[u] - goal_d
+                        if diff < 0.0:
+                            diff = -diff
+                        if diff > bound:
+                            bound = diff
+                    if d + bound >= best:
+                        continue
+                for v, cost in upward[u]:
+                    nd = d + cost
+                    if nd < dist1.get(v, INF):
+                        dist1[v] = nd
+                        pred1[v] = u
+                        heappush(h1, (nd, v))
+        if meet is None:
+            return INF
+        edges: List[Tuple[int, int]] = []
+        self._append_upward_path(pred0, source, meet, edges)
+        down: List[Tuple[int, int]] = []
+        self._append_upward_path(pred1, target, meet, down)
+        edges.extend((b, a) for a, b in reversed(down))
+        adjacency = self.network.adjacency
+        total = 0.0
+        for a, b in edges:
+            total += adjacency[a][b]
+        return total
 
     __call__ = cost
 
-    def _upward_search(self, source: int) -> Dict[int, float]:
-        dist: Dict[int, float] = {source: 0.0}
-        heap: List[Tuple[float, int]] = [(0.0, source)]
-        settled: Dict[int, float] = {}
-        upward = self._upward
-        while heap:
-            d, u = heapq.heappop(heap)
-            if u in settled:
-                continue
-            settled[u] = d
-            for v, cost in upward[u]:
-                nd = d + cost
-                if nd < dist.get(v, INF):
-                    dist[v] = nd
-                    heapq.heappush(heap, (nd, v))
-        return settled
+    def _append_upward_path(
+        self,
+        pred: Dict[int, int],
+        source: int,
+        meet: int,
+        out: List[Tuple[int, int]],
+    ) -> None:
+        """Append the unpacked ``source -> meet`` path as original edges."""
+        chain: List[int] = [meet]
+        while chain[-1] != source:
+            chain.append(pred[chain[-1]])
+        chain.reverse()
+        for a, b in zip(chain, chain[1:]):
+            self._unpack(a, b, out)
+
+    def _unpack(self, a: int, b: int, out: List[Tuple[int, int]]) -> None:
+        """Expand search-graph edge ``(a, b)`` into original network edges
+        left to right (a shortcut's middle node splits it in two);
+        iterative — deep hierarchies would otherwise recurse past Python's
+        default limit."""
+        middle = self._middle
+        stack = [(a, b)]
+        pop, push = stack.pop, stack.append
+        while stack:
+            x, y = pop()
+            mid = middle.get((x, y))
+            if mid is None:
+                out.append((x, y))
+            else:
+                # left half popped (and hence emitted) first
+                push((mid, y))
+                push((x, mid))
+
+    # ------------------------------------------------------------------
+    # pickling (sharded dispatch ships tier-1 oracles to workers)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Ship the query structures only.
+
+        ``_graph`` (originals + every shortcut, both directions) is pure
+        preprocessing state — queries walk ``_upward``/``_middle`` and the
+        network's own adjacency — and roughly doubles the pickle, so it is
+        dropped.  The restored hierarchy answers queries identically but
+        cannot be re-contracted (it never needs to be: disruptions rebuild
+        from the network instead).
+        """
+        state = self.__dict__.copy()
+        state["_graph"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_alt_goals", None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -69,22 +69,41 @@ class LandmarkIndex:
         first = max(first_dist, key=first_dist.get)
         self.landmarks.append(first)
         self._dist[first] = dijkstra(self.network, first)
+        # running min distance to the nearest selected landmark, folded in
+        # once per landmark (O(k·V) total instead of an O(k)-deep min per
+        # node per iteration)
+        min_dist: Dict[int, float] = {
+            node: self._dist[first].get(node, INF)
+            for node in self.network.nodes()
+        }
         while len(self.landmarks) < min(count, len(self.network)):
             best_node = None
             best_score = -1.0
             for node in self.network.nodes():
-                score = min(
-                    self._dist[l].get(node, INF) for l in self.landmarks
-                )
+                score = min_dist[node]
                 if score != INF and score > best_score:
                     best_score = score
                     best_node = node
             if best_node is None or best_score <= 0.0:
                 break  # graph exhausted (fewer distinct positions than landmarks)
             self.landmarks.append(best_node)
-            self._dist[best_node] = dijkstra(self.network, best_node)
+            table = dijkstra(self.network, best_node)
+            self._dist[best_node] = table
+            for node in min_dist:
+                d = table.get(node, INF)
+                if d < min_dist[node]:
+                    min_dist[node] = d
 
     # ------------------------------------------------------------------
+    def distance_tables(self) -> List[Dict[int, float]]:
+        """The per-landmark exact distance dicts, in landmark order.
+
+        Consumers that run the triangle bound in a hot loop (the CH query
+        uses it for goal-directed pruning) index these directly instead of
+        paying :meth:`heuristic`'s per-call landmark iteration.
+        """
+        return [self._dist[landmark] for landmark in self.landmarks]
+
     def heuristic(self, node: int, target: int) -> float:
         """Admissible lower bound on dist(node, target)."""
         best = 0.0

@@ -1,35 +1,62 @@
-"""Cached distance oracle.
+"""Tiered cached distance oracle.
 
 Every URR solver issues very many ``cost(u, v)`` queries with heavily skewed
 locality (the same pickup/drop-off locations appear in many candidate
-insertions).  :class:`DistanceOracle` serves them from
+insertions).  :class:`DistanceOracle` serves them from one of three tiers,
+auto-picked from network size and a memory budget:
 
-1. an optional all-pairs table (worth it below ``apsp_threshold`` nodes —
-   the synthetic benchmark networks qualify), stored as one flat
-   ``numpy.float64`` array over interned node indices: O(1) indexed reads,
-   no per-query dict hashing, and roughly an order of magnitude less
-   memory than the previous dict-of-dicts table, or
-2. an LRU cache of full single-source Dijkstra runs, falling back to
-3. bidirectional point-to-point search for one-off queries, whose results
-   land in a bounded pair LRU so repeated distinct pairs on large networks
-   pay the search once.
+- **tier 0 — APSP table** (small networks): a full all-pairs
+  precomputation stored as one flat ``numpy.float64`` array over interned
+  node indices; O(1) indexed reads, no per-query dict hashing.
+- **tier 1 — contraction hierarchy** (city-scale networks): exact CH
+  point-to-point queries (:mod:`repro.roadnet.contraction`) under the pair
+  LRU, plus an ALT landmark index (:mod:`repro.roadnet.landmarks`) exposed
+  through :meth:`lower_bound`/:meth:`shared_landmarks` so feasibility
+  pruning (``repro.core.candidates``) can share one index instead of
+  building its own.
+- **tier 2 — LRU fallback** (everything else, and directed networks): an
+  LRU cache of full single-source Dijkstra runs plus bidirectional
+  point-to-point search for one-off queries, with the pair LRU on top.
 
-The oracle is a drop-in ``cost(u, v)`` callable, which is the only interface
-the scheduling layer (Section 3) depends on.  All work is counted
-(``query_count``, ``dijkstra_count``, ``bidirectional_count``, cache hits)
-and summarised by :mod:`repro.perf`.
+On **undirected** networks every query is canonicalised to
+``(min(u, v), max(u, v))`` before touching any tier, so ``cost`` is exactly
+symmetric, the pair LRU holds each unordered pair once (double the
+effective capacity), and — because the CH query unpacks its up-down path
+into original edges and re-accumulates from the canonical source in path
+order — tiers 0 and 1 return *bit-identical* floats for every pair.  That
+bitwise contract is what lets the differential fuzz harness compare tiered
+and untiered dispatch runs with ``==`` instead of tolerances.
+
+Disruption-epoch invalidation (:meth:`invalidate`) drops the CH and
+landmark structures with the caches; tier 1 rebuilds lazily on the next
+query.  When a ``rebuild_budget_s`` is set and the last CH build exceeded
+it, the oracle instead degrades to tier 2 for one epoch (queries fall back
+to bidirectional search) so a mid-frame road closure never stalls the
+dispatcher on a full re-contraction.
+
+The oracle is a drop-in ``cost(u, v)`` callable, which is the only
+interface the scheduling layer (Section 3) depends on.  All work is counted
+(``query_count``, ``dijkstra_count``, ``bidirectional_count``,
+``ch_query_count``, cache hits) and summarised by :mod:`repro.perf`.
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
 import numpy as np
 
 from repro.obs import trace as _trace
+from repro.roadnet.contraction import ContractionHierarchy
 from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.landmarks import LandmarkIndex
 from repro.roadnet.shortest_path import INF, bidirectional_dijkstra, dijkstra
+
+#: below this many nodes, auto-selection never picks tier 1 — the CH build
+#: is pure overhead when per-pair bidirectional searches are already cheap
+TIER1_MIN_NODES = 4000
 
 
 class DistanceOracle:
@@ -44,18 +71,38 @@ class DistanceOracle:
         Maximum number of full single-source Dijkstra result dicts to keep
         (LRU).  Each entry costs O(|V|) memory.
     apsp_threshold:
-        When ``len(network) <= apsp_threshold``, the first query triggers a
-        full all-pairs precomputation (|V| Dijkstras) and all later queries
-        are O(1) array reads.  Set to 0 to disable.
+        When ``len(network) <= apsp_threshold`` (and the table fits the
+        memory budget), the first query triggers a full all-pairs
+        precomputation (|V| Dijkstras) and all later queries are O(1)
+        array reads.  Set to 0 to disable.
     cache_pairs:
-        Maximum number of one-off bidirectional point-to-point results to
-        keep (LRU).  Each entry is a single float; this is what makes
-        repeated distinct pairs affordable on networks too large for APSP.
+        Maximum number of one-off point-to-point results to keep (LRU).
+        Each entry is a single float; this is what makes repeated distinct
+        pairs affordable on networks too large for APSP.
     cache_rows:
         Maximum number of materialised APSP row views (the dicts handed out
         by :meth:`costs_from` in APSP mode) to keep (LRU).  Each entry costs
         O(|V|) memory on top of the flat table, so unbounded growth would
         quietly rebuild the dict-of-dicts representation the table replaced.
+    memory_budget_mb:
+        Memory budget for precomputed structures, used by tier
+        auto-selection: tier 0 must fit the n² table, tier 1 the CH +
+        landmark estimate.  Not a hard cap — an explicit ``tier`` override
+        is always honoured.
+    tier:
+        Force a tier (0 = APSP, 1 = CH + ALT, 2 = LRU/bidirectional)
+        instead of auto-selecting.  ``tier=1`` requires an undirected
+        network.
+    num_landmarks:
+        Landmark count for the tier-1 ALT index.  The CH query picks the
+        few widest-gap landmarks per pair for goal-directed pruning, so a
+        larger pool mostly buys tighter bounds, not per-query cost; 16
+        keeps city-scale p2p queries comfortably sublinear.
+    rebuild_budget_s:
+        When set and the last CH build took longer than this, a
+        disruption-epoch :meth:`invalidate` degrades the oracle to tier 2
+        for one epoch instead of eagerly re-contracting (the dispatcher
+        wires its frame budget in here).
     """
 
     def __init__(
@@ -65,12 +112,26 @@ class DistanceOracle:
         apsp_threshold: int = 1500,
         cache_pairs: int = 65536,
         cache_rows: int = 1024,
+        memory_budget_mb: float = 256.0,
+        tier: Optional[int] = None,
+        num_landmarks: int = 16,
+        rebuild_budget_s: Optional[float] = None,
     ) -> None:
+        if tier is not None:
+            if tier not in (0, 1, 2):
+                raise ValueError(f"tier must be 0, 1, or 2 (got {tier!r})")
+            if tier == 1 and not network.undirected:
+                raise ValueError("tier 1 (CH + ALT) requires an undirected network")
         self.network = network
         self.cache_sources = cache_sources
         self.apsp_threshold = apsp_threshold
         self.cache_pairs = cache_pairs
         self.cache_rows = cache_rows
+        self.memory_budget_mb = memory_budget_mb
+        self.num_landmarks = num_landmarks
+        self.rebuild_budget_s = rebuild_budget_s
+        self._tier_override = tier
+        self._tier: Optional[int] = None  # resolved lazily by .tier
         self._source_cache: "OrderedDict[int, Dict[int, float]]" = OrderedDict()
         self._pair_cache: "OrderedDict[tuple, float]" = OrderedDict()
         # APSP state: flat numpy table over interned node indices
@@ -79,6 +140,15 @@ class DistanceOracle:
         self._apsp_index: Optional[Dict[int, int]] = None  # None: ids are 0..n-1
         self._apsp_n = 0
         self._apsp_view: Optional[memoryview] = None  # python-float reads
+        # tier-1 state, built lazily on first query
+        self._ch: Optional[ContractionHierarchy] = None
+        self._alt: Optional[LandmarkIndex] = None
+        self._tier1_build_s: Optional[float] = None
+        # epoch during which tier 1 is degraded to tier 2 (CH rebuild
+        # skipped because the last build blew rebuild_budget_s)
+        self._degraded_epoch = -1
+        # queries on undirected networks are canonicalised to (min, max)
+        self._undirected = network.undirected
         # costs_from row views, bounded like _source_cache
         self._row_cache: "OrderedDict[int, Dict[int, float]]" = OrderedDict()
         # sources pinned by warm(): never evicted from the LRUs
@@ -87,6 +157,7 @@ class DistanceOracle:
         self.query_count = 0
         self.dijkstra_count = 0
         self.bidirectional_count = 0
+        self.ch_query_count = 0
         self.pair_cache_hits = 0
         self.source_cache_hits = 0
         # whether fast_cost_fn() handed out a counter-bypassing closure —
@@ -97,14 +168,103 @@ class DistanceOracle:
         self.epoch = 0
 
     # ------------------------------------------------------------------
+    # tier selection
+    # ------------------------------------------------------------------
+    @property
+    def tier(self) -> int:
+        """The configured tier (0 = APSP, 1 = CH + ALT, 2 = LRU)."""
+        if self._tier is None:
+            if self._tier_override is not None:
+                self._tier = self._tier_override
+            else:
+                self._tier = self._select_tier()
+        return self._tier
+
+    @property
+    def effective_tier(self) -> int:
+        """The tier queries actually use right now.
+
+        Differs from :attr:`tier` only during a degraded epoch (tier 1
+        configured, CH rebuild skipped for budget reasons → queries run
+        tier 2 until the next invalidation).
+        """
+        t = self.tier
+        if t == 1 and self._degraded_epoch == self.epoch:
+            return 2
+        return t
+
+    def _select_tier(self) -> int:
+        n = len(self.network)
+        budget_bytes = self.memory_budget_mb * 1e6
+        if 0 < n <= self.apsp_threshold and n * n * 8 <= budget_bytes:
+            return 0
+        if (
+            self._undirected
+            and n >= TIER1_MIN_NODES
+            and self._tier1_estimate_bytes() <= budget_bytes
+        ):
+            return 1
+        return 2
+
+    def _tier1_estimate_bytes(self) -> float:
+        """Rough memory estimate for the CH + ALT structures.
+
+        CH shortcuts empirically land near the original (directed) edge
+        count on road grids, and every search-graph entry costs a dict
+        slot plus an upward-list tuple; the landmark index stores
+        ``num_landmarks`` full distance dicts.
+        """
+        n = len(self.network)
+        m = self.network.num_edges
+        ch_bytes = 2 * m * 100
+        # 90B/entry for the index's distance dicts plus the dense goal-table
+        # slots the hierarchy keeps for query pruning
+        alt_bytes = self.num_landmarks * n * 100
+        return float(ch_bytes + alt_bytes)
+
+    def _ensure_ch(self) -> ContractionHierarchy:
+        if self._ch is None:
+            # the hierarchy shares the oracle's ALT index for goal-directed
+            # query pruning; both are dropped together on invalidate(), so
+            # the bounds the queries consult are always current-epoch
+            started = time.perf_counter()
+            landmarks = self._ensure_alt()
+            with _trace.span("oracle.build_ch", nodes=len(self.network)):
+                self._ch = ContractionHierarchy(
+                    self.network, landmarks=landmarks
+                )
+            self._tier1_build_s = time.perf_counter() - started
+        return self._ch
+
+    def _ensure_alt(self) -> LandmarkIndex:
+        if self._alt is None:
+            with _trace.span(
+                "oracle.build_landmarks",
+                nodes=len(self.network),
+                landmarks=self.num_landmarks,
+            ):
+                self._alt = LandmarkIndex(
+                    self.network, num_landmarks=self.num_landmarks
+                )
+        return self._alt
+
+    # ------------------------------------------------------------------
     def cost(self, u: int, v: int) -> float:
-        """Shortest travel cost from ``u`` to ``v`` (inf if unreachable)."""
+        """Shortest travel cost from ``u`` to ``v`` (inf if unreachable).
+
+        On undirected networks the query is canonicalised to
+        ``(min(u, v), max(u, v))`` first, so ``cost`` is exactly symmetric
+        and every tier returns the identical float for both directions.
+        """
         self.query_count += 1
         if u == v:
             return 0.0
-        if self._apsp is None and 0 < len(self.network) <= self.apsp_threshold:
-            self._build_apsp()
-        if self._apsp_view is not None:
+        if self._undirected and u > v:
+            u, v = v, u
+        tier = self.tier
+        if tier == 0:
+            if self._apsp is None:
+                self._build_apsp()
             index = self._apsp_index
             if index is None:
                 return self._apsp_view[u * self._apsp_n + v]
@@ -120,15 +280,47 @@ class DistanceOracle:
             self._pair_cache.move_to_end(pair)
             self.pair_cache_hits += 1
             return hit
-        # one-off query: bidirectional is cheaper than a full Dijkstra
-        self.bidirectional_count += 1
-        d = bidirectional_dijkstra(self.network, u, v)
+        if tier == 1 and self._degraded_epoch != self.epoch:
+            self.ch_query_count += 1
+            d = self._ensure_ch().cost(u, v)
+        else:
+            # one-off query: bidirectional is cheaper than a full Dijkstra
+            self.bidirectional_count += 1
+            d = bidirectional_dijkstra(self.network, u, v)
         self._pair_cache[pair] = d
         if len(self._pair_cache) > self.cache_pairs:
             self._pair_cache.popitem(last=False)
         return d
 
     __call__ = cost
+
+    def lower_bound(self, u: int, v: int) -> float:
+        """Admissible lower bound on ``cost(u, v)``.
+
+        Tier 1 serves the ALT landmark bound (building the index on first
+        use); other tiers return the trivial ``0.0``.  Always safe to use
+        for feasibility pruning: the bound never exceeds the true cost.
+        """
+        if u == v:
+            return 0.0
+        if self.tier != 1:
+            return 0.0
+        return self._ensure_alt().heuristic(u, v)
+
+    def shared_landmarks(self) -> Optional[LandmarkIndex]:
+        """The oracle's ALT landmark index, for consumers that want to
+        share one index instead of building their own
+        (``repro.core.candidates`` does).  ``None`` unless tier 1 is
+        configured — small networks build their own cheap index and
+        directed networks cannot use ALT at all.
+
+        The returned index is always fresh for the current epoch (it is
+        dropped and lazily rebuilt by :meth:`invalidate`), so callers must
+        re-fetch it after an epoch change.
+        """
+        if self.tier != 1:
+            return None
+        return self._ensure_alt()
 
     def fast_cost_fn(self) -> "Callable[[int, int], float]":
         """A minimal-overhead ``cost(u, v)`` callable.
@@ -137,9 +329,11 @@ class DistanceOracle:
         closure over a ``memoryview`` of the flat table (python-float reads,
         no bookkeeping per query) — the solvers' hot loops issue millions of
         cost queries, so the saved attribute lookups and counters matter.
+        The closure applies the same undirected canonicalisation as
+        :meth:`cost`, so both paths return bit-identical floats.
         Falls back to :meth:`cost` otherwise.
         """
-        if self._apsp is None and 0 < len(self.network) <= self.apsp_threshold:
+        if self.tier == 0 and self._apsp is None:
             self._build_apsp()
         if self._apsp_view is None:
             return self.cost
@@ -149,18 +343,38 @@ class DistanceOracle:
         index = self._apsp_index
 
         if index is None:
+            if self._undirected:
 
-            def fast_cost(u: int, v: int) -> float:
-                if u == v:
-                    return 0.0
-                return view[u * n + v]
+                def fast_cost(u: int, v: int) -> float:
+                    if u == v:
+                        return 0.0
+                    if u > v:
+                        u, v = v, u
+                    return view[u * n + v]
+
+            else:
+
+                def fast_cost(u: int, v: int) -> float:
+                    if u == v:
+                        return 0.0
+                    return view[u * n + v]
 
         else:
+            if self._undirected:
 
-            def fast_cost(u: int, v: int) -> float:
-                if u == v:
-                    return 0.0
-                return view[index[u] * n + index[v]]
+                def fast_cost(u: int, v: int) -> float:
+                    if u == v:
+                        return 0.0
+                    if u > v:
+                        u, v = v, u
+                    return view[index[u] * n + index[v]]
+
+            else:
+
+                def fast_cost(u: int, v: int) -> float:
+                    if u == v:
+                        return 0.0
+                    return view[index[u] * n + index[v]]
 
         return fast_cost
 
@@ -169,8 +383,12 @@ class DistanceOracle:
 
         In APSP mode the dict is a lazily-built view of the table row
         (finite entries only, matching :func:`dijkstra`'s convention).
+        Rows are direction-specific (distances *from* ``source``); on
+        undirected networks ``cost(u, v)`` may therefore differ from
+        ``costs_from(u)[v]`` in the last ulp when ``u > v`` — point
+        queries read the canonical direction.
         """
-        if self._apsp is None and 0 < len(self.network) <= self.apsp_threshold:
+        if self.tier == 0 and self._apsp is None:
             self._build_apsp()
         if self._apsp is not None:
             row = self._row_cache.get(source)
@@ -246,6 +464,12 @@ class DistanceOracle:
         refill lazily on their next query).  Use :meth:`unpin` to forget
         the pins entirely.
 
+        Tier-1 structures (CH, landmarks) are dropped too and rebuilt
+        lazily on the next query — unless ``rebuild_budget_s`` is set and
+        the last CH build exceeded it, in which case the new epoch runs
+        degraded at tier 2 (bidirectional queries) and the rebuild is
+        deferred to the epoch after.
+
         Every call bumps :attr:`epoch`.  Holders of
         :meth:`fast_cost_fn` closures must not use them across an epoch
         change — the closure reads the pre-invalidation table.
@@ -254,7 +478,9 @@ class DistanceOracle:
             "oracle.invalidate",
             pinned=len(self._pinned_sources),
             recompute_pinned=recompute_pinned,
+            tier=self._tier if self._tier is not None else -1,
         ):
+            was_degraded = self._degraded_epoch == self.epoch
             self._source_cache.clear()
             self._pair_cache.clear()
             self._row_cache.clear()
@@ -263,8 +489,23 @@ class DistanceOracle:
             self._apsp_index = None
             self._apsp_nodes = []
             self._apsp_n = 0
+            self._ch = None
+            self._alt = None
             self.fast_path = False
+            self._tier = None  # re-resolve (mutation may change the size class)
             self.epoch += 1
+            if (
+                self.tier == 1
+                and self.rebuild_budget_s is not None
+                and not was_degraded
+                and self._tier1_build_s is not None
+                and self._tier1_build_s > self.rebuild_budget_s
+            ):
+                # the last contraction blew the frame budget: serve this
+                # epoch from bidirectional searches instead of stalling the
+                # dispatcher on an eager rebuild.  One epoch only — the
+                # next invalidation rebuilds (and re-measures).
+                self._degraded_epoch = self.epoch
             if recompute_pinned and self._pinned_sources:
                 for source in sorted(self._pinned_sources):
                     self.costs_from(source)
@@ -274,7 +515,10 @@ class DistanceOracle:
     # ------------------------------------------------------------------
     def __getstate__(self) -> Dict[str, object]:
         state = self.__dict__.copy()
-        # memoryviews cannot be pickled; rebuilt from the table on restore
+        # memoryviews cannot be pickled; rebuilt from the table on restore.
+        # The CH (its own __getstate__ ships the upward graph only) and the
+        # landmark index pickle as-is, so workers answer tier-1 queries
+        # without re-contracting.
         state["_apsp_view"] = None
         return state
 
@@ -292,6 +536,7 @@ class DistanceOracle:
             "query_count": self.query_count,
             "dijkstra_count": self.dijkstra_count,
             "bidirectional_count": self.bidirectional_count,
+            "ch_query_count": self.ch_query_count,
             "pair_cache_hits": self.pair_cache_hits,
             "pair_cache_size": len(self._pair_cache),
             "source_cache_hits": self.source_cache_hits,
@@ -300,12 +545,19 @@ class DistanceOracle:
             "pinned_sources": len(self._pinned_sources),
             "fast_path": self.fast_path,
             "epoch": self.epoch,
+            "tier": self.tier,
+            "effective_tier": self.effective_tier,
         }
 
     @property
     def mode(self) -> str:
-        """``"apsp"`` once the table is built, ``"lru"`` before/otherwise."""
-        return "apsp" if self._apsp is not None else "lru"
+        """``"apsp"`` once the table is built, ``"ch"`` when tier-1 queries
+        are active, ``"lru"`` otherwise."""
+        if self._apsp is not None:
+            return "apsp"
+        if self._tier == 1 and self._degraded_epoch != self.epoch:
+            return "ch"
+        return "lru"
 
     # ------------------------------------------------------------------
     def _build_apsp(self) -> None:
@@ -336,10 +588,16 @@ class DistanceOracle:
         self._row_cache.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        mode = "apsp" if self._apsp is not None else f"lru({len(self._source_cache)})"
+        if self._apsp is not None:
+            mode = "apsp"
+        elif self._tier == 1:
+            mode = "ch" if self._degraded_epoch != self.epoch else "ch-degraded"
+        else:
+            mode = f"lru({len(self._source_cache)})"
         return (
             f"DistanceOracle({mode}, queries={self.query_count}, "
             f"dijkstras={self.dijkstra_count}, "
             f"bidirectional={self.bidirectional_count}, "
+            f"ch={self.ch_query_count}, "
             f"pair_hits={self.pair_cache_hits})"
         )

@@ -103,3 +103,62 @@ class TestQueries:
         index.cost(nodes[0], nodes[16])  # short query near a corner
         short_settled = index.settled_count
         assert short_settled < net.num_nodes / 2
+
+
+class TestSelectionEquivalence:
+    """The O(k·V) running-min selection must pick bit-identical landmarks
+    to the old O(k²·V) re-scan on seed networks."""
+
+    @staticmethod
+    def _select_reference(network, count, seed_node=None):
+        # verbatim pre-optimisation algorithm: per-node min over all
+        # landmarks, recomputed every iteration
+        from repro.roadnet.shortest_path import INF, dijkstra
+
+        start = seed_node if seed_node is not None else next(iter(network.nodes()))
+        first_dist = dijkstra(network, start)
+        first = max(first_dist, key=first_dist.get)
+        landmarks = [first]
+        dist = {first: dijkstra(network, first)}
+        while len(landmarks) < min(count, len(network)):
+            best_node = None
+            best_score = -1.0
+            for node in network.nodes():
+                score = min(dist[l].get(node, INF) for l in landmarks)
+                if score != INF and score > best_score:
+                    best_score = score
+                    best_node = node
+            if best_node is None or best_score <= 0.0:
+                break
+            landmarks.append(best_node)
+            dist[best_node] = dijkstra(network, best_node)
+        return landmarks
+
+    def test_matches_reference_on_grids(self):
+        from repro.roadnet.generators import grid_city
+
+        for seed in (0, 3, 11):
+            net = grid_city(7, 6, seed=seed)
+            index = LandmarkIndex(net, num_landmarks=6)
+            assert index.landmarks == self._select_reference(net, 6)
+
+    def test_matches_reference_on_disconnected(self):
+        net = RoadNetwork()
+        for base in (0, 100):
+            for i in range(4):
+                net.add_edge(base + i, base + i + 1, 1.0 + 0.1 * i)
+        index = LandmarkIndex(net, num_landmarks=4)
+        assert index.landmarks == self._select_reference(net, 4)
+
+    def test_matches_reference_with_seed_node(self, small_grid):
+        index = LandmarkIndex(small_grid, num_landmarks=5, seed_node=12)
+        assert index.landmarks == self._select_reference(
+            small_grid, 5, seed_node=12
+        )
+
+    def test_matches_reference_more_landmarks_than_positions(self):
+        net = RoadNetwork()
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(1, 2, 1.0)
+        index = LandmarkIndex(net, num_landmarks=10)
+        assert index.landmarks == self._select_reference(net, 10)

@@ -124,10 +124,25 @@ class TestPairCache:
         assert oracle.bidirectional_count == 1  # served from the pair LRU
         assert oracle.pair_cache_hits == 1
 
-    def test_direction_matters(self, small_grid):
+    def test_undirected_pair_key_canonicalized(self, small_grid):
+        """Regression: (u, v) and (v, u) used to occupy two cache slots on
+        undirected networks, halving effective capacity and doubling
+        bidirectional searches."""
         oracle = DistanceOracle(small_grid, apsp_threshold=0, cache_sources=0)
-        oracle.cost(0, 24)
-        oracle.cost(24, 0)  # distinct key: (u, v) != (v, u)
+        d = oracle.cost(0, 24)
+        assert oracle.bidirectional_count == 1
+        assert oracle.cost(24, 0) == d  # symmetric hit, bit-identical
+        assert oracle.bidirectional_count == 1
+        assert oracle.pair_cache_hits == 1
+        assert len(oracle._pair_cache) == 1
+
+    def test_directed_pair_key_not_canonicalized(self):
+        net = RoadNetwork(undirected=False)
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(1, 0, 5.0)
+        oracle = DistanceOracle(net, apsp_threshold=0, cache_sources=0)
+        assert oracle.cost(0, 1) == pytest.approx(1.0)
+        assert oracle.cost(1, 0) == pytest.approx(5.0)
         assert oracle.bidirectional_count == 2
 
     def test_bounded_eviction(self, small_grid):
@@ -177,6 +192,9 @@ class TestStats:
             "pinned_sources",
             "fast_path",
             "epoch",
+            "ch_query_count",
+            "tier",
+            "effective_tier",
         }
         assert oracle.mode == "lru"
 
