@@ -69,68 +69,68 @@ def main() -> None:
         Vehicle(vehicle_id=j, location=node, capacity=3)
         for j, node in enumerate(sorted(network.nodes())[:: network.num_nodes // FLEET][:FLEET])
     ]
-    dispatcher = Dispatcher(network, fleet, method="gbs+eg", oracle=oracle, seed=5)
+    with Dispatcher(network, fleet, method="gbs+eg", oracle=oracle, seed=5) as dispatcher:
 
-    print(f"{'frame':>5} {'req':>5} {'carry':>5} {'served':>7} {'util':>8} "
-          f"{'detour':>7} {'shared':>7} {'t':>6}")
-    last_assignment = None
-    next_rider_id = 0
-    stranded = set()
-    for frame in range(FRAMES):
-        start = dispatcher.clock
-        requests = requests_for_frame(
-            network, oracle, sim, frame, start, dispatcher.frame_length,
-            next_rider_id,
-        )
-        next_rider_id += len(requests)
-        report = dispatcher.dispatch_frame(requests)
-        metrics = compute_metrics(report.assignment)
-        last_assignment = report.assignment
-        print(
-            f"{frame:5d} {report.num_requests:5d} {report.num_carried:5d} "
-            f"{report.num_served:4d}/{report.batch_size:<3d}"
-            f"{report.utility:8.1f} {metrics.mean_detour_ratio:7.3f} "
-            f"{metrics.sharing_rate:7.0%} {report.solver_seconds:5.2f}s"
-        )
-
-        if frame == 2:
-            # mid-day faults: break the busiest-loaded vehicle (stranding
-            # its onboard riders back into the carry-over queue) and
-            # cancel one not-yet-picked-up committed rider
-            events = []
-            broken = max(
-                dispatcher.fleet, key=lambda v: len(dispatcher.fleet[v].onboard)
+        print(f"{'frame':>5} {'req':>5} {'carry':>5} {'served':>7} {'util':>8} "
+              f"{'detour':>7} {'shared':>7} {'t':>6}")
+        last_assignment = None
+        next_rider_id = 0
+        stranded = set()
+        for frame in range(FRAMES):
+            start = dispatcher.clock
+            requests = requests_for_frame(
+                network, oracle, sim, frame, start, dispatcher.frame_length,
+                next_rider_id,
             )
-            events.append(VehicleBreakdown(vehicle_id=broken))
-            quitter = next(
-                (rid for fv in dispatcher.fleet.values()
-                 if fv.vehicle_id != broken
-                 for rid in sorted(fv.pending_pickup_ids())),
-                None,
+            next_rider_id += len(requests)
+            report = dispatcher.dispatch_frame(requests)
+            metrics = compute_metrics(report.assignment)
+            last_assignment = report.assignment
+            print(
+                f"{frame:5d} {report.num_requests:5d} {report.num_carried:5d} "
+                f"{report.num_served:4d}/{report.batch_size:<3d}"
+                f"{report.utility:8.1f} {metrics.mean_detour_ratio:7.3f} "
+                f"{metrics.sharing_rate:7.0%} {report.solver_seconds:5.2f}s"
             )
-            if quitter is not None:
-                events.append(RiderCancellation(rider_id=quitter))
-            for outcome in dispatcher.inject(events):
-                print(f"      ! {outcome}")
-            stranded = {
-                rid for o in dispatcher.disruption_log for rid in o.stranded
-            }
 
-    print("\nstranded-rider recovery:")
-    for rid in sorted(stranded):
-        print(f"  rider {rid}: {dispatcher.ledger[rid].value}")
-    recovered = sum(
-        1 for rid in stranded if dispatcher.ledger[rid] is RiderStatus.DELIVERED
-    )
-    print(f"  {recovered}/{len(stranded)} stranded riders delivered by "
-          f"another vehicle before close of day")
+            if frame == 2:
+                # mid-day faults: break the busiest-loaded vehicle (stranding
+                # its onboard riders back into the carry-over queue) and
+                # cancel one not-yet-picked-up committed rider
+                events = []
+                broken = max(
+                    dispatcher.fleet, key=lambda v: len(dispatcher.fleet[v].onboard)
+                )
+                events.append(VehicleBreakdown(vehicle_id=broken))
+                quitter = next(
+                    (rid for fv in dispatcher.fleet.values()
+                     if fv.vehicle_id != broken
+                     for rid in sorted(fv.pending_pickup_ids())),
+                    None,
+                )
+                if quitter is not None:
+                    events.append(RiderCancellation(rider_id=quitter))
+                for outcome in dispatcher.inject(events):
+                    print(f"      ! {outcome}")
+                stranded = {
+                    rid for o in dispatcher.disruption_log for rid in o.stranded
+                }
 
-    print(f"\nday summary: {dispatcher.total_served}/{dispatcher.total_requests} "
-          f"served ({dispatcher.service_rate:.0%}), "
-          f"total utility {dispatcher.total_utility:.1f}")
-    busiest = max(dispatcher.utilisation().items(), key=lambda kv: kv[1])
-    print(f"busiest vehicle: {busiest[0]} "
-          f"({busiest[1]:.1f} min travel per frame on average)")
+        print("\nstranded-rider recovery:")
+        for rid in sorted(stranded):
+            print(f"  rider {rid}: {dispatcher.ledger[rid].value}")
+        recovered = sum(
+            1 for rid in stranded if dispatcher.ledger[rid] is RiderStatus.DELIVERED
+        )
+        print(f"  {recovered}/{len(stranded)} stranded riders delivered by "
+              f"another vehicle before close of day")
+
+        print(f"\nday summary: {dispatcher.total_served}/{dispatcher.total_requests} "
+              f"served ({dispatcher.service_rate:.0%}), "
+              f"total utility {dispatcher.total_utility:.1f}")
+        busiest = max(dispatcher.utilisation().items(), key=lambda kv: kv[1])
+        print(f"busiest vehicle: {busiest[0]} "
+              f"({busiest[1]:.1f} min travel per frame on average)")
 
     print("\nlast frame audit:")
     print(format_metrics(compute_metrics(last_assignment)))

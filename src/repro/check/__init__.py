@@ -20,6 +20,10 @@ redundant counterweight:
   :func:`fuzz_prune_seed` differential-checks the spatio-temporal
   candidate index (:mod:`repro.core.candidates`) against the full
   all-pairs scan, frame-for-frame;
+- :mod:`repro.check.crash` kills durable dispatcher runs at seeded
+  WAL/snapshot/worker boundaries, restores them from the checkpoint
+  directory (:mod:`repro.core.durability`), and asserts frame-for-frame
+  equivalence with an uninterrupted run plus ledger conservation;
 - :mod:`repro.check.corruptions` plants known bug classes to prove the
   validator still catches them;
 - ``python -m repro.check`` drives it all from the command line (see
@@ -31,6 +35,12 @@ validates every dispatched frame.
 """
 
 from repro.check.corruptions import CORRUPTIONS, CorruptedCase
+from repro.check.crash import (
+    CrashFuzzConfig,
+    CrashSeedReport,
+    fuzz_crash_seed,
+    run_crash_fuzz,
+)
 from repro.check.fuzz import (
     ChaosFuzzConfig,
     ChaosSeedReport,
@@ -70,6 +80,8 @@ __all__ = [
     "ChaosFuzzConfig",
     "ChaosSeedReport",
     "CorruptedCase",
+    "CrashFuzzConfig",
+    "CrashSeedReport",
     "DispatchFuzzConfig",
     "DispatchSeedReport",
     "FuzzConfig",
@@ -85,12 +97,14 @@ __all__ = [
     "ViolationKind",
     "differential_check",
     "fuzz_chaos_seed",
+    "fuzz_crash_seed",
     "fuzz_dispatch_seed",
     "fuzz_prune_seed",
     "fuzz_seed",
     "minimize_seed",
     "random_instance",
     "run_chaos_fuzz",
+    "run_crash_fuzz",
     "run_dispatch_fuzz",
     "run_fuzz",
     "run_prune_fuzz",

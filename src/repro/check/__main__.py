@@ -33,10 +33,17 @@ Modes
   worker-count invariance always, exact equality with the unsharded run
   on conflict-free frames, per-frame never-worse-than-carried-in on the
   rest, and no aggregate service loss across the seed set.
+- ``--crash``: **crash-injection fuzzing** — each seed runs a
+  dispatcher scenario twice: uninterrupted, and with durability enabled
+  plus a seeded kill (at a named WAL/snapshot crash point, between
+  frames, or a worker SIGKILL mid-shard-solve); the killed run is
+  restored from its checkpoint directory, resumed, and must match the
+  uninterrupted run frame-for-frame with a conserved rider ledger and
+  identical final fleet state.
 - ``--replay SEED``: re-run one seed verbosely (what CI prints for a
   failing artifact); combine with ``--dispatch``, ``--chaos``,
-  ``--prune`` or ``--dispatch-shards`` to replay the corresponding
-  scenario kind.
+  ``--prune``, ``--dispatch-shards`` or ``--crash`` to replay the
+  corresponding scenario kind.
 - ``--replay SEED --minimize``: shrink the failing seed to a minimal
   rider/vehicle subset and print the repro as JSON.
 
@@ -74,6 +81,7 @@ from repro.check.fuzz import (
     run_prune_fuzz,
     run_shard_fuzz,
 )
+from repro.check.crash import CrashFuzzConfig, fuzz_crash_seed, run_crash_fuzz
 from repro.check.validator import validate_assignment
 from repro.obs import start_trace, stop_trace
 
@@ -170,6 +178,13 @@ def main(argv: Optional[List[str]] = None) -> int:
              "match unsharded dispatch on conflict-free frames",
     )
     parser.add_argument(
+        "--crash", action="store_true",
+        help="crash-injection fuzzing: kill durable dispatcher runs at "
+             "seeded WAL/snapshot/worker boundaries, restore from the "
+             "checkpoint directory, and assert frame-for-frame "
+             "equivalence with an uninterrupted run",
+    )
+    parser.add_argument(
         "--tiered", action="store_true",
         help="with --dispatch or --chaos: run the tiered-oracle "
              "differential — a tier-1 (CH + ALT) DistanceOracle must "
@@ -237,8 +252,28 @@ def _run(args: argparse.Namespace, verbose: bool) -> int:
     if args.tiered:
         chaos_config.tiered = True
     dispatch_config = DispatchFuzzConfig(tiered=args.tiered)
+    crash_config = CrashFuzzConfig()
+    if args.shard_workers is not None and args.crash:
+        crash_config.shard_workers = args.shard_workers
 
     # ------------------------------------------------------------------
+    if args.replay is not None and args.crash:
+        xreport = fuzz_crash_seed(args.replay, crash_config)
+        print(
+            f"seed {xreport.seed}: method={xreport.method} "
+            f"mode={xreport.mode} kill={xreport.kill_kind}@frame "
+            f"{xreport.kill_frame} frames={xreport.num_frames} "
+            f"checkpoint_every={xreport.checkpoint_every}"
+        )
+        print(
+            f"  riders={xreport.num_riders} "
+            f"frames_restored={xreport.frames_restored} "
+            f"frames_resumed={xreport.frames_resumed}"
+        )
+        for failure in xreport.failures:
+            print(f"  FAIL {failure}")
+        return 0 if xreport.ok else 1
+
     if args.replay is not None and args.chaos:
         creport = fuzz_chaos_seed(args.replay, chaos_config)
         print(
@@ -370,8 +405,12 @@ def _run(args: argparse.Namespace, verbose: bool) -> int:
                 f"{len(seed_report.failures)} failure(s))"
             )
 
-    if args.chaos:
-        run: FuzzRunReport = run_chaos_fuzz(
+    if args.crash:
+        run: FuzzRunReport = run_crash_fuzz(
+            seeds, crash_config, stop_after=budget, on_seed=progress
+        )
+    elif args.chaos:
+        run = run_chaos_fuzz(
             seeds, chaos_config, stop_after=budget, on_seed=progress
         )
     elif args.prune:
@@ -388,7 +427,9 @@ def _run(args: argparse.Namespace, verbose: bool) -> int:
         run = run_fuzz(seeds, stop_after=budget, on_seed=progress)
     elapsed = time.perf_counter() - start
 
-    if args.chaos:
+    if args.crash:
+        what = "crash-recovery trials"
+    elif args.chaos:
         what = "chaos scenarios"
     elif args.prune:
         what = "prune differentials"

@@ -1448,7 +1448,7 @@ def _fuzz_shard_seed_impl(
         )
 
     strict = method in config.strict_methods
-    try:
+    with baseline, serial, procs:
         for frame, requests in enumerate(frames):
             if _frame_has_boundary_conflict(serial, requests):
                 # carried state downstream of a conflict frame may
@@ -1512,9 +1512,6 @@ def _fuzz_shard_seed_impl(
                 )
             if failures:
                 break
-    finally:
-        serial.close()
-        procs.close()
     report.total_requests = serial.total_requests
     report.total_served = serial.total_served
     report.baseline_served = baseline.total_served
@@ -1876,102 +1873,102 @@ def _fuzz_chaos_seed_impl(
             shadow_epoch = oracle.epoch
         _tiered_cost_sweep(network, oracle, shadow, sweep_rng, 40, fail, where)
 
-    issued: set = set()
-    rider_id = 0
-    for frame in range(num_frames):
-        count = int(
-            rng.integers(
-                config.min_riders_per_frame, config.max_riders_per_frame + 1
-            )
-        )
-        requests = _dispatch_requests(
-            network, oracle, rng, count, dispatcher.clock, frame_length,
-            rider_id,
-        )
-        rider_id += len(requests)
-        issued.update(r.rider_id for r in requests)
-        pending_before = len(dispatcher.pending_requests)
-        committed_before = dispatcher.riders_with_status(RiderStatus.COMMITTED)
-        try:
-            frame_report = dispatcher.dispatch_frame(requests)
-        except DispatchError as exc:
-            fail(
-                "chaos_dispatch",
-                f"frame {frame}: DispatchError on vehicle "
-                f"{exc.vehicle_id}: {exc.violations[:2]}",
-            )
-            break
-
-        _check_frame_invariants(
-            dispatcher, frame_report, frame, pending_before, max_retries,
-            fail, audit_event_fields=config.audit_event_fields,
-        )
-        # within a frame a committed rider may only be delivered
-        for rid in committed_before:
-            status = dispatcher.ledger[rid]
-            if status not in (RiderStatus.COMMITTED, RiderStatus.DELIVERED):
-                fail(
-                    "chaos_vanish",
-                    f"frame {frame}: committed rider {rid} became "
-                    f"{status.value} without a disruption",
+    with dispatcher:
+        issued: set = set()
+        rider_id = 0
+        for frame in range(num_frames):
+            count = int(
+                rng.integers(
+                    config.min_riders_per_frame, config.max_riders_per_frame + 1
                 )
-        if watchdog and not frame_report.solver_tier:
-            fail(
-                "chaos_watchdog",
-                f"frame {frame}: no solver tier recorded under a "
-                f"frame budget",
             )
-        _check_ledger(dispatcher, issued, fail, f"frame {frame}")
-        sweep(f"frame {frame}")
-
-        # disruption boundary (skipped after the final frame: nothing
-        # downstream would exercise the repaired state)
-        if frame == num_frames - 1:
-            break
-        events = _chaos_events(dispatcher, network, rng, config)
-        if not events:
-            continue
-        committed_before = dispatcher.riders_with_status(RiderStatus.COMMITTED)
-        try:
-            outcomes = dispatcher.inject(events)
-        except Exception as exc:
-            fail(
-                "chaos_inject",
-                f"frame {frame}: {type(exc).__name__}: {exc}",
+            requests = _dispatch_requests(
+                network, oracle, rng, count, dispatcher.clock, frame_length,
+                rider_id,
             )
-            break
-        report.num_events += len(events)
-        report.num_applied += sum(1 for o in outcomes if o.applied)
-
-        allowed: set = set()
-        for outcome in outcomes:
-            allowed.update(outcome.affected_rider_ids)
-        for rid in committed_before:
-            status = dispatcher.ledger[rid]
-            if status is not RiderStatus.COMMITTED and rid not in allowed:
-                fail(
-                    "chaos_vanish",
-                    f"frame {frame}: committed rider {rid} became "
-                    f"{status.value} outside any disruption outcome",
-                )
-        _check_ledger(dispatcher, issued, fail, f"frame {frame} post-inject")
-        state = validate_fleet_state(
-            dispatcher.fleet.values(), dispatcher.clock,
-            oracle=dispatcher.oracle,
-        )
-        for violation in state.violations:
-            fail("chaos_fleet", f"frame {frame}: {violation}")
-        for fv in dispatcher.fleet.values():
+            rider_id += len(requests)
+            issued.update(r.rider_id for r in requests)
+            pending_before = len(dispatcher.pending_requests)
+            committed_before = dispatcher.riders_with_status(RiderStatus.COMMITTED)
             try:
-                fv.as_vehicle()
-            except ValueError as exc:
+                frame_report = dispatcher.dispatch_frame(requests)
+            except DispatchError as exc:
                 fail(
-                    "chaos_fleet",
-                    f"frame {frame}: vehicle {fv.vehicle_id}: {exc}",
+                    "chaos_dispatch",
+                    f"frame {frame}: DispatchError on vehicle "
+                    f"{exc.vehicle_id}: {exc.violations[:2]}",
                 )
-        sweep(f"frame {frame} post-inject")
+                break
 
-    dispatcher.close()
+            _check_frame_invariants(
+                dispatcher, frame_report, frame, pending_before, max_retries,
+                fail, audit_event_fields=config.audit_event_fields,
+            )
+            # within a frame a committed rider may only be delivered
+            for rid in committed_before:
+                status = dispatcher.ledger[rid]
+                if status not in (RiderStatus.COMMITTED, RiderStatus.DELIVERED):
+                    fail(
+                        "chaos_vanish",
+                        f"frame {frame}: committed rider {rid} became "
+                        f"{status.value} without a disruption",
+                    )
+            if watchdog and not frame_report.solver_tier:
+                fail(
+                    "chaos_watchdog",
+                    f"frame {frame}: no solver tier recorded under a "
+                    f"frame budget",
+                )
+            _check_ledger(dispatcher, issued, fail, f"frame {frame}")
+            sweep(f"frame {frame}")
+
+            # disruption boundary (skipped after the final frame: nothing
+            # downstream would exercise the repaired state)
+            if frame == num_frames - 1:
+                break
+            events = _chaos_events(dispatcher, network, rng, config)
+            if not events:
+                continue
+            committed_before = dispatcher.riders_with_status(RiderStatus.COMMITTED)
+            try:
+                outcomes = dispatcher.inject(events)
+            except Exception as exc:
+                fail(
+                    "chaos_inject",
+                    f"frame {frame}: {type(exc).__name__}: {exc}",
+                )
+                break
+            report.num_events += len(events)
+            report.num_applied += sum(1 for o in outcomes if o.applied)
+
+            allowed: set = set()
+            for outcome in outcomes:
+                allowed.update(outcome.affected_rider_ids)
+            for rid in committed_before:
+                status = dispatcher.ledger[rid]
+                if status is not RiderStatus.COMMITTED and rid not in allowed:
+                    fail(
+                        "chaos_vanish",
+                        f"frame {frame}: committed rider {rid} became "
+                        f"{status.value} outside any disruption outcome",
+                    )
+            _check_ledger(dispatcher, issued, fail, f"frame {frame} post-inject")
+            state = validate_fleet_state(
+                dispatcher.fleet.values(), dispatcher.clock,
+                oracle=dispatcher.oracle,
+            )
+            for violation in state.violations:
+                fail("chaos_fleet", f"frame {frame}: {violation}")
+            for fv in dispatcher.fleet.values():
+                try:
+                    fv.as_vehicle()
+                except ValueError as exc:
+                    fail(
+                        "chaos_fleet",
+                        f"frame {frame}: vehicle {fv.vehicle_id}: {exc}",
+                    )
+            sweep(f"frame {frame} post-inject")
+
     report.total_requests = dispatcher.total_requests
     report.total_served = dispatcher.total_served
     report.num_riders = rider_id

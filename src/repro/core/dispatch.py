@@ -53,6 +53,15 @@ from repro.core.candidates import (
     CandidateIndex,
     build_candidate_index,
 )
+from repro.core.durability import (
+    CheckpointError,
+    DurabilityConfig,
+    DurabilityLog,
+    apply_snapshot_state,
+    frame_summary,
+    logical_summary,
+    network_fingerprint,
+)
 from repro.core.grouping import GroupingPlan
 from repro.core.instance import LazySchedules, URRInstance
 from repro.core.requests import Rider
@@ -70,6 +79,7 @@ from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.oracle import DistanceOracle
 from repro.social.graph import SocialNetwork
 from repro.workload.instances import synthetic_vehicle_utilities
+from repro.workload.serialize import rider_from_dict
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.core.disruptions import Disruption, DisruptionOutcome
@@ -154,6 +164,13 @@ class FrameReport:
     back to a cheaper tier (``fallback_tier > 0``; the last resort is
     ``"baseline"``, the carried-in residual plans).
 
+    ``shard_retries`` / ``shard_fallbacks`` count shard solves that had
+    to be re-submitted to a rebuilt worker pool or solved inline after a
+    worker fault or timeout (always zero for unsharded and serial-shard
+    frames).  ``restored`` marks a stub rebuilt from a durability
+    checkpoint: its numeric summary is exact but ``assignment`` and
+    ``perf`` are ``None`` (the live objects do not survive a restart).
+
     ``perf`` is this frame's :class:`~repro.perf.FramePerf` breakdown —
     snapshot-*delta* counters (insertion plans, oracle searches,
     validator work, watchdog tiers) plus wall-clock section timings.
@@ -171,11 +188,18 @@ class FrameReport:
     utility: float
     travel_cost: float
     solver_seconds: float
-    assignment: Assignment
+    assignment: Optional[Assignment] = None
     solver_tier: str = ""
     fallback_tier: int = 0
     budget_exceeded: bool = False
     perf: Optional[FramePerf] = None
+    # fault-tolerant shard execution: shard solves re-submitted to a
+    # rebuilt pool / solved inline after a worker fault or timeout
+    shard_retries: int = 0
+    shard_fallbacks: int = 0
+    # True for report stubs rebuilt from a checkpoint: the numeric
+    # summary survives restore, the live assignment object does not
+    restored: bool = False
 
     @property
     def batch_size(self) -> int:
@@ -315,6 +339,24 @@ class Dispatcher:
         Number of area-based shards each frame is split into (default
         8).  Part of the result contract — changing it changes which
         riders see which vehicles before reconciliation.
+    shard_timeout:
+        Optional per-shard wall-clock deadline in seconds for the
+        process-pool executor — the sharded counterpart of
+        ``frame_budget`` (which the watchdog owns and which cannot be
+        combined with sharding): a hung worker blows the deadline and
+        its shards walk the retry/serial-fallback ladder instead of
+        stalling the frame forever.  Requires ``shard_workers >= 2``.
+    shard_retries:
+        Retry rounds (each on a freshly rebuilt pool) a faulted or
+        timed-out shard solve is granted before the final in-process
+        serial fallback (default 1).
+    durability:
+        Optional checkpoint/WAL directory — a path or a
+        :class:`~repro.core.durability.DurabilityConfig`.  When set,
+        every committed frame is appended to a write-ahead log and the
+        full cross-frame state is snapshotted atomically every
+        ``checkpoint_every`` frames, so :meth:`restore` can resume the
+        run after a crash.
     """
 
     def __init__(
@@ -339,6 +381,9 @@ class Dispatcher:
         utility_matrix: str = "synthetic",
         shard_workers: Optional[int] = None,
         shard_count: int = 8,
+        shard_timeout: Optional[float] = None,
+        shard_retries: int = 1,
+        durability: Optional["DurabilityConfig | str"] = None,
     ) -> None:
         ids = [v.vehicle_id for v in fleet]
         if len(set(ids)) != len(ids):
@@ -371,6 +416,15 @@ class Dispatcher:
                     "the anytime watchdog does not compose with sharded "
                     "dispatch"
                 )
+        if shard_timeout is not None and (
+            shard_workers is None or shard_workers < 2
+        ):
+            raise ValueError(
+                "shard_timeout requires a process-pool executor "
+                "(shard_workers >= 2)"
+            )
+        if shard_retries < 0:
+            raise ValueError("shard_retries must be >= 0")
         self.network = network
         self.oracle = oracle or DistanceOracle(network)
         if frame_budget is not None and self.oracle.rebuild_budget_s is None:
@@ -427,6 +481,8 @@ class Dispatcher:
         # never changes which shard a rider or vehicle lands in
         self.shard_workers = shard_workers
         self.shard_count = shard_count
+        self.shard_timeout = shard_timeout
+        self.shard_retries = shard_retries
         self._shard_plan: Optional[ShardPlan] = None
         self._shard_executor = None
         if shard_workers is not None:
@@ -436,7 +492,9 @@ class Dispatcher:
                 else build_areas(network, k=8)
             )
             self._shard_plan = ShardPlan(areas, shard_count)
-            self._shard_executor = build_shard_executor(shard_workers)
+            self._shard_executor = build_shard_executor(
+                shard_workers, timeout=shard_timeout, retries=shard_retries
+            )
         self.reports: List[FrameReport] = []
         self._frame_index = 0
         self._clock = 0.0
@@ -469,6 +527,18 @@ class Dispatcher:
         self._perf_cursor = self._perf_baseline
         # inject() time since the last frame, attributed to the next one
         self._pending_disruption_seconds = 0.0
+        # checkpoint/WAL durability (None: frames are not persisted)
+        self._durability: Optional[DurabilityLog] = None
+        if durability is not None:
+            self._durability = (
+                durability
+                if isinstance(durability, DurabilityLog)
+                else DurabilityLog(durability)
+            )
+            # base snapshot: a crash before the first checkpoint cadence
+            # must still leave a restorable directory (snapshot = base
+            # state, WAL = every frame committed since)
+            self._durability.write_snapshot(self)
 
     # ------------------------------------------------------------------
     @property
@@ -515,6 +585,8 @@ class Dispatcher:
                 # only touched/carried vehicles are ever built, so frame
                 # accounting stays O(touched) on large idle fleets
                 baselines = LazySchedules(instance)
+            shard_retries = 0
+            shard_fallbacks = 0
             solve_start = time.perf_counter()
             if self._shard_plan is not None:
                 with _trace.span(
@@ -540,6 +612,10 @@ class Dispatcher:
                     self.method, 0, False,
                 )
                 tier_seconds = {self.method: assignment.elapsed_seconds}
+                faults = getattr(self._shard_executor, "last_faults", None)
+                if faults is not None:
+                    shard_retries = faults.retries
+                    shard_fallbacks = faults.fallbacks
             elif self.frame_budget is None:
                 with _trace.span("dispatch.solve", method=self.method):
                     assignment = solve(
@@ -690,6 +766,8 @@ class Dispatcher:
                 fallback_tier=fallback_tier,
                 budget_exceeded=budget_exceeded,
                 perf=frame_perf,
+                shard_retries=shard_retries,
+                shard_fallbacks=shard_fallbacks,
             )
             frame_span.annotate(
                 tier=solver_tier,
@@ -705,6 +783,14 @@ class Dispatcher:
             self.reports.append(report)
             self._frame_index += 1
             self._clock = next_clock
+            if self._durability is not None:
+                # after the cursor advance: the snapshot written here is
+                # the end-of-frame state, and the WAL record re-derives
+                # it from the previous snapshot on replay
+                with _trace.span(
+                    "dispatch.durability", frame=report.frame_index
+                ):
+                    self._durability.commit_frame(self, new_riders, report)
             return report
 
     # ------------------------------------------------------------------
@@ -745,6 +831,13 @@ class Dispatcher:
         # attributed to the frame that follows them (FrameReport.perf)
         self._pending_disruption_seconds += time.perf_counter() - start
         self.disruption_log.extend(outcomes)
+        if self._durability is not None:
+            # disruption events are not WAL-replayable (the engine's
+            # repair is not re-driven from serialized events), so force
+            # an immediate snapshot: restore never replays across a
+            # disruption boundary, and the persisted network file is
+            # refreshed when the metric changed
+            self._durability.write_snapshot(self)
         return outcomes
 
     def _requeue(self, rider: Rider, attempts: int = 0) -> None:
@@ -1083,13 +1176,149 @@ class Dispatcher:
         return PerfSnapshot.capture(self.oracle).since(self._perf_baseline)
 
     def close(self) -> None:
-        """Release the shard worker pool (no-op for unsharded dispatch).
+        """Release the shard worker pool and durability file handles.
 
         Safe to call repeatedly; the dispatcher stays usable afterwards
-        (a fresh pool is spun up on the next sharded frame).
+        (a fresh pool is spun up on the next sharded frame, the WAL is
+        reopened on the next durable commit).
         """
         if self._shard_executor is not None:
             self._shard_executor.close()
+        if self._durability is not None:
+            self._durability.close()
+
+    def __enter__(self) -> "Dispatcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def restore(
+        cls,
+        durability: "DurabilityConfig | DurabilityLog | str",
+        network: Optional[RoadNetwork] = None,
+        *,
+        oracle: Optional[DistanceOracle] = None,
+        social: Optional[SocialNetwork] = None,
+        plan: Optional[GroupingPlan] = None,
+        candidate_index: Optional["CandidateIndex"] = None,
+        verify: bool = True,
+        **overrides,
+    ) -> "Dispatcher":
+        """Resume a crashed run from its checkpoint directory.
+
+        Recovery pipeline:
+
+        1. load the last snapshot (atomic writes guarantee it is whole)
+           and the WAL tail (CRC-guarded; a torn final line is dropped);
+        2. rebuild the dispatcher from the snapshot's config and fleet
+           — the road network comes from the persisted ``network.json``
+           unless the caller passes one, and a passed network must match
+           the snapshot's content fingerprint (state committed under one
+           metric must never resume under another);
+        3. re-apply every piece of cross-frame state (fleet plans,
+           carry-over queue, ledger, pinned utilities, frame cursor);
+        4. with ``verify`` (default), audit the restored fleet through
+           the independent :func:`repro.check.validator.validate_fleet_state`
+           oracle — corrupt state fails loudly here, not frames later;
+        5. replay the WAL tail through :meth:`dispatch_frame` (dispatch
+           is deterministic given the frame inputs, and the replayed
+           summaries are checked against the WAL records — unless the
+           run used ``frame_budget``, whose wall-clock tiering is not
+           replay-deterministic), then write a fresh snapshot.
+
+        ``overrides`` replace stored config keys (e.g. resume with
+        ``shard_workers=None`` on a machine without spare cores); the
+        solver-facing parameters should normally be left alone, since
+        changing them changes every post-restore frame.
+        """
+        log = (
+            durability
+            if isinstance(durability, DurabilityLog)
+            else DurabilityLog(durability)
+        )
+        snapshot, wal_records = log.load()
+        if snapshot is None:
+            raise CheckpointError(
+                f"no snapshot found in {log.directory} — nothing to restore"
+            )
+        if network is None:
+            network = log.load_network()
+            if network is None:
+                raise CheckpointError(
+                    f"no persisted network in {log.directory}; pass the "
+                    f"road network the run was dispatched on"
+                )
+        if network_fingerprint(network) != snapshot["network_fingerprint"]:
+            raise CheckpointError(
+                "network content does not match the snapshot fingerprint: "
+                "the checkpoint was committed under a different metric "
+                "(wrong network, or disruption-era surgery not reapplied)"
+            )
+        config = dict(snapshot["config"])
+        config.update(overrides)
+        initial_fleet = [
+            Vehicle(
+                vehicle_id=payload["id"],
+                location=payload["location"],
+                capacity=payload["capacity"],
+            )
+            for payload in snapshot["fleet"]
+        ]
+        dispatcher = cls(
+            network,
+            initial_fleet,
+            plan=plan,
+            social=social,
+            oracle=oracle,
+            candidate_index=candidate_index,
+            durability=None,
+            **config,
+        )
+        apply_snapshot_state(dispatcher, snapshot)
+        if verify:
+            # imported lazily: repro.check depends on repro.core
+            from repro.check.validator import validate_fleet_state
+
+            validate_fleet_state(
+                dispatcher.fleet.values(),
+                dispatcher.clock,
+                oracle=dispatcher.oracle,
+            ).raise_if_invalid()
+        # replay the WAL tail: frames committed after the last snapshot
+        log.suspend()
+        try:
+            for record in wal_records:
+                if record["frame_index"] < dispatcher._frame_index:
+                    continue  # already covered by the snapshot
+                if record["frame_index"] != dispatcher._frame_index:
+                    raise CheckpointError(
+                        f"WAL gap: expected frame "
+                        f"{dispatcher._frame_index}, found record for "
+                        f"frame {record['frame_index']}"
+                    )
+                riders = [rider_from_dict(r) for r in record["riders"]]
+                replayed = dispatcher.dispatch_frame(riders)
+                if (
+                    dispatcher.frame_budget is None
+                    and logical_summary(frame_summary(replayed))
+                    != logical_summary(record["summary"])
+                ):
+                    raise CheckpointError(
+                        f"WAL replay diverged at frame "
+                        f"{record['frame_index']}: replayed "
+                        f"{frame_summary(replayed)} != logged "
+                        f"{record['summary']}"
+                    )
+        finally:
+            log.resume()
+        dispatcher._durability = log
+        log.write_snapshot(dispatcher)
+        return dispatcher
 
     # ------------------------------------------------------------------
     def _build_instance(self, riders: List[Rider]) -> URRInstance:

@@ -50,11 +50,17 @@ exactly once (``FrameReport.perf`` deltas still partition the run).
 
 from __future__ import annotations
 
+import math
+import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import signal
+import time
+from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import trace as _trace
 from repro.perf import (
     OracleStats,
     PerfReport,
@@ -183,7 +189,15 @@ class ShardContext:
 
 @dataclass
 class ShardTask:
-    """One shard's per-frame payload (cheap to pickle)."""
+    """One shard's per-frame payload (cheap to pickle).
+
+    ``fault_path`` / ``fault_kind`` are the fault-injection seam used by
+    the executor fault tests and the crash fuzzer: when ``fault_path``
+    names an existing file, the *worker* consumes it (unlink) and then
+    either dies by SIGKILL (``"kill"``) or hangs (``"hang"``) — one-shot
+    by construction, so the retry of the same task succeeds.  Inline
+    solves (:func:`solve_shard`) never trigger faults.
+    """
 
     shard_id: int
     method: str
@@ -196,6 +210,8 @@ class ShardTask:
     start_time: float
     seed: int
     default_vehicle_utility: float
+    fault_path: Optional[str] = None
+    fault_kind: str = "kill"
 
 
 @dataclass
@@ -287,54 +303,133 @@ def solve_shard(
 # worker-process state installed by the pool initializer -----------------
 _WORKER_CONTEXT: Optional[ShardContext] = None
 
+#: Fault-injection seam for tests and the crash fuzzer: when set, every
+#: :class:`ShardTask` built by :func:`solve_sharded` is passed through it
+#: before submission (mutate ``task.fault_path`` / ``task.fault_kind`` in
+#: place to arm a one-shot worker kill or hang).  ``None`` in production.
+_FAULT_INJECTOR: Optional[Callable[[ShardTask], None]] = None
+
 
 def _set_worker_context(blob: bytes) -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = pickle.loads(blob)
 
 
+def _maybe_trigger_fault(task: ShardTask) -> None:
+    """Consume a one-shot fault marker and die/hang (worker side only)."""
+    if task.fault_path is None:
+        return
+    try:
+        os.unlink(task.fault_path)
+    except FileNotFoundError:
+        return  # already consumed: this is the retry, solve normally
+    if task.fault_kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif task.fault_kind == "hang":
+        time.sleep(3600.0)
+
+
 def _solve_shard_task(task: ShardTask) -> ShardResult:
     """Module-level worker entry point (must be picklable by reference)."""
     assert _WORKER_CONTEXT is not None, "worker context not initialized"
+    _maybe_trigger_fault(task)
     return solve_shard(task, _WORKER_CONTEXT, bracket=True)
 
 
 # ----------------------------------------------------------------------
 # executors
 # ----------------------------------------------------------------------
+@dataclass
+class ShardRunFaults:
+    """What went wrong (and was absorbed) during one executor run.
+
+    Exposed as ``executor.last_faults`` after every :meth:`run` so the
+    dispatcher can surface per-frame retry/fallback counts in its
+    :class:`~repro.core.dispatch.FrameReport` without threading a result
+    object through the sharded-solve pipeline.
+    """
+
+    timeouts: int = 0
+    worker_faults: int = 0
+    retries: int = 0
+    fallbacks: int = 0
+    pool_rebuilds: int = 0
+
+
 class SerialShardExecutor:
     """In-process executor: solves shards sequentially, no pickling.
 
     The default (and the fallback when multiprocessing is unavailable);
     also the reference half of the workers=1-vs-N equivalence the fuzz
-    harness asserts.
+    harness asserts.  Inline solves cannot lose a worker, so
+    ``last_faults`` is always zeroed.
     """
 
     workers = 1
 
+    def __init__(self) -> None:
+        self.last_faults = ShardRunFaults()
+
     def run(
         self, tasks: Sequence[ShardTask], context: ShardContext
     ) -> List[ShardResult]:
+        self.last_faults = ShardRunFaults()
         return [solve_shard(task, context, bracket=False) for task in tasks]
 
     def close(self) -> None:
         pass
 
+    def __enter__(self) -> "SerialShardExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
 
 class ProcessShardExecutor:
-    """Persistent process-pool executor for shard solves.
+    """Persistent, fault-tolerant process-pool executor for shard solves.
 
     The pool outlives frames; workers receive the heavy
     :class:`ShardContext` once through the pool initializer.  When the
     context goes stale (oracle ``epoch`` bumped by a disruption) the
     pool is torn down and rebuilt with the fresh context — distances
     computed in the old metric must never serve the new one.
+
+    Faults never escape :meth:`run`.  The retry ladder:
+
+    1. submit all shards; collect with a deadline when ``timeout`` is
+       set (per-shard budget, scaled by the queueing factor
+       ``ceil(shards / workers)``) instead of blocking forever on a
+       hung worker;
+    2. shards lost to a dead worker (``BrokenProcessPool``), a blown
+       deadline, or a raising task are re-submitted — up to ``retries``
+       rounds — to a *rebuilt* pool (the old one may be broken or
+       wedged; its processes are terminated, not awaited);
+    3. whatever still fails is solved inline in the parent
+       (:func:`solve_shard`, unbracketted), so the frame always commits
+       — a deterministic task bug surfaces here as a normal exception
+       in the parent, exactly once, instead of an opaque pool error.
+
+    Every rung ticks :data:`~repro.perf.SHARD_STATS` and emits an obs
+    instant; the per-run tallies land in ``last_faults``.
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(
+        self,
+        workers: int,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+    ) -> None:
         if workers < 2:
             raise ValueError("ProcessShardExecutor needs >= 2 workers")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self.last_faults = ShardRunFaults()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._epoch: Optional[int] = None
 
@@ -350,12 +445,112 @@ class ProcessShardExecutor:
             self._epoch = context.epoch
         return self._pool
 
+    def _discard_pool(self) -> None:
+        """Drop a broken or wedged pool without waiting on it.
+
+        ``shutdown(wait=True)`` would block forever behind a hung
+        worker, so the pool is abandoned and its worker processes
+        terminated outright; the next :meth:`_ensure` builds a fresh
+        one.
+        """
+        pool = self._pool
+        self._pool = None
+        self._epoch = None
+        if pool is None:
+            return
+        # snapshot the worker map first: shutdown() clears _processes
+        # even with wait=False, and a worker left running would park the
+        # pool's non-daemon manager thread forever at interpreter exit
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive
+            pass
+        for proc in processes:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in processes:
+            proc.join(timeout=5.0)
+
+    def _deadline(self, num_pending: int) -> Optional[float]:
+        """Collection deadline: per-shard budget × queueing factor."""
+        if self.timeout is None:
+            return None
+        waves = max(1, math.ceil(num_pending / self.workers))
+        return self.timeout * waves
+
+    def _collect(
+        self,
+        pool: ProcessPoolExecutor,
+        pending: List[Tuple[int, ShardTask]],
+        results: Dict[int, ShardResult],
+        faults: ShardRunFaults,
+    ) -> List[Tuple[int, ShardTask]]:
+        """One submission wave; returns the shards that must be retried."""
+        futures = {
+            pool.submit(_solve_shard_task, task): (index, task)
+            for index, task in pending
+        }
+        done, not_done = wait(futures, timeout=self._deadline(len(pending)))
+        failed: List[Tuple[int, ShardTask]] = []
+        for future in done:
+            index, task = futures[future]
+            try:
+                results[index] = future.result()
+            except BrokenProcessPool:
+                faults.worker_faults += 1
+                SHARD_STATS.worker_faults += 1
+                failed.append((index, task))
+            except Exception:
+                # a raising task is retried like a fault; if it is
+                # deterministic it will raise cleanly in the parent
+                # during the serial fallback
+                failed.append((index, task))
+        if not_done:
+            faults.timeouts += len(not_done)
+            SHARD_STATS.shard_timeouts += len(not_done)
+            _trace.instant(
+                "shards.timeout",
+                shards=len(not_done),
+                budget=self._deadline(len(pending)),
+            )
+            for future in not_done:
+                failed.append(futures[future])
+        if failed:
+            # the pool is broken (dead worker) or wedged (hung worker):
+            # never reuse it
+            self._discard_pool()
+        failed.sort(key=lambda entry: entry[0])
+        return failed
+
     def run(
         self, tasks: Sequence[ShardTask], context: ShardContext
     ) -> List[ShardResult]:
-        pool = self._ensure(context)
-        futures = [pool.submit(_solve_shard_task, task) for task in tasks]
-        return [future.result() for future in futures]
+        faults = ShardRunFaults()
+        self.last_faults = faults
+        results: Dict[int, ShardResult] = {}
+        pending: List[Tuple[int, ShardTask]] = list(enumerate(tasks))
+        for attempt in range(self.retries + 1):
+            if not pending:
+                break
+            if attempt > 0:
+                faults.retries += len(pending)
+                SHARD_STATS.shard_retries += len(pending)
+                faults.pool_rebuilds += 1
+                SHARD_STATS.pool_rebuilds += 1
+                _trace.instant(
+                    "shards.retry", attempt=attempt, shards=len(pending)
+                )
+            pool = self._ensure(context)
+            pending = self._collect(pool, pending, results, faults)
+        if pending:
+            # last rung: solve inline so the frame always commits
+            faults.fallbacks += len(pending)
+            SHARD_STATS.serial_fallbacks += len(pending)
+            _trace.instant("shards.serial_fallback", shards=len(pending))
+            for index, task in pending:
+                results[index] = solve_shard(task, context, bracket=False)
+        return [results[index] for index in range(len(tasks))]
 
     def close(self) -> None:
         if self._pool is not None:
@@ -363,14 +558,29 @@ class ProcessShardExecutor:
             self._pool = None
             self._epoch = None
 
+    def __enter__(self) -> "ProcessShardExecutor":
+        return self
 
-def build_shard_executor(workers: int):
-    """The executor for a worker count (1 = serial, else process pool)."""
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def build_shard_executor(
+    workers: int,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+):
+    """The executor for a worker count (1 = serial, else process pool).
+
+    ``timeout`` / ``retries`` shape the process executor's fault
+    ladder (per-shard deadline, retry rounds on a rebuilt pool); the
+    serial executor ignores both — inline solves cannot lose a worker.
+    """
     if workers < 1:
         raise ValueError("shard_workers must be >= 1")
     if workers == 1:
         return SerialShardExecutor()
-    return ProcessShardExecutor(workers)
+    return ProcessShardExecutor(workers, timeout=timeout, retries=retries)
 
 
 # ----------------------------------------------------------------------
@@ -570,6 +780,9 @@ def solve_sharded(
         for shard in partition.shards
         if shard.riders and shard.vehicles
     ]
+    if _FAULT_INJECTOR is not None:
+        for task in tasks:
+            _FAULT_INJECTOR(task)
     results = executor.run(tasks, context)
     schedules = LazySchedules(instance)
     merge_shard_results(instance, schedules, results)

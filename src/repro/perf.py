@@ -315,6 +315,15 @@ class ShardStats:
     ``boundary_riders`` the unserved riders whose candidate set crossed a
     shard boundary, and ``reconciled_riders`` how many of those the
     reconciliation pass actually served.
+
+    The fault-tolerance counters trace the process executor's retry
+    ladder: ``shard_timeouts`` shard solves that blew their per-shard
+    deadline, ``worker_faults`` futures lost to a dead worker
+    (``BrokenProcessPool``), ``shard_retries`` shard solves re-submitted
+    to a rebuilt pool, ``serial_fallbacks`` shards that exhausted
+    retries and were solved inline in the parent, and ``pool_rebuilds``
+    fault-driven pool teardowns (epoch-driven rebuilds are not counted
+    — they are routine invalidation, not faults).
     """
 
     frames_sharded: int = 0
@@ -324,6 +333,11 @@ class ShardStats:
     vehicles_sharded: int = 0
     boundary_riders: int = 0
     reconciled_riders: int = 0
+    shard_timeouts: int = 0
+    worker_faults: int = 0
+    shard_retries: int = 0
+    serial_fallbacks: int = 0
+    pool_rebuilds: int = 0
 
     def reset(self) -> None:
         self.frames_sharded = 0
@@ -333,6 +347,11 @@ class ShardStats:
         self.vehicles_sharded = 0
         self.boundary_riders = 0
         self.reconciled_riders = 0
+        self.shard_timeouts = 0
+        self.worker_faults = 0
+        self.shard_retries = 0
+        self.serial_fallbacks = 0
+        self.pool_rebuilds = 0
 
     def snapshot(self) -> "ShardStats":
         return ShardStats(**asdict(self))
@@ -347,6 +366,11 @@ class ShardStats:
             vehicles_sharded=self.vehicles_sharded - since.vehicles_sharded,
             boundary_riders=self.boundary_riders - since.boundary_riders,
             reconciled_riders=self.reconciled_riders - since.reconciled_riders,
+            shard_timeouts=self.shard_timeouts - since.shard_timeouts,
+            worker_faults=self.worker_faults - since.worker_faults,
+            shard_retries=self.shard_retries - since.shard_retries,
+            serial_fallbacks=self.serial_fallbacks - since.serial_fallbacks,
+            pool_rebuilds=self.pool_rebuilds - since.pool_rebuilds,
         )
 
     def as_dict(self) -> Dict[str, int]:
@@ -361,6 +385,11 @@ class ShardStats:
         self.vehicles_sharded += delta.vehicles_sharded
         self.boundary_riders += delta.boundary_riders
         self.reconciled_riders += delta.reconciled_riders
+        self.shard_timeouts += delta.shard_timeouts
+        self.worker_faults += delta.worker_faults
+        self.shard_retries += delta.shard_retries
+        self.serial_fallbacks += delta.serial_fallbacks
+        self.pool_rebuilds += delta.pool_rebuilds
 
 
 #: Process-wide counters incremented by ``repro.core.shards``.

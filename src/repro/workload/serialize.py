@@ -25,6 +25,79 @@ PathLike = Union[str, Path]
 FORMAT_VERSION = 1
 
 
+def network_to_dict(network: RoadNetwork) -> dict:
+    """A JSON-ready dict capturing a road network exactly.
+
+    Nodes and edges are emitted sorted, so the dict (and any digest of
+    it) is a canonical function of the network's content — the
+    durability layer fingerprints networks through this form.
+    """
+    return {
+        "undirected": network.undirected,
+        "nodes": [
+            {
+                "id": node,
+                "xy": list(network.coordinates[node])
+                if node in network.coordinates
+                else None,
+            }
+            for node in sorted(network.nodes())
+        ],
+        "edges": [
+            [u, v, cost] for u, v, cost in sorted(network.edges())
+        ],
+    }
+
+
+def network_from_dict(payload: dict) -> RoadNetwork:
+    """Inverse of :func:`network_to_dict`."""
+    network = RoadNetwork(undirected=False)
+    for node in payload["nodes"]:
+        if node["xy"] is not None:
+            network.add_node(node["id"], x=node["xy"][0], y=node["xy"][1])
+        else:
+            network.add_node(node["id"])
+    for u, v, cost in payload["edges"]:
+        network.add_edge(u, v, cost)
+    network.undirected = bool(payload["undirected"])
+    return network
+
+
+def rider_to_dict(rider: Rider) -> dict:
+    """A JSON-ready dict for one rider (``social`` only when profiled)."""
+    payload = {
+        "id": rider.rider_id,
+        "source": rider.source,
+        "destination": rider.destination,
+        "pickup_deadline": rider.pickup_deadline,
+        "dropoff_deadline": rider.dropoff_deadline,
+    }
+    if rider.social_id is not None:
+        payload["social"] = rider.social_id
+    return payload
+
+
+def rider_from_dict(payload: dict) -> Rider:
+    """Inverse of :func:`rider_to_dict`."""
+    return Rider(
+        rider_id=payload["id"],
+        source=payload["source"],
+        destination=payload["destination"],
+        pickup_deadline=payload["pickup_deadline"],
+        dropoff_deadline=payload["dropoff_deadline"],
+        social_id=payload.get("social"),
+    )
+
+
+def vehicle_to_dict(vehicle: Vehicle) -> dict:
+    """A JSON-ready dict for one vehicle's immutable identity."""
+    return {
+        "id": vehicle.vehicle_id,
+        "location": vehicle.location,
+        "capacity": vehicle.capacity,
+    }
+
+
 def instance_to_dict(instance: URRInstance) -> dict:
     """A JSON-ready dict capturing everything the solvers consume."""
     network = instance.network
@@ -44,39 +117,9 @@ def instance_to_dict(instance: URRInstance) -> dict:
         "start_time": instance.start_time,
         "seed": instance.seed,
         "default_vehicle_utility": instance.default_vehicle_utility,
-        "network": {
-            "undirected": network.undirected,
-            "nodes": [
-                {
-                    "id": node,
-                    "xy": list(network.coordinates[node])
-                    if node in network.coordinates
-                    else None,
-                }
-                for node in sorted(network.nodes())
-            ],
-            "edges": [
-                [u, v, cost] for u, v, cost in sorted(network.edges())
-            ],
-        },
-        "riders": [
-            {
-                "id": r.rider_id,
-                "source": r.source,
-                "destination": r.destination,
-                "pickup_deadline": r.pickup_deadline,
-                "dropoff_deadline": r.dropoff_deadline,
-            }
-            for r in instance.riders
-        ],
-        "vehicles": [
-            {
-                "id": v.vehicle_id,
-                "location": v.location,
-                "capacity": v.capacity,
-            }
-            for v in instance.vehicles
-        ],
+        "network": network_to_dict(network),
+        "riders": [rider_to_dict(r) for r in instance.riders],
+        "vehicles": [vehicle_to_dict(v) for v in instance.vehicles],
         "vehicle_utilities": [
             [rid, vid, value]
             for (rid, vid), value in sorted(instance.vehicle_utilities.items())
@@ -95,27 +138,8 @@ def instance_from_dict(payload: dict) -> URRInstance:
             f"unsupported instance format version {version!r} "
             f"(expected {FORMAT_VERSION})"
         )
-    net_data = payload["network"]
-    network = RoadNetwork(undirected=False)
-    for node in net_data["nodes"]:
-        if node["xy"] is not None:
-            network.add_node(node["id"], x=node["xy"][0], y=node["xy"][1])
-        else:
-            network.add_node(node["id"])
-    for u, v, cost in net_data["edges"]:
-        network.add_edge(u, v, cost)
-    network.undirected = bool(net_data["undirected"])
-
-    riders = [
-        Rider(
-            rider_id=r["id"],
-            source=r["source"],
-            destination=r["destination"],
-            pickup_deadline=r["pickup_deadline"],
-            dropoff_deadline=r["dropoff_deadline"],
-        )
-        for r in payload["riders"]
-    ]
+    network = network_from_dict(payload["network"])
+    riders = [rider_from_dict(r) for r in payload["riders"]]
     vehicles = [
         Vehicle(vehicle_id=v["id"], location=v["location"], capacity=v["capacity"])
         for v in payload["vehicles"]

@@ -1,0 +1,186 @@
+"""Fault-tolerant shard execution: kills, hangs, retries, fallbacks.
+
+A worker SIGKILLed mid-task (via the one-shot ``ShardTask.fault_path``
+seam) breaks the whole process pool; the executor must absorb it —
+rebuild the pool, retry the failed shards, and as a last resort solve
+them inline — so ``BrokenProcessPool`` never escapes ``dispatch_frame``
+and a frame always commits, with the absorbed faults surfaced through
+``FrameReport.shard_retries`` / ``shard_fallbacks`` and the process-wide
+``SHARD_STATS`` counters.
+"""
+
+import pytest
+
+from repro.core import shards
+from repro.core.dispatch import Dispatcher
+from repro.core.shards import SerialShardExecutor, build_shard_executor
+from repro.core.vehicles import Vehicle
+from repro.perf import SHARD_STATS
+from repro.roadnet.generators import grid_city
+from tests.conftest import make_rider
+
+NODES = 36  # 6x6 grid
+
+
+@pytest.fixture(scope="module")
+def city():
+    return grid_city(6, 6, seed=4, removal_fraction=0.0, arterial_every=None)
+
+
+def make_fleet():
+    return [
+        Vehicle(vehicle_id=i, location=(7 * i) % NODES, capacity=2)
+        for i in range(5)
+    ]
+
+
+def frame_requests(frame, id_base):
+    import random
+
+    rng = random.Random(100 + frame)
+    start = frame * 20.0
+    riders = []
+    for i in range(6):
+        src = rng.randrange(NODES)
+        dst = rng.randrange(NODES)
+        if dst == src:
+            dst = (dst + 1) % NODES
+        riders.append(
+            make_rider(id_base + i, source=src, destination=dst,
+                       pickup_deadline=start + rng.uniform(5.0, 25.0),
+                       dropoff_deadline=start + rng.uniform(40.0, 80.0))
+        )
+    return riders
+
+
+def frame_digest(dispatcher, report):
+    return (
+        report.num_served,
+        round(report.utility, 9),
+        tuple(sorted(report.assignment.served_rider_ids())),
+        tuple(
+            (fv.vehicle_id, fv.location)
+            for fv in sorted(
+                dispatcher.fleet.values(), key=lambda fv: fv.vehicle_id
+            )
+        ),
+    )
+
+
+def sharded_dispatcher(city, **kwargs):
+    kwargs.setdefault("shard_timeout", 60.0)
+    return Dispatcher(
+        city, make_fleet(), method="eg", frame_length=20.0, seed=9,
+        shard_workers=2, shard_count=4, **kwargs,
+    )
+
+
+@pytest.fixture()
+def clean_digest(city):
+    with sharded_dispatcher(city) as dispatcher:
+        report = dispatcher.dispatch_frame(frame_requests(0, 0))
+        return frame_digest(dispatcher, report)
+
+
+def run_faulted_frame(city, tmp_path, fault_kind, **kwargs):
+    """One frame with a one-shot worker fault armed; returns the outcome."""
+    marker = tmp_path / "fault.marker"
+    marker.touch()
+
+    def inject(task):
+        task.fault_path = str(marker)
+        task.fault_kind = fault_kind
+
+    shards._FAULT_INJECTOR = inject
+    try:
+        with sharded_dispatcher(city, **kwargs) as dispatcher:
+            before = SHARD_STATS.snapshot()
+            report = dispatcher.dispatch_frame(frame_requests(0, 0))
+            stats = SHARD_STATS.delta(before)
+            return frame_digest(dispatcher, report), report, stats, marker
+    finally:
+        shards._FAULT_INJECTOR = None
+
+
+class TestWorkerKill:
+    def test_killed_worker_is_retried_and_the_frame_commits(
+        self, city, tmp_path, clean_digest
+    ):
+        # BrokenProcessPool must never escape dispatch_frame: the pool is
+        # rebuilt, the shards re-solved, and the outcome byte-identical
+        # to a fault-free run (the dead worker consumed the marker)
+        digest, report, stats, marker = run_faulted_frame(
+            city, tmp_path, "kill"
+        )
+        assert digest == clean_digest
+        assert report.shard_retries >= 1
+        assert stats.worker_faults >= 1
+        assert stats.pool_rebuilds >= 1
+        assert not marker.exists()
+
+    def test_serial_fallback_when_no_retries_are_granted(
+        self, city, tmp_path, clean_digest
+    ):
+        # retries=0: the failed shards go straight to the in-process
+        # fallback, which still commits the identical frame
+        digest, report, stats, marker = run_faulted_frame(
+            city, tmp_path, "kill", shard_retries=0
+        )
+        assert digest == clean_digest
+        assert report.shard_fallbacks >= 1
+        assert stats.serial_fallbacks >= 1
+        assert not marker.exists()
+
+    def test_dispatcher_survives_to_the_next_frame(self, city, tmp_path):
+        marker = tmp_path / "fault.marker"
+        marker.touch()
+
+        def inject(task):
+            task.fault_path = str(marker)
+
+        shards._FAULT_INJECTOR = inject
+        try:
+            with sharded_dispatcher(city) as dispatcher:
+                first = dispatcher.dispatch_frame(frame_requests(0, 0))
+                second = dispatcher.dispatch_frame(frame_requests(1, 10))
+        finally:
+            shards._FAULT_INJECTOR = None
+        assert first.shard_retries >= 1
+        assert second.shard_retries == 0  # the fault was one-shot
+
+
+class TestWorkerHang:
+    def test_hung_worker_blows_the_deadline_and_is_retried(
+        self, city, tmp_path, clean_digest
+    ):
+        digest, report, stats, marker = run_faulted_frame(
+            city, tmp_path, "hang", shard_timeout=2.0
+        )
+        assert digest == clean_digest
+        assert report.shard_retries >= 1
+        assert stats.shard_timeouts >= 1
+        assert not marker.exists()
+
+
+class TestLifecycle:
+    def test_executors_are_context_managers(self):
+        with SerialShardExecutor() as serial:
+            assert serial.last_faults is not None
+        with build_shard_executor(2, timeout=30.0) as pooled:
+            assert pooled.retries == 1
+        # close is idempotent through __exit__ then explicit close
+        pooled.close()
+
+    def test_shard_timeout_requires_a_process_pool(self, city):
+        with pytest.raises(ValueError, match="shard_timeout"):
+            Dispatcher(city, make_fleet(), shard_timeout=5.0)
+        with pytest.raises(ValueError, match="shard_timeout"):
+            Dispatcher(
+                city, make_fleet(), shard_workers=1, shard_timeout=5.0
+            )
+
+    def test_negative_retries_rejected(self, city):
+        with pytest.raises(ValueError, match="shard_retries"):
+            Dispatcher(
+                city, make_fleet(), shard_workers=2, shard_retries=-1
+            )
