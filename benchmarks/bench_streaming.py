@@ -1,0 +1,352 @@
+#!/usr/bin/env python
+"""Streaming dispatch benchmark: sustained load, demand spikes, trip-gen.
+
+Three measurements against the streaming service layer
+(:mod:`repro.service`) on a city-scale grid:
+
+- **trip generation** — the gravity-model destination sampler behind
+  :class:`~repro.workload.taxi.TaxiTripSimulator`, cached
+  per-source probability vectors (the shipped implementation) vs the
+  pre-cache reference that rebuilt the O(V) weight vector with a Python
+  loop on *every* trip.  The headline gate is ``>= 10x`` per-trip
+  throughput at city scale.
+- **sustained streaming** — a flat Poisson arrival stream driven
+  through :class:`~repro.service.StreamingEngine` micro-batches over a
+  watchdog-free dispatcher; reports wall-clock throughput
+  (arrivals/sec), batch counts, and the admission→commitment /
+  admission→delivery latency percentiles (sim-minutes) from the
+  engine's lifecycle spans.
+- **demand spike** — the same pipeline with a ``demand_profile`` that
+  multiplies the base rate 5x for a contiguous burst (the paper's
+  rush-hour shape), showing how far the commitment percentiles move
+  when arrivals outrun the fleet.
+
+``commit_to_pickup`` can be *negative* for riders admitted mid-window:
+micro-batches dispatch at the window-start clock while commitment is
+stamped at the trigger time (see ALGORITHMS.md) — the stage is reported
+but not gated.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py
+    PYTHONPATH=src python benchmarks/bench_streaming.py --smoke
+
+Writes machine-readable results to ``BENCH_streaming.json`` at the repo
+root (override with ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core.dispatch import Dispatcher
+from repro.core.vehicles import Vehicle
+from repro.obs import start_trace, stop_trace
+from repro.obs import trace as _trace
+from repro.perf import WORKLOAD_STATS
+from repro.roadnet.generators import grid_city
+from repro.roadnet.oracle import DistanceOracle
+from repro.service import StreamingEngine, simulator_arrivals
+from repro.workload.taxi import TaxiTripSimulator
+
+
+# ----------------------------------------------------------------------
+# trip generation: cached sampler vs the O(V)-per-trip reference
+# ----------------------------------------------------------------------
+class _ReferenceSimulator(TaxiTripSimulator):
+    """The pre-cache sampler, kept verbatim as the baseline under test."""
+
+    def _sample_destination(self, src: int) -> Optional[int]:
+        dist = self.oracle.costs_from(src)
+        weights = np.empty(len(self.nodes))
+        for i, node in enumerate(self.nodes):
+            d = dist.get(node, math.inf)
+            if node == src or math.isinf(d):
+                weights[i] = 0.0
+            else:
+                weights[i] = self.popularity[i] * math.exp(
+                    -d / self.gravity_tau
+                )
+        total = weights.sum()
+        if total <= 0:
+            return None
+        return self.nodes[
+            int(self.rng.choice(len(self.nodes), p=weights / total))
+        ]
+
+
+def bench_tripgen(
+    network, seed: int, cached_trips: int, baseline_trips: int
+) -> Dict[str, object]:
+    def per_trip_us(cls, count: int) -> float:
+        sim = cls(network, seed=seed)
+        sim.generate_trips(10, 0.0, 1.0)  # warm the oracle untimed
+        start = time.perf_counter()
+        trips = sim.generate_trips(count, 0.0, 60.0)
+        elapsed = time.perf_counter() - start
+        assert len(trips) == count
+        return elapsed / count * 1e6
+
+    before = WORKLOAD_STATS.snapshot()
+    cached_us = per_trip_us(TaxiTripSimulator, cached_trips)
+    delta = WORKLOAD_STATS.delta(before)
+    baseline_us = per_trip_us(_ReferenceSimulator, baseline_trips)
+    speedup = baseline_us / max(cached_us, 1e-9)
+    print(
+        f"trip generation: reference {baseline_us:8.1f} us/trip, "
+        f"cached {cached_us:6.1f} us/trip ({speedup:.1f}x, "
+        f"{delta.dest_cache_hits} cache hits / "
+        f"{delta.dest_cache_misses} misses)"
+    )
+    return {
+        "nodes": network.num_nodes,
+        "cached_trips": cached_trips,
+        "baseline_trips": baseline_trips,
+        "baseline_us_per_trip": round(baseline_us, 2),
+        "cached_us_per_trip": round(cached_us, 2),
+        "speedup": round(speedup, 2),
+        "dest_cache_hits": delta.dest_cache_hits,
+        "dest_cache_misses": delta.dest_cache_misses,
+    }
+
+
+# ----------------------------------------------------------------------
+# streaming runs
+# ----------------------------------------------------------------------
+def bench_stream_run(
+    label: str,
+    network,
+    oracle: DistanceOracle,
+    seed: int,
+    num_vehicles: int,
+    trips_per_minute: float,
+    demand_profile: Optional[List[float]],
+    num_frames: int,
+    frame_length: float,
+    delta_t: float,
+    max_batch: int,
+) -> Dict[str, object]:
+    """One full arrival stream through the engine, wall-clock timed."""
+    rng = np.random.default_rng(seed)
+    nodes = sorted(network.nodes())
+    fleet = [
+        Vehicle(
+            vehicle_id=j,
+            location=int(rng.choice(nodes)),
+            capacity=3,
+        )
+        for j in range(num_vehicles)
+    ]
+    sim = TaxiTripSimulator(
+        network, seed=seed, trips_per_minute=trips_per_minute,
+        demand_profile=demand_profile,
+    )
+    arrivals = list(simulator_arrivals(
+        sim, num_frames=num_frames, frame_length=frame_length,
+        patience=10.0, flexible_factor=2.0,
+    ))
+    dispatcher = Dispatcher(
+        network, fleet, method="eg", frame_length=delta_t, oracle=oracle,
+        seed=seed,
+    )
+    engine = StreamingEngine(dispatcher, delta_t=delta_t, max_batch=max_batch)
+    horizon = num_frames * frame_length
+    with _trace.span("bench.stream.run", label=label):
+        start = time.perf_counter()
+        engine.process(arrivals, until=horizon, drain=True)
+        wall_s = time.perf_counter() - start
+    summary = engine.summary()
+    latency = engine.latency_summary()
+    triggers = summary["triggers"]
+    result = {
+        "label": label,
+        "vehicles": num_vehicles,
+        "trips_per_minute": trips_per_minute,
+        "demand_profile": demand_profile,
+        "horizon_min": horizon,
+        "delta_t": delta_t,
+        "max_batch": max_batch,
+        "admitted": summary["admitted"],
+        "batches": summary["batches"],
+        "triggers": triggers,
+        "delivered": summary["delivered"],
+        "committed_open": summary["committed"],
+        "expired": summary["expired"],
+        "wall_s": round(wall_s, 3),
+        "arrivals_per_s": round(summary["admitted"] / max(wall_s, 1e-9), 1),
+        "latency": {
+            stage: {k: round(v, 3) for k, v in stats.items()}
+            for stage, stats in latency.items()
+        },
+    }
+    commit = latency.get("admission_to_commit", {})
+    print(
+        f"{label:10s}: {summary['admitted']:5d} arrivals, "
+        f"{summary['batches']:4d} batches in {wall_s:6.2f}s "
+        f"({result['arrivals_per_s']:7.1f} arrivals/s), "
+        f"commit p50/p95/p99 = "
+        f"{commit.get('p50', float('nan')):.2f}/"
+        f"{commit.get('p95', float('nan')):.2f}/"
+        f"{commit.get('p99', float('nan')):.2f} min, "
+        f"delivered {summary['delivered']}, expired {summary['expired']}"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny grid, short horizon, no gates (CI wiring check)",
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_streaming.json",
+        help="where to write the JSON report (default: repo root)",
+    )
+    parser.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="record a JSONL trace of the run (inspect with "
+             "'python -m repro.obs summary PATH')",
+    )
+    args = parser.parse_args(argv)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+
+    if args.smoke:
+        rows = cols = 8
+        num_vehicles = 10
+        trips_per_minute = 4.0
+        num_frames, frame_length = 6, 1.0
+        delta_t, max_batch = 1.0, 16
+        cached_trips, baseline_trips = 400, 100
+        spike_profile = [1.0, 1.0, 5.0, 5.0, 1.0, 1.0]
+    else:
+        rows = cols = 24
+        num_vehicles = 120
+        trips_per_minute = 12.0
+        num_frames, frame_length = 30, 1.0
+        delta_t, max_batch = 1.0, 32
+        # long enough that the 576 first-touch Dijkstras amortize: the
+        # steady state is what a sustained stream actually pays per trip
+        cached_trips, baseline_trips = 20000, 400
+        # ten-minute cycle with a 5x rush-hour burst in the middle
+        spike_profile = [1.0] * 4 + [5.0] * 2 + [1.0] * 4
+
+    if args.trace:
+        start_trace(
+            args.trace,
+            meta={
+                "tool": "bench_streaming",
+                "seed": args.seed,
+                "smoke": args.smoke,
+            },
+        )
+    network = grid_city(
+        rows, cols, seed=args.seed, removal_fraction=0.0, arterial_every=None
+    )
+    oracle = DistanceOracle(
+        network, apsp_threshold=max(2048, len(network) + 1)
+    )
+    with _trace.span("bench.stream", seed=args.seed, smoke=args.smoke):
+        tripgen = bench_tripgen(
+            network, args.seed, cached_trips, baseline_trips
+        )
+        sustained = bench_stream_run(
+            "sustained", network, oracle, args.seed, num_vehicles,
+            trips_per_minute, None, num_frames, frame_length, delta_t,
+            max_batch,
+        )
+        spike = bench_stream_run(
+            "spike", network, oracle, args.seed, num_vehicles,
+            trips_per_minute, spike_profile, num_frames, frame_length,
+            delta_t, max_batch,
+        )
+    if args.trace:
+        stop_trace()
+        print(f"trace written to {args.trace}")
+
+    commit_count = (
+        sustained["latency"].get("admission_to_commit", {}).get("count", 0)
+    )
+    gates_pass = bool(
+        tripgen["speedup"] >= 10.0
+        and commit_count > 0
+        and sustained["admitted"] > 0
+        and spike["admitted"] > sustained["admitted"]
+    )
+    report = {
+        "benchmark": "streaming",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "network": {
+            "generator": "grid_city",
+            "rows": rows,
+            "cols": cols,
+            "seed": args.seed,
+        },
+        "config": {
+            "smoke": args.smoke,
+            "vehicles": num_vehicles,
+            "trips_per_minute": trips_per_minute,
+            "frames": num_frames,
+            "frame_length": frame_length,
+            "delta_t": delta_t,
+            "max_batch": max_batch,
+            "spike_profile": spike_profile,
+        },
+        "tripgen": tripgen,
+        "runs": {"sustained": sustained, "spike": spike},
+        "headline": {
+            "metric": (
+                f"per-trip generation throughput on {network.num_nodes} "
+                f"nodes, cached gravity sampler vs O(V)-per-trip "
+                f"reference; commitment latency percentiles under "
+                f"sustained and 5x-spike arrivals"
+            ),
+            "tripgen_speedup": tripgen["speedup"],
+            "tripgen_threshold": 10.0,
+            "sustained_commit_p95": (
+                sustained["latency"]
+                .get("admission_to_commit", {})
+                .get("p95")
+            ),
+            "spike_commit_p95": (
+                spike["latency"].get("admission_to_commit", {}).get("p95")
+            ),
+            "pass": gates_pass,
+        },
+    }
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"headline: tripgen {tripgen['speedup']}x (threshold >=10x), "
+        f"sustained commit p95 "
+        f"{report['headline']['sustained_commit_p95']} min, spike p95 "
+        f"{report['headline']['spike_commit_p95']} min "
+        f"(pass={gates_pass})"
+    )
+    print(f"wrote {args.out}")
+    if not args.smoke and not gates_pass:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,11 @@ redundant counterweight:
   :func:`fuzz_prune_seed` differential-checks the spatio-temporal
   candidate index (:mod:`repro.core.candidates`) against the full
   all-pairs scan, frame-for-frame;
+- :mod:`repro.check.stream` differential-fuzzes the streaming
+  micro-batch engine (:mod:`repro.service`): with the interval trigger
+  pinned to the frame length it must reproduce batch dispatcher runs
+  frame-for-frame, and count-trigger replays must hold every frame and
+  ledger invariant;
 - :mod:`repro.check.crash` kills durable dispatcher runs at seeded
   WAL/snapshot/worker boundaries, restores them from the checkpoint
   directory (:mod:`repro.core.durability`), and asserts frame-for-frame
@@ -40,6 +45,12 @@ from repro.check.crash import (
     CrashSeedReport,
     fuzz_crash_seed,
     run_crash_fuzz,
+)
+from repro.check.stream import (
+    StreamFuzzConfig,
+    StreamSeedReport,
+    fuzz_stream_seed,
+    run_stream_fuzz,
 )
 from repro.check.fuzz import (
     ChaosFuzzConfig,
@@ -91,6 +102,8 @@ __all__ = [
     "PruneFuzzConfig",
     "PruneSeedReport",
     "SeedReport",
+    "StreamFuzzConfig",
+    "StreamSeedReport",
     "ValidationError",
     "ValidationReport",
     "Violation",
@@ -101,6 +114,7 @@ __all__ = [
     "fuzz_dispatch_seed",
     "fuzz_prune_seed",
     "fuzz_seed",
+    "fuzz_stream_seed",
     "minimize_seed",
     "random_instance",
     "run_chaos_fuzz",
@@ -108,6 +122,7 @@ __all__ = [
     "run_dispatch_fuzz",
     "run_fuzz",
     "run_prune_fuzz",
+    "run_stream_fuzz",
     "validate_assignment",
     "validate_fleet_state",
     "validate_schedule",

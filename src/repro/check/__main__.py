@@ -40,10 +40,18 @@ Modes
   restored from its checkpoint directory, resumed, and must match the
   uninterrupted run frame-for-frame with a conserved rider ledger and
   identical final fleet state.
+- ``--stream``: **streaming differential fuzzing** — each seed's
+  dispatcher scenario runs once through the batch ``dispatch_frame``
+  loop and once as a timed arrival stream through the micro-batching
+  :class:`repro.service.StreamingEngine` with the interval trigger
+  pinned to the frame length; the two live dispatchers must match
+  stop-for-stop at every frame boundary (sharded/tiered/chaos seeds
+  included), and a count-trigger replay of the same stream must hold
+  every per-frame and ledger invariant.
 - ``--replay SEED``: re-run one seed verbosely (what CI prints for a
   failing artifact); combine with ``--dispatch``, ``--chaos``,
-  ``--prune``, ``--dispatch-shards`` or ``--crash`` to replay the
-  corresponding scenario kind.
+  ``--prune``, ``--dispatch-shards``, ``--crash`` or ``--stream`` to
+  replay the corresponding scenario kind.
 - ``--replay SEED --minimize``: shrink the failing seed to a minimal
   rider/vehicle subset and print the repro as JSON.
 
@@ -82,6 +90,11 @@ from repro.check.fuzz import (
     run_shard_fuzz,
 )
 from repro.check.crash import CrashFuzzConfig, fuzz_crash_seed, run_crash_fuzz
+from repro.check.stream import (
+    StreamFuzzConfig,
+    fuzz_stream_seed,
+    run_stream_fuzz,
+)
 from repro.check.validator import validate_assignment
 from repro.obs import start_trace, stop_trace
 
@@ -185,6 +198,14 @@ def main(argv: Optional[List[str]] = None) -> int:
              "equivalence with an uninterrupted run",
     )
     parser.add_argument(
+        "--stream", action="store_true",
+        help="streaming differential fuzzing: a micro-batch engine with "
+             "the interval trigger pinned to the frame length must "
+             "reproduce batch dispatcher runs frame-for-frame (incl. "
+             "sharded/tiered/chaos seeds), and count-trigger runs must "
+             "hold every frame and ledger invariant",
+    )
+    parser.add_argument(
         "--tiered", action="store_true",
         help="with --dispatch or --chaos: run the tiered-oracle "
              "differential — a tier-1 (CH + ALT) DistanceOracle must "
@@ -255,8 +276,31 @@ def _run(args: argparse.Namespace, verbose: bool) -> int:
     crash_config = CrashFuzzConfig()
     if args.shard_workers is not None and args.crash:
         crash_config.shard_workers = args.shard_workers
+    stream_config = StreamFuzzConfig()
+    if args.shard_workers is not None and args.stream:
+        stream_config.shard_workers = args.shard_workers
 
     # ------------------------------------------------------------------
+    if args.replay is not None and args.stream:
+        streport = fuzz_stream_seed(args.replay, stream_config)
+        print(
+            f"seed {streport.seed}: method={streport.method} "
+            f"mode={streport.mode} frames={streport.num_frames} "
+            f"vehicles={streport.num_vehicles} "
+            f"frame_length={streport.frame_length:.2f} "
+            f"max_retries={streport.max_retries} "
+            f"max_batch={streport.max_batch}"
+        )
+        print(
+            f"  riders={streport.num_riders} "
+            f"served={streport.total_served} "
+            f"events={streport.num_events} "
+            f"count_batches={streport.count_batches}"
+        )
+        for failure in streport.failures:
+            print(f"  FAIL {failure}")
+        return 0 if streport.ok else 1
+
     if args.replay is not None and args.crash:
         xreport = fuzz_crash_seed(args.replay, crash_config)
         print(
@@ -405,8 +449,12 @@ def _run(args: argparse.Namespace, verbose: bool) -> int:
                 f"{len(seed_report.failures)} failure(s))"
             )
 
-    if args.crash:
-        run: FuzzRunReport = run_crash_fuzz(
+    if args.stream:
+        run: FuzzRunReport = run_stream_fuzz(
+            seeds, stream_config, stop_after=budget, on_seed=progress
+        )
+    elif args.crash:
+        run = run_crash_fuzz(
             seeds, crash_config, stop_after=budget, on_seed=progress
         )
     elif args.chaos:
@@ -427,7 +475,9 @@ def _run(args: argparse.Namespace, verbose: bool) -> int:
         run = run_fuzz(seeds, stop_after=budget, on_seed=progress)
     elapsed = time.perf_counter() - start
 
-    if args.crash:
+    if args.stream:
+        what = "stream differentials"
+    elif args.crash:
         what = "crash-recovery trials"
     elif args.chaos:
         what = "chaos scenarios"

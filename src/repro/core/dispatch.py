@@ -200,6 +200,11 @@ class FrameReport:
     # True for report stubs rebuilt from a checkpoint: the numeric
     # summary survives restore, the live assignment object does not
     restored: bool = False
+    # the horizon this frame advanced the clock by; differs from the
+    # dispatcher's configured frame_length when a streaming micro-batch
+    # fired early (count trigger) — the WAL persists it so replay can
+    # reproduce variable-length frames exactly
+    frame_length: Optional[float] = None
 
     @property
     def batch_size(self) -> int:
@@ -555,8 +560,18 @@ class Dispatcher:
         return {vid: fv.location for vid, fv in self.fleet.items()}
 
     # ------------------------------------------------------------------
-    def dispatch_frame(self, requests: Sequence[Rider]) -> FrameReport:
+    def dispatch_frame(
+        self,
+        requests: Sequence[Rider],
+        frame_length: Optional[float] = None,
+    ) -> FrameReport:
         """Solve one frame of requests against the current fleet state.
+
+        ``frame_length`` overrides the configured horizon for *this
+        frame only* (the streaming engine dispatches variable-length
+        micro-batches this way; zero is allowed — a count trigger can
+        fire two batches at the same instant).  When omitted the
+        configured :attr:`frame_length` is used.
 
         Deadlines are interpreted on the same absolute clock the
         dispatcher advances; rider ids must be unique across the whole
@@ -567,6 +582,15 @@ class Dispatcher:
         """
         wall_start = time.perf_counter()
         frame_before = self._perf_cursor
+        if frame_length is None:
+            frame_length = self.frame_length
+        else:
+            frame_length = float(frame_length)
+            if frame_length < 0 or not np.isfinite(frame_length):
+                raise ValueError(
+                    f"frame_length must be finite and >= 0, "
+                    f"got {frame_length}"
+                )
         with _trace.span(
             "dispatch.frame", frame=self._frame_index
         ) as frame_span:
@@ -696,7 +720,7 @@ class Dispatcher:
             for rid in sorted(served_ids):
                 self.ledger[rid] = RiderStatus.COMMITTED
 
-            next_clock = self._clock + self.frame_length
+            next_clock = self._clock + frame_length
             roll_start = time.perf_counter()
             with _trace.span("dispatch.roll"):
                 for vid, fv in self.fleet.items():
@@ -768,6 +792,7 @@ class Dispatcher:
                 perf=frame_perf,
                 shard_retries=shard_retries,
                 shard_fallbacks=shard_fallbacks,
+                frame_length=frame_length,
             )
             frame_span.annotate(
                 tier=solver_tier,
@@ -1302,7 +1327,9 @@ class Dispatcher:
                         f"frame {record['frame_index']}"
                     )
                 riders = [rider_from_dict(r) for r in record["riders"]]
-                replayed = dispatcher.dispatch_frame(riders)
+                replayed = dispatcher.dispatch_frame(
+                    riders, frame_length=record.get("frame_length")
+                )
                 if (
                     dispatcher.frame_budget is None
                     and logical_summary(frame_summary(replayed))

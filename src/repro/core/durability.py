@@ -405,6 +405,11 @@ class DurabilityLog:
         self._crash_point("pre_wal")
         record = {
             "frame_index": report.frame_index,
+            # the horizon this frame actually used: streaming micro-batches
+            # dispatch variable-length frames, and replay must advance the
+            # clock by the same amount (absent in pre-streaming WALs —
+            # replay falls back to the configured frame_length)
+            "frame_length": report.frame_length,
             "riders": [rider_to_dict(r) for r in new_riders],
             "summary": frame_summary(report),
         }

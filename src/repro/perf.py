@@ -397,6 +397,64 @@ SHARD_STATS = ShardStats()
 
 
 @dataclass
+class WorkloadStats:
+    """Counters of the arrival-generation path (:mod:`repro.workload.taxi`).
+
+    ``trips_generated`` counts trip records emitted by either generator.
+    The ``dest_cache_*`` counters track the gravity sampler's per-source
+    probability cache (misses pay one full weight-vector build);
+    ``unreachable_sources`` counts pickups dropped because no destination
+    is reachable.  The ``skipped_missing_*`` counters record trips a
+    :class:`~repro.workload.taxi.PoissonTripModel` dropped because the
+    fitted model was inconsistent (arrival rate present but transition
+    row or duration pair missing) — a streaming source skips these
+    instead of crashing mid-stream, and a monitoring layer should alarm
+    on them growing.
+    """
+
+    trips_generated: int = 0
+    dest_cache_hits: int = 0
+    dest_cache_misses: int = 0
+    dest_cache_evictions: int = 0
+    unreachable_sources: int = 0
+    skipped_missing_transition: int = 0
+    skipped_missing_duration: int = 0
+
+    def reset(self) -> None:
+        self.trips_generated = 0
+        self.dest_cache_hits = 0
+        self.dest_cache_misses = 0
+        self.dest_cache_evictions = 0
+        self.unreachable_sources = 0
+        self.skipped_missing_transition = 0
+        self.skipped_missing_duration = 0
+
+    def snapshot(self) -> "WorkloadStats":
+        return WorkloadStats(**asdict(self))
+
+    def delta(self, since: "WorkloadStats") -> "WorkloadStats":
+        """Counters accumulated after ``since`` was snapshotted."""
+        return WorkloadStats(
+            **{
+                key: value - getattr(since, key)
+                for key, value in asdict(self).items()
+            }
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+    def absorb(self, delta: "WorkloadStats") -> None:
+        """Add a worker process's interval into this (parent) counter set."""
+        for key, value in asdict(delta).items():
+            setattr(self, key, getattr(self, key) + value)
+
+
+#: Process-wide counters incremented by ``repro.workload.taxi``.
+WORKLOAD_STATS = WorkloadStats()
+
+
+@dataclass
 class OracleStats:
     """Snapshot of a :class:`~repro.roadnet.oracle.DistanceOracle`.
 
@@ -510,6 +568,9 @@ class PerfReport:
     shards: ShardStats = field(
         default_factory=lambda: SHARD_STATS.snapshot()
     )
+    workload: WorkloadStats = field(
+        default_factory=lambda: WORKLOAD_STATS.snapshot()
+    )
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -519,6 +580,7 @@ class PerfReport:
             "watchdog": self.watchdog.as_dict(),
             "candidates": self.candidates.as_dict(),
             "shards": self.shards.as_dict(),
+            "workload": self.workload.as_dict(),
         }
 
 
@@ -531,6 +593,7 @@ def report(oracle: Any = None) -> PerfReport:
         watchdog=WATCHDOG_STATS.snapshot(),
         candidates=CANDIDATE_STATS.snapshot(),
         shards=SHARD_STATS.snapshot(),
+        workload=WORKLOAD_STATS.snapshot(),
     )
 
 
@@ -549,6 +612,7 @@ def absorb_report(interval: PerfReport) -> None:
     WATCHDOG_STATS.absorb(interval.watchdog)
     CANDIDATE_STATS.absorb(interval.candidates)
     SHARD_STATS.absorb(interval.shards)
+    WORKLOAD_STATS.absorb(interval.workload)
 
 
 # ----------------------------------------------------------------------
@@ -574,6 +638,9 @@ class PerfSnapshot:
     shards: ShardStats = field(
         default_factory=lambda: SHARD_STATS.snapshot()
     )
+    workload: WorkloadStats = field(
+        default_factory=lambda: WORKLOAD_STATS.snapshot()
+    )
 
     @classmethod
     def capture(cls, oracle: Any = None) -> "PerfSnapshot":
@@ -587,6 +654,7 @@ class PerfSnapshot:
             else None,
             candidates=CANDIDATE_STATS.snapshot(),
             shards=SHARD_STATS.snapshot(),
+            workload=WORKLOAD_STATS.snapshot(),
         )
 
     def since(self, earlier: "PerfSnapshot") -> PerfReport:
@@ -602,6 +670,7 @@ class PerfSnapshot:
             watchdog=self.watchdog.delta(earlier.watchdog),
             candidates=self.candidates.delta(earlier.candidates),
             shards=self.shards.delta(earlier.shards),
+            workload=self.workload.delta(earlier.workload),
         )
 
 
@@ -631,6 +700,7 @@ class FramePerf:
     oracle: Optional[OracleStats] = None
     candidates: CandidateStats = field(default_factory=CandidateStats)
     shards: ShardStats = field(default_factory=ShardStats)
+    workload: WorkloadStats = field(default_factory=WorkloadStats)
     wall_seconds: float = 0.0
     solve_seconds: float = 0.0
     validate_seconds: float = 0.0
@@ -650,6 +720,7 @@ class FramePerf:
             oracle=interval.oracle,
             candidates=interval.candidates,
             shards=interval.shards,
+            workload=interval.workload,
             **timings,
         )
 
@@ -661,6 +732,7 @@ class FramePerf:
             "oracle": self.oracle.as_dict() if self.oracle else None,
             "candidates": self.candidates.as_dict(),
             "shards": self.shards.as_dict(),
+            "workload": self.workload.as_dict(),
             "wall_seconds": self.wall_seconds,
             "solve_seconds": self.solve_seconds,
             "validate_seconds": self.validate_seconds,
@@ -693,3 +765,8 @@ def reset_candidate_stats() -> None:
 def reset_shard_stats() -> None:
     """Zero the process-wide sharded-dispatch counters (benchmarks/tests)."""
     SHARD_STATS.reset()
+
+
+def reset_workload_stats() -> None:
+    """Zero the process-wide arrival-generation counters (benchmarks/tests)."""
+    WORKLOAD_STATS.reset()

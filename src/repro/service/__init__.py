@@ -1,0 +1,50 @@
+"""repro.service — the always-on streaming dispatch engine.
+
+Turns the batch rolling-horizon :class:`~repro.core.dispatch.Dispatcher`
+into an event-driven service: continuous arrival streams are
+micro-batched with a dual trigger (every ``delta_t`` sim minutes or
+every ``max_batch`` arrivals, whichever fires first) and dispatched as
+variable-length frames, reusing carry-over, disruptions, sharding, the
+solver watchdog and durability checkpoints unchanged.  Per-request
+lifecycle spans (admission → commitment → pickup → delivery) are emitted
+through :mod:`repro.obs` and aggregated into latency percentiles.
+
+Quickstart::
+
+    from repro.core.dispatch import Dispatcher
+    from repro.service import StreamingEngine, simulator_arrivals
+    from repro.workload.taxi import TaxiTripSimulator
+
+    dispatcher = Dispatcher(network, fleet, frame_length=5.0)
+    engine = StreamingEngine(dispatcher, delta_t=1.0, max_batch=32)
+    source = simulator_arrivals(
+        TaxiTripSimulator(network, seed=7),
+        num_frames=60, frame_length=1.0,
+    )
+    engine.process(source, drain=True)
+    print(engine.latency_summary()["admission_to_commit"])
+"""
+
+from repro.service.sources import (
+    model_arrivals,
+    simulator_arrivals,
+    trips_to_arrivals,
+)
+from repro.service.stream import (
+    STAGES,
+    Arrival,
+    RequestSpan,
+    StreamBatch,
+    StreamingEngine,
+)
+
+__all__ = [
+    "Arrival",
+    "RequestSpan",
+    "STAGES",
+    "StreamBatch",
+    "StreamingEngine",
+    "model_arrivals",
+    "simulator_arrivals",
+    "trips_to_arrivals",
+]

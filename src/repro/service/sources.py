@@ -1,0 +1,132 @@
+"""Arrival sources: turn trip generators into streaming request events.
+
+The workload layer (:mod:`repro.workload.taxi`) produces
+:class:`~repro.workload.taxi.TripRecord` streams — either synthetically
+(:class:`TaxiTripSimulator`) or from a fitted Eq. 11/12 model
+(:class:`PoissonTripModel`).  The adapters here convert those trips into
+:class:`~repro.service.stream.Arrival` events with service deadlines,
+in pickup-time order with globally unique rider ids, ready to feed a
+:class:`~repro.service.stream.StreamingEngine`.
+
+Deadline convention (matching
+:func:`repro.workload.instances.build_instance_from_trips`): a rider
+arriving at time ``t`` for a trip of shortest cost ``c`` gets
+``pickup_deadline = t + patience`` and
+``dropoff_deadline = pickup_deadline + flexible_factor * c``.
+
+Both adapters are deterministic given their generator's seed/rng, which
+is what makes streaming crash-recovery work: a resumed engine re-feeds
+the same source from the start and skips already-committed arrivals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.requests import Rider
+from repro.service.stream import Arrival
+from repro.workload.taxi import PoissonTripModel, TaxiTripSimulator, TripRecord
+
+
+def trips_to_arrivals(
+    trips: Sequence[TripRecord],
+    *,
+    patience: float = 10.0,
+    flexible_factor: float = 2.0,
+    id_start: int = 0,
+) -> List[Arrival]:
+    """Convert trip records into arrival events (pickup-time order).
+
+    Degenerate trips (same pickup/drop-off node, or non-positive
+    duration — an unreachable or zero-cost pair) are dropped; the
+    returned ids run ``id_start, id_start + 1, ...`` densely.
+    """
+    if patience <= 0:
+        raise ValueError("patience must be positive")
+    if flexible_factor < 1.0:
+        raise ValueError("flexible_factor must be >= 1 (trip cost itself)")
+    arrivals: List[Arrival] = []
+    rider_id = id_start
+    for trip in sorted(trips, key=lambda tr: tr.pickup_time):
+        if trip.pickup_node == trip.dropoff_node or trip.duration <= 0:
+            continue
+        pickup_deadline = trip.pickup_time + patience
+        arrivals.append(
+            Arrival(
+                rider=Rider(
+                    rider_id=rider_id,
+                    source=trip.pickup_node,
+                    destination=trip.dropoff_node,
+                    pickup_deadline=pickup_deadline,
+                    dropoff_deadline=pickup_deadline
+                    + flexible_factor * trip.duration,
+                ),
+                time=trip.pickup_time,
+            )
+        )
+        rider_id += 1
+    return arrivals
+
+
+def simulator_arrivals(
+    simulator: TaxiTripSimulator,
+    *,
+    num_frames: int,
+    frame_length: float,
+    start_time: float = 0.0,
+    patience: float = 10.0,
+    flexible_factor: float = 2.0,
+    id_start: int = 0,
+) -> Iterator[Arrival]:
+    """Stream arrivals from a :class:`TaxiTripSimulator`, frame by frame.
+
+    Generation stays frame-granular (Poisson counts per frame, scaled by
+    the simulator's ``demand_profile``) but the yielded events are a
+    continuous time-ordered stream — the generation frame length need
+    not match the streaming engine's ``delta_t``.
+    """
+    rider_id = id_start
+    for frame in range(num_frames):
+        trips = simulator.generate_frame(
+            start_time + frame * frame_length, frame_length
+        )
+        for arrival in trips_to_arrivals(
+            trips,
+            patience=patience,
+            flexible_factor=flexible_factor,
+            id_start=rider_id,
+        ):
+            rider_id += 1
+            yield arrival
+
+
+def model_arrivals(
+    model: PoissonTripModel,
+    rng: np.random.Generator,
+    *,
+    num_frames: int,
+    start_time: float = 0.0,
+    patience: float = 10.0,
+    flexible_factor: float = 2.0,
+    id_start: int = 0,
+) -> Iterator[Arrival]:
+    """Stream arrivals from a fitted Eq. 11/12 :class:`PoissonTripModel`.
+
+    Uses the model's own ``frame_length`` per generation frame.
+    Inconsistent model rows are skipped by the model itself (counted in
+    ``WORKLOAD_STATS.skipped_missing_*``), so a partially fitted model
+    streams instead of crashing.
+    """
+    rider_id = id_start
+    for frame in range(num_frames):
+        trips = model.generate(start_time + frame * model.frame_length, rng)
+        for arrival in trips_to_arrivals(
+            trips,
+            patience=patience,
+            flexible_factor=flexible_factor,
+            id_start=rider_id,
+        ):
+            rider_id += 1
+            yield arrival

@@ -21,14 +21,20 @@ real records (or simulated ones) can be fitted back into a
 
 from __future__ import annotations
 
-import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.perf import WORKLOAD_STATS
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.oracle import DistanceOracle
+
+#: "not in cache" marker — cached entries may legitimately be ``None``
+#: (a source with no reachable destination stays unreachable for the
+#: whole oracle epoch, so the negative answer is cached too).
+_MISSING = object()
 
 
 @dataclass(frozen=True)
@@ -70,6 +76,11 @@ class TaxiTripSimulator:
         demand profile).
     demand_profile:
         Optional per-frame multipliers (rush hours etc.); defaults to 1.0.
+    dest_cache_size:
+        Bound on the per-source destination-probability LRU (entries, one
+        float64 vector of ``len(nodes)`` each — size it to memory at
+        city scale).  The cache is invalidated wholesale when the oracle
+        epoch changes (disruptions re-route trips).
     """
 
     def __init__(
@@ -81,6 +92,7 @@ class TaxiTripSimulator:
         gravity_tau: float = 6.0,
         trips_per_minute: float = 10.0,
         demand_profile: Optional[Sequence[float]] = None,
+        dest_cache_size: int = 1024,
     ) -> None:
         self.network = network
         self.oracle = oracle or DistanceOracle(network)
@@ -88,22 +100,36 @@ class TaxiTripSimulator:
         self.gravity_tau = gravity_tau
         self.trips_per_minute = trips_per_minute
         self.demand_profile = list(demand_profile) if demand_profile else None
+        if dest_cache_size < 1:
+            raise ValueError("dest_cache_size must be >= 1")
+        self.dest_cache_size = dest_cache_size
 
         self.nodes = sorted(network.nodes())
         ranks = self.rng.permutation(len(self.nodes)) + 1
         weights = ranks.astype(float) ** (-zipf_exponent)
         self.popularity = weights / weights.sum()
         self._node_index = {node: i for i, node in enumerate(self.nodes)}
+        self._dest_cache: "OrderedDict[int, Optional[np.ndarray]]" = OrderedDict()
+        self._dest_cache_epoch = getattr(self.oracle, "epoch", 0)
+        self._frame_counter = 0
 
     # ------------------------------------------------------------------
     def generate_frame(
-        self, frame_start: float, frame_length: float, frame_index: int = 0
+        self, frame_start: float, frame_length: float, frame_index: Optional[int] = None
     ) -> List[TripRecord]:
         """Generate all trips picked up within one time frame.
 
         The number of trips is Poisson with mean
         ``trips_per_minute * frame_length * profile[frame_index]``.
+
+        ``frame_index`` defaults to an internal counter that advances one
+        per call, so a caller looping over frames gets the full
+        ``demand_profile`` modulation without threading the index
+        (passing it explicitly still works and re-seats the counter).
         """
+        if frame_index is None:
+            frame_index = self._frame_counter
+        self._frame_counter = frame_index + 1
         rate = self.trips_per_minute * frame_length
         if self.demand_profile:
             rate *= self.demand_profile[frame_index % len(self.demand_profile)]
@@ -133,22 +159,69 @@ class TaxiTripSimulator:
                     dropoff_time=float(t) + duration,
                 )
             )
+        WORKLOAD_STATS.trips_generated += len(trips)
         return trips
 
     def _sample_destination(self, src: int) -> Optional[int]:
         """Gravity model: popularity x exp(-distance / tau), excluding src."""
-        dist = self.oracle.costs_from(src)
-        weights = np.empty(len(self.nodes))
-        for i, node in enumerate(self.nodes):
-            d = dist.get(node, math.inf)
-            if node == src or math.isinf(d):
-                weights[i] = 0.0
-            else:
-                weights[i] = self.popularity[i] * math.exp(-d / self.gravity_tau)
-        total = weights.sum()
-        if total <= 0:
+        cdf = self._dest_cdf(src)
+        if cdf is None:
+            WORKLOAD_STATS.unreachable_sources += 1
             return None
-        return self.nodes[int(self.rng.choice(len(self.nodes), p=weights / total))]
+        # one uniform right-bisected into the normalized cdf — the exact
+        # draw ``rng.choice(len(nodes), p=probs)`` performs internally,
+        # so sampled sequences stay pinned bit-for-bit, at O(log V)
+        # per trip instead of rebuilding the cdf every call
+        return self.nodes[
+            int(cdf.searchsorted(self.rng.random(), side="right"))
+        ]
+
+    def _dest_cdf(self, src: int) -> Optional[np.ndarray]:
+        """Per-source destination distribution (as a normalized cumulative
+        vector), LRU-cached per oracle epoch.
+
+        ``None`` means no destination is reachable from ``src``.  The
+        underlying probabilities are identical to what the per-node loop
+        used to build, and the cumulation/renormalization mirrors
+        ``Generator.choice`` exactly, so sampled sequences stay pinned
+        bit-for-bit for existing seeds.
+        """
+        epoch = getattr(self.oracle, "epoch", 0)
+        if epoch != self._dest_cache_epoch:
+            self._dest_cache.clear()
+            self._dest_cache_epoch = epoch
+        cached = self._dest_cache.get(src, _MISSING)
+        if cached is not _MISSING:
+            self._dest_cache.move_to_end(src)
+            WORKLOAD_STATS.dest_cache_hits += 1
+            return cached
+        WORKLOAD_STATS.dest_cache_misses += 1
+
+        dist = self.oracle.costs_from(src)
+        d = np.full(len(self.nodes), np.inf)
+        if dist:
+            idx = np.fromiter(
+                (self._node_index[node] for node in dist),
+                dtype=np.intp,
+                count=len(dist),
+            )
+            d[idx] = np.fromiter(dist.values(), dtype=np.float64, count=len(dist))
+        weights = self.popularity * np.exp(-d / self.gravity_tau)
+        weights[self._node_index[src]] = 0.0
+        total = weights.sum()
+        if total > 0:
+            # match Generator.choice's arithmetic step for step: divide
+            # into probabilities first, then cumulate and renormalize
+            cdf = (weights / total).cumsum()
+            cdf /= cdf[-1]
+        else:
+            cdf = None
+
+        self._dest_cache[src] = cdf
+        if len(self._dest_cache) > self.dest_cache_size:
+            self._dest_cache.popitem(last=False)
+            WORKLOAD_STATS.dest_cache_evictions += 1
+        return cdf
 
 
 # ----------------------------------------------------------------------
@@ -181,18 +254,32 @@ class PoissonTripModel:
     def generate(
         self, frame_start: float, rng: np.random.Generator
     ) -> List[TripRecord]:
-        """Draw one frame of trips from the fitted model."""
+        """Draw one frame of trips from the fitted model.
+
+        A model fitted from partial or filtered records can be
+        *inconsistent*: an arrival rate with no transition row, or a
+        transition pair with no mean duration.  Those trips are skipped
+        (counted in ``WORKLOAD_STATS.skipped_missing_*``) rather than
+        crashing a stream mid-run.
+        """
         trips: List[TripRecord] = []
         for node, rate in self.arrival_rate.items():
             count = int(rng.poisson(rate * self.frame_length))
             if count == 0:
                 continue
-            dests, probs = self.transition[node]
+            row = self.transition.get(node)
+            if row is None or not row[0]:
+                WORKLOAD_STATS.skipped_missing_transition += count
+                continue
+            dests, probs = row
             for _ in range(count):
                 t = float(rng.uniform(frame_start, frame_start + self.frame_length))
                 dst = int(rng.choice(len(dests), p=probs))
                 dst_node = dests[dst]
-                duration = self.mean_duration[(node, dst_node)]
+                duration = self.mean_duration.get((node, dst_node))
+                if duration is None:
+                    WORKLOAD_STATS.skipped_missing_duration += 1
+                    continue
                 trips.append(
                     TripRecord(
                         pickup_node=node,
@@ -202,6 +289,7 @@ class PoissonTripModel:
                     )
                 )
         trips.sort(key=lambda tr: tr.pickup_time)
+        WORKLOAD_STATS.trips_generated += len(trips)
         return trips
 
 

@@ -1,0 +1,108 @@
+"""The streaming differential fuzzer (`--stream`) and its CLI wiring."""
+
+import pytest
+
+from repro.check.__main__ import main
+from repro.check.stream import (
+    STREAM_MODES,
+    StreamFuzzConfig,
+    fuzz_stream_seed,
+    run_stream_fuzz,
+)
+from repro.service import StreamingEngine
+
+
+class TestSeeds:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_seed_is_equivalent(self, seed):
+        report = fuzz_stream_seed(seed)
+        assert report.ok, [str(f) for f in report.failures]
+        assert report.scenario == "stream"
+        assert report.mode in STREAM_MODES
+        assert report.num_riders > 0
+
+    def test_chaos_seeds_replay_disruptions(self):
+        config = StreamFuzzConfig(
+            shard_fraction=0.0, tiered_fraction=0.0, chaos_fraction=1.0
+        )
+        events = 0
+        for seed in range(6):
+            report = fuzz_stream_seed(seed, config)
+            assert report.ok, [str(f) for f in report.failures]
+            assert report.mode == "chaos"
+            # chaos seeds stop after the differential leg
+            assert report.count_batches == 0
+            events += report.num_events
+        assert events > 0
+
+    def test_tiered_seed_is_equivalent(self):
+        config = StreamFuzzConfig(
+            shard_fraction=0.0, tiered_fraction=1.0, chaos_fraction=0.0
+        )
+        report = fuzz_stream_seed(3, config)
+        assert report.ok, [str(f) for f in report.failures]
+        assert report.mode == "tiered"
+
+    def test_sharded_seed_is_equivalent(self):
+        config = StreamFuzzConfig(
+            shard_fraction=1.0, tiered_fraction=0.0, chaos_fraction=0.0
+        )
+        report = fuzz_stream_seed(2, config)
+        assert report.ok, [str(f) for f in report.failures]
+        assert report.mode == "sharded"
+
+    def test_count_trigger_leg_runs_on_non_chaos_seeds(self):
+        config = StreamFuzzConfig(
+            shard_fraction=0.0, tiered_fraction=0.0, chaos_fraction=0.0
+        )
+        report = fuzz_stream_seed(1, config)
+        assert report.ok, [str(f) for f in report.failures]
+        assert report.count_batches > 0
+
+
+class TestDetection:
+    def test_dropped_arrival_is_caught(self, monkeypatch):
+        # an engine that silently loses the first arrival it ever sees
+        # must be flagged by the differential — the stream dispatcher's
+        # admissions and ledger no longer match the batch run
+        class LossyEngine(StreamingEngine):
+            dropped = False
+
+            def process(self, arrivals, until=None, drain=False):
+                arrivals = list(arrivals)
+                if arrivals and not LossyEngine.dropped:
+                    LossyEngine.dropped = True
+                    arrivals = arrivals[1:]
+                return super().process(arrivals, until=until, drain=drain)
+
+        monkeypatch.setattr(
+            "repro.check.stream.StreamingEngine", LossyEngine
+        )
+        config = StreamFuzzConfig(
+            shard_fraction=0.0, tiered_fraction=0.0, chaos_fraction=0.0,
+            min_riders_per_frame=2,
+        )
+        report = fuzz_stream_seed(0, config)
+        assert not report.ok
+        assert any("stream" in f.stage for f in report.failures)
+
+
+class TestRun:
+    def test_aggregates_reports(self):
+        run = run_stream_fuzz(range(3))
+        assert run.seeds_run == 3
+        assert run.ok
+        assert run.failing_seeds == []
+
+
+class TestCli:
+    def test_stream_mode_exit_zero(self, capsys):
+        assert main(["--stream", "--seeds", "3", "--skip-self-test"]) == 0
+        assert "3 stream differentials" in capsys.readouterr().out
+
+    def test_stream_replay(self, capsys):
+        assert main(["--stream", "--replay", "1", "--skip-self-test"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 1:" in out
+        assert "mode=" in out
+        assert "count_batches=" in out

@@ -356,6 +356,101 @@ class TestCarryOver:
         assert dispatcher.service_rate == 1.0
 
 
+class TestCarryoverBoundaries:
+    """Exact edges of _update_carryover: deadline == next_clock and the
+    attempts/max_retries fencepost, plus FrameReport degenerate frames."""
+
+    def _lone_vehicle(self, city, frame_length=10.0, max_retries=5):
+        fleet = [Vehicle(vehicle_id=0, location=0, capacity=1)]
+        return Dispatcher(city, fleet, method="eg",
+                          frame_length=frame_length, seed=7,
+                          max_retries=max_retries)
+
+    def test_deadline_exactly_at_next_clock_expires(self, city, monkeypatch):
+        from repro.core.dispatch import RiderStatus
+
+        dispatcher = self._lone_vehicle(city)
+        monkeypatch.setattr(
+            "repro.core.dispatch.solve", _missing_solve({0: {0}})
+        )
+        # pickup_deadline == next frame's clock exactly: the rider could
+        # never be picked up after the boundary, so it must expire now
+        rider = make_rider(0, source=1, destination=2,
+                           pickup_deadline=10.0, dropoff_deadline=60.0)
+        report = dispatcher.dispatch_frame([rider])
+        assert report.num_served == 0
+        assert report.num_expired == 1
+        assert dispatcher.pending_requests == []
+        assert dispatcher.ledger[0] is RiderStatus.EXPIRED
+
+    def test_deadline_just_past_next_clock_is_carried(self, city, monkeypatch):
+        dispatcher = self._lone_vehicle(city)
+        monkeypatch.setattr(
+            "repro.core.dispatch.solve", _missing_solve({0: {0}})
+        )
+        rider = make_rider(0, source=1, destination=2,
+                           pickup_deadline=10.001, dropoff_deadline=60.0)
+        report = dispatcher.dispatch_frame([rider])
+        assert report.num_expired == 0
+        assert [r.rider_id for r in dispatcher.pending_requests] == [0]
+
+    def test_max_retries_n_means_exactly_n_offers(self, city, monkeypatch):
+        from repro.core.dispatch import RiderStatus
+
+        retries = 3
+        dispatcher = self._lone_vehicle(city, frame_length=1.0,
+                                        max_retries=retries)
+        offered = []
+        from repro.core.solver import solve as real_solve
+
+        def counting_solve(instance, **kwargs):
+            offered.append(sorted(r.rider_id for r in instance.riders))
+            assignment = real_solve(instance, **kwargs)
+            # miss rider 0 every frame: only the retry budget expires it
+            for vid, seq in assignment.schedules.items():
+                if any(r.rider_id == 0 for r in seq.assigned_riders()):
+                    assignment.schedules[vid] = seq.without_rider(0)
+            return assignment
+
+        monkeypatch.setattr("repro.core.dispatch.solve", counting_solve)
+        rider = make_rider(0, source=1, destination=2,
+                           pickup_deadline=500.0, dropoff_deadline=1000.0)
+        dispatcher.dispatch_frame([rider])
+        for _ in range(retries + 2):
+            dispatcher.dispatch_frame([])
+        # offered to the solver in exactly the first `retries` frames
+        assert [0] in offered
+        assert sum(1 for batch in offered if 0 in batch) == retries
+        assert dispatcher.ledger[0] is RiderStatus.EXPIRED
+
+    def test_empty_frame_service_rate_vacuous(self, city):
+        dispatcher = self._lone_vehicle(city)
+        report = dispatcher.dispatch_frame([])
+        assert report.batch_size == 0
+        assert report.num_requests == report.num_carried == 0
+        assert report.service_rate == 1.0
+
+    def test_carried_only_frame_counts_in_batch_size(self, city, monkeypatch):
+        dispatcher = self._lone_vehicle(city)
+        monkeypatch.setattr(
+            "repro.core.dispatch.solve", _missing_solve({0: {0}, 1: {0}})
+        )
+        rider = make_rider(0, source=1, destination=2,
+                           pickup_deadline=500.0, dropoff_deadline=1000.0)
+        dispatcher.dispatch_frame([rider])
+        # frame 1 has no new requests, only the retried rider — it is
+        # offered (batch_size 1) and missed again (service_rate 0)
+        report = dispatcher.dispatch_frame([])
+        assert report.num_requests == 0
+        assert report.num_carried == 1
+        assert report.batch_size == 1
+        assert report.service_rate == 0.0
+        # frame 2: the solver finally keeps it
+        served = dispatcher.dispatch_frame([])
+        assert served.num_carried == 1
+        assert served.service_rate == 1.0
+
+
 def _corrupting_solve(corrupt):
     """Wrap the real solver so the frame's plan is tampered with."""
     from repro.core.solver import solve as real_solve

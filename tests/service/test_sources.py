@@ -1,0 +1,102 @@
+"""Unit tests for repro.service.sources (trip -> arrival adapters)."""
+
+import numpy as np
+import pytest
+
+from repro.service import model_arrivals, simulator_arrivals, trips_to_arrivals
+from repro.workload.taxi import PoissonTripModel, TaxiTripSimulator, TripRecord
+
+
+class TestTripsToArrivals:
+    def make_trips(self):
+        return [
+            TripRecord(0, 3.0, 5, 9.0),
+            TripRecord(2, 1.0, 7, 4.0),
+            TripRecord(4, 2.0, 4, 2.0),   # degenerate: src == dst
+            TripRecord(6, 2.5, 8, 2.5),   # degenerate: zero duration
+        ]
+
+    def test_time_ordered_with_dense_ids(self):
+        arrivals = trips_to_arrivals(self.make_trips(), id_start=10)
+        assert [a.rider.rider_id for a in arrivals] == [10, 11]
+        assert [a.time for a in arrivals] == [1.0, 3.0]
+
+    def test_degenerate_trips_dropped(self):
+        arrivals = trips_to_arrivals(self.make_trips())
+        assert all(a.rider.source != a.rider.destination for a in arrivals)
+
+    def test_deadline_convention(self):
+        (first, second) = trips_to_arrivals(
+            self.make_trips(), patience=5.0, flexible_factor=2.0
+        )
+        assert first.rider.pickup_deadline == 1.0 + 5.0
+        assert first.rider.dropoff_deadline == 6.0 + 2.0 * 3.0
+        assert second.rider.pickup_deadline == 3.0 + 5.0
+        assert second.rider.dropoff_deadline == 8.0 + 2.0 * 6.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="patience"):
+            trips_to_arrivals([], patience=0.0)
+        with pytest.raises(ValueError, match="flexible_factor"):
+            trips_to_arrivals([], flexible_factor=0.5)
+
+
+class TestSimulatorArrivals:
+    def test_stream_is_time_ordered_with_unique_ids(self, small_grid):
+        sim = TaxiTripSimulator(small_grid, seed=2, trips_per_minute=2.0)
+        arrivals = list(simulator_arrivals(
+            sim, num_frames=3, frame_length=5.0,
+        ))
+        assert arrivals
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+        ids = [a.rider.rider_id for a in arrivals]
+        assert ids == list(range(len(ids)))
+
+    def test_deterministic_given_seed(self, small_grid):
+        def run():
+            sim = TaxiTripSimulator(small_grid, seed=5, trips_per_minute=2.0)
+            return [
+                (a.rider.rider_id, a.rider.source, a.rider.destination, a.time)
+                for a in simulator_arrivals(sim, num_frames=2, frame_length=5.0)
+            ]
+
+        assert run() == run()
+
+    def test_demand_profile_modulates_stream(self, small_grid):
+        sim = TaxiTripSimulator(
+            small_grid, seed=5, trips_per_minute=2.0,
+            demand_profile=[0.1, 5.0],
+        )
+        arrivals = list(simulator_arrivals(sim, num_frames=2, frame_length=10.0))
+        first = sum(1 for a in arrivals if a.time < 10.0)
+        second = len(arrivals) - first
+        assert second > first
+
+
+class TestModelArrivals:
+    def test_fitted_model_streams(self, small_grid):
+        sim = TaxiTripSimulator(small_grid, seed=3, trips_per_minute=6.0)
+        from repro.workload.taxi import fit_trip_model
+
+        records = sim.generate_trips(300, 0.0, 30.0)
+        model = fit_trip_model(records, 0.0, 30.0)
+        arrivals = list(model_arrivals(
+            model, np.random.default_rng(0), num_frames=2,
+        ))
+        assert arrivals
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+
+    def test_inconsistent_model_streams_without_crashing(self):
+        model = PoissonTripModel(
+            frame_length=5.0,
+            arrival_rate={0: 3.0, 1: 3.0},
+            transition={0: ([2], [1.0])},  # node 1's row is missing
+            mean_duration={(0, 2): 4.0},
+        )
+        arrivals = list(model_arrivals(
+            model, np.random.default_rng(1), num_frames=2,
+        ))
+        assert arrivals  # the consistent node still streams
+        assert all(a.rider.source == 0 for a in arrivals)

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.social",
     "repro.workload",
     "repro.experiments",
+    "repro.service",
 ]
 
 

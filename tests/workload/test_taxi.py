@@ -1,8 +1,11 @@
 """Unit tests for repro.workload.taxi (Eq. 11/12 trip model)."""
 
+import math
+
 import numpy as np
 import pytest
 
+from repro.perf import WORKLOAD_STATS
 from repro.roadnet.oracle import DistanceOracle
 from repro.workload.taxi import (
     PoissonTripModel,
@@ -77,6 +80,164 @@ class TestSimulator:
             counts[t.pickup_node] = counts.get(t.pickup_node, 0) + 1
         top = max(counts.values())
         assert top > 400 / 25 * 3  # hottest node well above uniform share
+
+
+class TestDemandProfileFrameCounter:
+    """Regression: generate_frame used to default frame_index to 0, so a
+    caller looping frames without threading the index silently pinned a
+    demand_profile to its first entry."""
+
+    def test_internal_counter_modulates_profile(self, small_grid):
+        sim = TaxiTripSimulator(
+            small_grid, seed=5, trips_per_minute=3.0, demand_profile=[0.1, 4.0]
+        )
+        counts = [len(sim.generate_frame(i * 10.0, 10.0)) for i in range(20)]
+        low = np.mean(counts[0::2])   # profile slots 0, 2, 4, ...
+        high = np.mean(counts[1::2])  # profile slots 1, 3, 5, ...
+        assert high > low * 5
+
+    def test_explicit_index_reseats_counter(self, small_grid):
+        sim = TaxiTripSimulator(
+            small_grid, seed=5, trips_per_minute=3.0, demand_profile=[0.0, 4.0]
+        )
+        # profile slot 0 has rate 0: an explicit odd index followed by a
+        # default call must hit slots 1 then 0 (counter re-seated to 2).
+        busy = sim.generate_frame(0.0, 10.0, frame_index=1)
+        quiet = sim.generate_frame(10.0, 10.0)
+        assert len(busy) > 0
+        assert quiet == []
+
+    def test_explicit_index_still_deterministic(self, small_grid):
+        a = TaxiTripSimulator(small_grid, seed=6, demand_profile=[1.0, 2.0])
+        b = TaxiTripSimulator(small_grid, seed=6, demand_profile=[1.0, 2.0])
+        assert [a.generate_frame(0.0, 5.0, i) for i in range(4)] == [
+            b.generate_frame(0.0, 5.0) for _ in range(4)
+        ]
+
+
+class TestDestinationSamplerCache:
+    """Regression: _sample_destination rebuilt the full gravity weight
+    vector with a Python loop per trip; it is now vectorized and cached
+    per source, bit-for-bit identical to the original loop."""
+
+    def _reference_probabilities(self, sim, src):
+        """The pre-fix per-node loop, kept verbatim as the ground truth."""
+        dist = sim.oracle.costs_from(src)
+        weights = np.empty(len(sim.nodes))
+        for i, node in enumerate(sim.nodes):
+            d = dist.get(node, math.inf)
+            if node == src or math.isinf(d):
+                weights[i] = 0.0
+            else:
+                weights[i] = sim.popularity[i] * math.exp(-d / sim.gravity_tau)
+        total = weights.sum()
+        return None if total <= 0 else weights / total
+
+    def test_probabilities_match_reference_loop(self, small_grid):
+        sim = TaxiTripSimulator(small_grid, seed=11)
+        for src in sim.nodes:
+            cdf = sim._dest_cdf(src)
+            want = self._reference_probabilities(sim, src)
+            np.testing.assert_allclose(
+                cdf, want.cumsum(), rtol=1e-12, atol=0.0
+            )
+            assert cdf[-1] == 1.0  # normalized exactly, like rng.choice
+
+    def test_sequences_pinned_cold_vs_warm_cache(self, small_grid):
+        # a cache of size 1 thrashes (nearly every draw rebuilds), the
+        # default stays warm — both must sample the identical sequence.
+        cold = TaxiTripSimulator(small_grid, seed=13, dest_cache_size=1)
+        warm = TaxiTripSimulator(small_grid, seed=13)
+        assert cold.generate_trips(200, 0.0, 30.0) == warm.generate_trips(
+            200, 0.0, 30.0
+        )
+
+    def test_cache_hits_and_evictions_counted(self, small_grid):
+        before = WORKLOAD_STATS.snapshot()
+        sim = TaxiTripSimulator(small_grid, seed=4, dest_cache_size=2)
+        sim.generate_trips(80, 0.0, 30.0)
+        delta = WORKLOAD_STATS.delta(before)
+        assert delta.dest_cache_misses > 0
+        assert delta.dest_cache_evictions > 0
+        assert len(sim._dest_cache) <= 2
+
+    def test_oracle_epoch_change_invalidates_cache(self, small_grid):
+        sim = TaxiTripSimulator(small_grid, seed=4)
+        src = sim.nodes[0]
+        stale = sim._dest_cdf(src)
+        before = WORKLOAD_STATS.snapshot()
+        assert sim._dest_cdf(src) is stale  # cache hit
+        assert WORKLOAD_STATS.delta(before).dest_cache_hits == 1
+        sim.oracle.invalidate()
+        fresh = sim._dest_cdf(src)
+        assert fresh is not stale  # rebuilt after the epoch bump
+        np.testing.assert_allclose(fresh, stale)  # same network -> same law
+        assert WORKLOAD_STATS.delta(before).dest_cache_misses == 1
+
+    def test_unreachable_source_counted(self):
+        from repro.roadnet.graph import RoadNetwork
+
+        net = RoadNetwork()
+        net.add_edge(0, 1, 1.0)
+        net.add_node(2, x=9.0, y=9.0)  # isolated
+        sim = TaxiTripSimulator(net, seed=0)
+        before = WORKLOAD_STATS.snapshot()
+        assert sim._sample_destination(2) is None
+        assert WORKLOAD_STATS.delta(before).unreachable_sources == 1
+
+
+class TestInconsistentPoissonModel:
+    """Regression: PoissonTripModel.generate raised KeyError mid-stream on
+    models with an arrival rate but no transition row / duration pair."""
+
+    def test_missing_transition_row_skips_with_counter(self):
+        model = PoissonTripModel(
+            frame_length=5.0,
+            arrival_rate={0: 2.0, 1: 2.0},
+            transition={0: ([2], [1.0])},  # node 1's row is missing
+            mean_duration={(0, 2): 3.0},
+        )
+        before = WORKLOAD_STATS.snapshot()
+        trips = model.generate(0.0, np.random.default_rng(0))
+        delta = WORKLOAD_STATS.delta(before)
+        assert delta.skipped_missing_transition > 0
+        assert trips  # the consistent node still generates
+        assert all(t.pickup_node == 0 for t in trips)
+
+    def test_empty_transition_row_treated_as_missing(self):
+        model = PoissonTripModel(
+            frame_length=5.0,
+            arrival_rate={0: 2.0},
+            transition={0: ([], [])},
+        )
+        before = WORKLOAD_STATS.snapshot()
+        assert model.generate(0.0, np.random.default_rng(0)) == []
+        assert WORKLOAD_STATS.delta(before).skipped_missing_transition > 0
+
+    def test_missing_duration_pair_skips_with_counter(self):
+        model = PoissonTripModel(
+            frame_length=5.0,
+            arrival_rate={0: 2.0},
+            transition={0: ([2], [1.0])},
+            mean_duration={},  # (0, 2) pair missing
+        )
+        before = WORKLOAD_STATS.snapshot()
+        assert model.generate(0.0, np.random.default_rng(0)) == []
+        assert WORKLOAD_STATS.delta(before).skipped_missing_duration > 0
+
+    def test_consistent_model_unaffected(self):
+        model = PoissonTripModel(
+            frame_length=5.0,
+            arrival_rate={0: 2.0},
+            transition={0: ([2], [1.0])},
+            mean_duration={(0, 2): 3.0},
+        )
+        before = WORKLOAD_STATS.snapshot()
+        trips = model.generate(0.0, np.random.default_rng(1))
+        delta = WORKLOAD_STATS.delta(before)
+        assert delta.skipped_missing_transition == 0
+        assert delta.skipped_missing_duration == 0
+        assert delta.trips_generated == len(trips) > 0
 
 
 class TestFitTripModel:
